@@ -1,0 +1,135 @@
+//! Static bytecode decoding and disassembly. The MTPU's fill unit and the
+//! hotspot optimizer both operate on decoded instruction streams.
+
+use mtpu_evm::opcode::Opcode;
+use mtpu_primitives::U256;
+use std::fmt;
+
+/// A decoded instruction: opcode plus optional PUSH immediate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Insn {
+    /// Byte offset of the opcode.
+    pub pc: usize,
+    /// The opcode, or `None` for an unassigned byte.
+    pub op: Option<Opcode>,
+    /// PUSH immediate bytes (empty otherwise).
+    pub imm: Vec<u8>,
+}
+
+impl Insn {
+    /// The immediate as a 256-bit value (zero when not a PUSH).
+    pub fn imm_value(&self) -> U256 {
+        U256::from_be_slice(&self.imm)
+    }
+
+    /// Encoded length: 1 + immediate bytes.
+    pub fn len(&self) -> usize {
+        1 + self.imm.len()
+    }
+
+    /// `true` only for the impossible zero-length case (required pair for
+    /// `len`).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Insn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.op {
+            Some(op) if !self.imm.is_empty() => {
+                write!(
+                    f,
+                    "{:#06x}: {} 0x{}",
+                    self.pc,
+                    op,
+                    mtpu_primitives::hex::encode(&self.imm)
+                )
+            }
+            Some(op) => write!(f, "{:#06x}: {}", self.pc, op),
+            None => write!(f, "{:#06x}: UNKNOWN", self.pc),
+        }
+    }
+}
+
+/// Decodes bytecode into instructions, consuming PUSH immediates.
+///
+/// Truncated trailing immediates are zero-padded, matching EVM execution
+/// semantics.
+pub fn decode(code: &[u8]) -> Vec<Insn> {
+    let mut out = Vec::new();
+    let mut pc = 0usize;
+    while pc < code.len() {
+        match Opcode::from_u8(code[pc]) {
+            Some(op) => {
+                let n = op.immediate_len();
+                let end = (pc + 1 + n).min(code.len());
+                let mut imm = code[pc + 1..end].to_vec();
+                imm.resize(n, 0);
+                out.push(Insn {
+                    pc,
+                    op: Some(op),
+                    imm,
+                });
+                pc += 1 + n;
+            }
+            None => {
+                out.push(Insn {
+                    pc,
+                    op: None,
+                    imm: Vec::new(),
+                });
+                pc += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Renders a human-readable disassembly listing.
+pub fn disassemble(code: &[u8]) -> String {
+    decode(code)
+        .iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_push_immediates() {
+        let code = vec![0x60, 0x02, 0x61, 0xaa, 0xbb, 0x01, 0x00];
+        let insns = decode(&code);
+        assert_eq!(insns.len(), 4);
+        assert_eq!(insns[0].op, Some(Opcode::Push1));
+        assert_eq!(insns[0].imm, vec![0x02]);
+        assert_eq!(insns[1].imm_value(), U256::from(0xaabbu64));
+        assert_eq!(insns[2].op, Some(Opcode::Add));
+        assert_eq!(insns[3].pc, 6);
+    }
+
+    #[test]
+    fn truncated_immediate_is_padded() {
+        let code = vec![0x61, 0xff]; // PUSH2 with one byte left
+        let insns = decode(&code);
+        assert_eq!(insns[0].imm, vec![0xff, 0x00]);
+    }
+
+    #[test]
+    fn unknown_bytes_are_kept() {
+        let code = vec![0x0c, 0x01];
+        let insns = decode(&code);
+        assert_eq!(insns[0].op, None);
+        assert_eq!(insns[1].op, Some(Opcode::Add));
+    }
+
+    #[test]
+    fn listing_format() {
+        let s = disassemble(&[0x60, 0x01, 0x00]);
+        assert!(s.contains("PUSH1 0x01"));
+        assert!(s.contains("STOP"));
+    }
+}

@@ -1,0 +1,15 @@
+//! EVM assembler, text parser and disassembler for authoring the synthetic
+//! evaluation contracts.
+//!
+//! The builder-style [`Assembler`] provides Solidity-compiler idioms
+//! (selector dispatchers, mapping slots, `require` patterns) so that
+//! hand-written contracts exhibit the same instruction mixes as compiled
+//! mainnet bytecode (paper Table 6).
+
+mod assembler;
+pub mod disasm;
+mod parser;
+
+pub use assembler::{AsmError, Assembler};
+pub use disasm::{decode, disassemble, Insn};
+pub use parser::{parse_asm, ParseAsmError};

@@ -1,0 +1,197 @@
+//! A small text assembler for tests, examples and hand-written snippets.
+//!
+//! Syntax: one instruction per line; `;` starts a comment; labels are
+//! `name:` on their own (emitting a `JUMPDEST`) and referenced as `@name`
+//! in a PUSH position; `PUSH` chooses the minimal width automatically while
+//! `PUSHn` forces a width.
+//!
+//! ```
+//! let code = mtpu_asm::parse_asm(r"
+//!     PUSH1 0x02
+//!     PUSH 3
+//!     ADD         ; 5
+//!     STOP
+//! ").unwrap();
+//! assert_eq!(code, vec![0x60, 0x02, 0x60, 0x03, 0x01, 0x00]);
+//! ```
+
+use crate::assembler::{AsmError, Assembler};
+use mtpu_evm::opcode::Opcode;
+use mtpu_primitives::U256;
+use std::fmt;
+
+/// Error produced by [`parse_asm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseAsmError {
+    /// Unknown mnemonic; carries the line number (1-based) and token.
+    UnknownMnemonic(usize, String),
+    /// A PUSH without a value, or a value on a non-PUSH.
+    BadOperand(usize),
+    /// Numeric literal did not parse.
+    BadLiteral(usize, String),
+    /// Label/assembly error from the underlying assembler.
+    Asm(AsmError),
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAsmError::UnknownMnemonic(l, t) => write!(f, "line {l}: unknown mnemonic `{t}`"),
+            ParseAsmError::BadOperand(l) => write!(f, "line {l}: bad operand"),
+            ParseAsmError::BadLiteral(l, t) => write!(f, "line {l}: bad literal `{t}`"),
+            ParseAsmError::Asm(e) => write!(f, "assembly error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+impl From<AsmError> for ParseAsmError {
+    fn from(e: AsmError) -> Self {
+        ParseAsmError::Asm(e)
+    }
+}
+
+fn opcode_by_mnemonic(m: &str) -> Option<Opcode> {
+    // Linear scan over all assigned bytes; 256 entries is negligible.
+    (0u16..=255)
+        .filter_map(|b| Opcode::from_u8(b as u8))
+        .find(|op| op.mnemonic() == m)
+}
+
+/// Assembles the textual `source` into bytecode.
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] on syntax errors or unresolved labels.
+pub fn parse_asm(source: &str) -> Result<Vec<u8>, ParseAsmError> {
+    let mut asm = Assembler::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            asm.label(label.trim());
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty line").to_uppercase();
+        let operand = parts.next();
+
+        if mnemonic == "PUSH" {
+            let tok = operand.ok_or(ParseAsmError::BadOperand(lineno))?;
+            if let Some(label) = tok.strip_prefix('@') {
+                asm.push_label(label);
+            } else {
+                let v = parse_literal(tok)
+                    .ok_or_else(|| ParseAsmError::BadLiteral(lineno, tok.to_string()))?;
+                asm.push(v);
+            }
+            continue;
+        }
+        let op = opcode_by_mnemonic(&mnemonic)
+            .ok_or_else(|| ParseAsmError::UnknownMnemonic(lineno, mnemonic.clone()))?;
+        if op.is_push() {
+            let tok = operand.ok_or(ParseAsmError::BadOperand(lineno))?;
+            if let Some(label) = tok.strip_prefix('@') {
+                // Fixed-width label push only supports the PUSH2 the
+                // assembler emits; other widths fall back to PUSH2.
+                asm.push_label(label);
+            } else {
+                let v = parse_literal(tok)
+                    .ok_or_else(|| ParseAsmError::BadLiteral(lineno, tok.to_string()))?;
+                let width = op.immediate_len();
+                let mut bytes = v.to_be_bytes().to_vec();
+                bytes.drain(..32 - width);
+                asm.push_bytes(&bytes);
+            }
+        } else {
+            if operand.is_some() {
+                return Err(ParseAsmError::BadOperand(lineno));
+            }
+            asm.op(op);
+        }
+    }
+    Ok(asm.assemble()?)
+}
+
+fn parse_literal(tok: &str) -> Option<U256> {
+    if let Some(hex) = tok.strip_prefix("0x") {
+        U256::from_str_hex(hex).ok()
+    } else {
+        U256::from_str_dec(tok).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_program() {
+        let code = parse_asm("PUSH1 0x02\nPUSH1 0x03\nADD\nSTOP").unwrap();
+        assert_eq!(code, vec![0x60, 0x02, 0x60, 0x03, 0x01, 0x00]);
+    }
+
+    #[test]
+    fn labels_and_jumps() {
+        let code = parse_asm(
+            r"
+            PUSH @end
+            JUMP
+        end:
+            STOP
+        ",
+        )
+        .unwrap();
+        // PUSH2 0x0004 JUMP JUMPDEST STOP
+        assert_eq!(code, vec![0x61, 0x00, 0x04, 0x56, 0x5b, 0x00]);
+    }
+
+    #[test]
+    fn fixed_width_push() {
+        let code = parse_asm("PUSH4 0xa9059cbb").unwrap();
+        assert_eq!(code, vec![0x63, 0xa9, 0x05, 0x9c, 0xbb]);
+        // Leading zeros preserved at the requested width.
+        let code = parse_asm("PUSH4 0x01").unwrap();
+        assert_eq!(code, vec![0x63, 0x00, 0x00, 0x00, 0x01]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let code = parse_asm("; nothing\n\nSTOP ; done").unwrap();
+        assert_eq!(code, vec![0x00]);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(matches!(
+            parse_asm("FROB"),
+            Err(ParseAsmError::UnknownMnemonic(1, _))
+        ));
+        assert!(matches!(
+            parse_asm("PUSH"),
+            Err(ParseAsmError::BadOperand(1))
+        ));
+        assert!(matches!(
+            parse_asm("PUSH zz"),
+            Err(ParseAsmError::BadLiteral(1, _))
+        ));
+        assert!(matches!(
+            parse_asm("ADD 3"),
+            Err(ParseAsmError::BadOperand(1))
+        ));
+        assert!(matches!(
+            parse_asm("PUSH @nowhere"),
+            Err(ParseAsmError::Asm(AsmError::UndefinedLabel(_)))
+        ));
+    }
+
+    #[test]
+    fn decimal_literals() {
+        let code = parse_asm("PUSH 255").unwrap();
+        assert_eq!(code, vec![0x60, 0xff]);
+    }
+}

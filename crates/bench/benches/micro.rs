@@ -1,0 +1,74 @@
+//! Microbenchmarks of the substrate primitives: Keccak, U256, RLP and the
+//! functional EVM.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mtpu_contracts::Fixture;
+use mtpu_evm::{execute_transaction, BlockHeader, NoopTracer};
+use mtpu_primitives::{keccak256, rlp, U256};
+
+fn bench_keccak(c: &mut Criterion) {
+    let mut g = c.benchmark_group("keccak256");
+    for size in [32usize, 136, 1024] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| keccak256(black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_u256(c: &mut Criterion) {
+    let a = U256::from_str_hex("deadbeefcafebabe0123456789abcdef00ff00ff00ff00ff1122334455667788")
+        .unwrap();
+    let b = U256::from_str_hex("0123456789abcdef0123456789abcdef").unwrap();
+    let mut g = c.benchmark_group("u256");
+    g.bench_function("add", |bch| bch.iter(|| black_box(a) + black_box(b)));
+    g.bench_function("mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
+    g.bench_function("div_rem", |bch| {
+        bch.iter(|| black_box(a).div_rem(black_box(b)))
+    });
+    g.bench_function("mulmod", |bch| {
+        bch.iter(|| black_box(a).mulmod(black_box(b), black_box(a ^ b)))
+    });
+    g.bench_function("exp", |bch| {
+        bch.iter(|| black_box(b).wrapping_pow(U256::from(65537u64)))
+    });
+    g.finish();
+}
+
+fn bench_rlp(c: &mut Criterion) {
+    let item = rlp::Item::List((0..32u64).map(|i| rlp::Item::uint(i * 1_000_003)).collect());
+    let enc = rlp::encode(&item);
+    let mut g = c.benchmark_group("rlp");
+    g.bench_function("encode_32_items", |b| {
+        b.iter(|| rlp::encode(black_box(&item)))
+    });
+    g.bench_function("decode_32_items", |b| {
+        b.iter(|| rlp::decode(black_box(&enc)))
+    });
+    g.finish();
+}
+
+fn bench_evm(c: &mut Criterion) {
+    let mut fx = Fixture::new();
+    let header = BlockHeader::default();
+    let to = Fixture::user_address(9).to_u256();
+    let mut g = c.benchmark_group("evm");
+    g.bench_function("tether_transfer", |b| {
+        b.iter_batched(
+            || {
+                let tx = fx.call_tx(1, "Tether USD", "transfer", &[to, U256::from(5u64)]);
+                let mut tx = tx;
+                tx.nonce = 0; // replay against a fresh state clone
+                (fx.state.clone(), tx)
+            },
+            |(mut st, tx)| execute_transaction(&mut st, &header, &tx, &mut NoopTracer).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_keccak, bench_u256, bench_rlp, bench_evm);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Benchmarks of the accelerator model itself: stream building, fill-unit
+//! line construction, PU replay and whole-block scheduling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mtpu::pu::{Pu, StateBuffer, TxJob};
+use mtpu::sched::{simulate_st, simulate_sync};
+use mtpu::stream::{build_stream, StreamTransforms};
+use mtpu::MtpuConfig;
+use mtpu_contracts::Fixture;
+use mtpu_evm::trace_transaction;
+use mtpu_evm::tx::BlockHeader;
+use mtpu_primitives::U256;
+use mtpu_workloads::{BlockConfig, Generator};
+
+fn transfer_trace() -> mtpu_evm::TxTrace {
+    let mut fx = Fixture::new();
+    let mut st = fx.state.clone();
+    let to = Fixture::user_address(9).to_u256();
+    let tx = fx.call_tx(1, "Tether USD", "transfer", &[to, U256::from(5u64)]);
+    let (_, trace) = trace_transaction(&mut st, &BlockHeader::default(), &tx).unwrap();
+    trace
+}
+
+fn bench_stream(c: &mut Criterion) {
+    let trace = transfer_trace();
+    let mut g = c.benchmark_group("stream");
+    g.throughput(Throughput::Elements(trace.steps.len() as u64));
+    g.bench_function("build_folded", |b| {
+        b.iter(|| build_stream(black_box(&trace), true, &StreamTransforms::none()))
+    });
+    g.finish();
+}
+
+fn bench_pu(c: &mut Criterion) {
+    let trace = transfer_trace();
+    let cfg = MtpuConfig {
+        pu_count: 1,
+        redundancy_opt: true,
+        ..MtpuConfig::default()
+    };
+    let job = TxJob::build(&trace, &cfg, &StreamTransforms::none());
+    let mut g = c.benchmark_group("pu");
+    g.throughput(Throughput::Elements(trace.steps.len() as u64));
+    g.bench_function("execute_transfer", |b| {
+        let mut pu = Pu::new(0, &cfg);
+        let mut buf = StateBuffer::default();
+        b.iter(|| pu.execute(black_box(&job), &mut buf, &cfg))
+    });
+    g.finish();
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut gen = Generator::new(4242);
+    let block = gen.prepared_block(&BlockConfig {
+        tx_count: 64,
+        dependent_ratio: 0.3,
+        erc20_ratio: None,
+        sct_ratio: 0.95,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    let cfg = MtpuConfig::default();
+    let jobs = block.jobs(&cfg, None);
+    let mut g = c.benchmark_group("schedule");
+    g.throughput(Throughput::Elements(64));
+    g.bench_function("st_64tx_4pu", |b| {
+        b.iter(|| simulate_st(black_box(&jobs), &block.graph, &cfg))
+    });
+    g.bench_function("sync_64tx_4pu", |b| {
+        b.iter(|| simulate_sync(black_box(&jobs), &block.graph, &cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_stream, bench_pu, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Ablation studies of the MTPU design choices (see DESIGN.md).
+fn main() {
+    println!("{}", mtpu_bench::experiments::ablation::all());
+}

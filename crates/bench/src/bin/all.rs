@@ -1,0 +1,27 @@
+//! Runs every experiment in sequence — regenerates all tables and figures.
+use mtpu_bench::experiments::*;
+
+fn main() {
+    for (name, f) in [
+        ("table1", stat::table1 as fn() -> String),
+        ("table2", stat::table2),
+        ("table3", stat::table3),
+        ("table5", stat::table5),
+        ("table6", stat::table6),
+        ("fig12", ilp::fig12),
+        ("fig13", ilp::fig13),
+        ("fig13-single", ilp::fig13_single_tx),
+        ("table7", ilp::table7),
+        ("fig14", sched::fig14),
+        ("fig15", sched::fig15),
+        ("fig16", sched::fig16),
+        ("table8", compare::table8),
+        ("table9", compare::table9),
+        ("hotspot", stat::hotspot_loading),
+        ("hotspot-drift", drift::hotspot_drift),
+        ("ablations", ablation::all),
+    ] {
+        eprintln!("[running {name}]");
+        println!("{}", f());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's Fig. 13 (DB-cache hit ratio vs size).
+fn main() {
+    println!("{}", mtpu_bench::experiments::ilp::fig13());
+    println!("{}", mtpu_bench::experiments::ilp::fig13_single_tx());
+}

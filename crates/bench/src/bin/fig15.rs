@@ -1,0 +1,4 @@
+//! Regenerates the paper's fig15 (see DESIGN.md §5).
+fn main() {
+    println!("{}", mtpu_bench::experiments::sched::fig15());
+}

@@ -1,0 +1,4 @@
+//! Extension experiment: hotspot drift across eras (paper §2.2.3).
+fn main() {
+    println!("{}", mtpu_bench::experiments::drift::hotspot_drift());
+}

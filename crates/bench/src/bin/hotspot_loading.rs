@@ -1,0 +1,4 @@
+//! Regenerates the §3.4.2 chunked-loading statistics (Figs. 10/11).
+fn main() {
+    println!("{}", mtpu_bench::experiments::stat::hotspot_loading());
+}

@@ -1,0 +1,155 @@
+//! Contract inspector: disassembly, dynamic trace statistics, hotspot
+//! analysis and per-configuration timing for any fixture contract.
+//!
+//! ```sh
+//! cargo run --release -p mtpu-bench --bin inspect                 # list contracts
+//! cargo run --release -p mtpu-bench --bin inspect "Tether USD"    # show functions
+//! cargo run --release -p mtpu-bench --bin inspect "Tether USD" transfer
+//! ```
+
+use mtpu::hotspot::analyze_path;
+use mtpu::pu::{Pu, StateBuffer, TxJob};
+use mtpu::stream::StreamTransforms;
+use mtpu::MtpuConfig;
+use mtpu_bench::harness::contract_batch;
+use mtpu_contracts::Fixture;
+use mtpu_evm::opcode::OpCategory;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fx = Fixture::new();
+
+    if args.is_empty() {
+        println!("fixture contracts:\n");
+        for spec in fx.contracts.iter().chain(fx.extras.iter()) {
+            println!(
+                "  {:<24} {:>5} bytes  {:>2} functions  at {}",
+                spec.name,
+                spec.code.len(),
+                spec.functions.len(),
+                spec.address
+            );
+        }
+        println!("\nusage: inspect <contract> [function]");
+        return;
+    }
+
+    let name = args[0].as_str();
+    let spec = fx.spec(name);
+    println!("{name}: {} bytes at {}\n", spec.code.len(), spec.address);
+
+    if args.len() == 1 {
+        println!(
+            "{:<24} {:>10} {:>5}  weight",
+            "function", "selector", "args"
+        );
+        for f in &spec.functions {
+            println!(
+                "{:<24} 0x{} {:>5}  {}",
+                f.name,
+                mtpu_primitives::hex::encode(&f.selector),
+                f.arg_count,
+                f.weight
+            );
+        }
+        println!("\nstatic instruction mix:");
+        let insns = mtpu_asm::decode(&spec.code);
+        let mut counts = [0usize; 11];
+        for i in &insns {
+            if let Some(op) = i.op {
+                counts[op.category().index()] += 1;
+            }
+        }
+        for (k, c) in OpCategory::ALL.iter().zip(counts) {
+            if c > 0 {
+                println!(
+                    "  {:<18} {:>5}  ({:.1}%)",
+                    k.name(),
+                    c,
+                    100.0 * c as f64 / insns.len() as f64
+                );
+            }
+        }
+        return;
+    }
+
+    // Trace one call of the requested function via a single-tx batch.
+    let function = args[1].as_str();
+    let name_static: &'static str = fx
+        .contracts
+        .iter()
+        .chain(fx.extras.iter())
+        .find(|c| c.name == name)
+        .map(|c| c.name)
+        .expect("known contract");
+    let batch = batch_for(name_static, function);
+    let trace = &batch.traces[0];
+    println!(
+        "dynamic trace of {function}: {} instructions, {} storage accesses, {} frames",
+        trace.instruction_count(),
+        trace.storage.len(),
+        trace.frames.len()
+    );
+
+    let analysis = analyze_path(trace, &batch.code);
+    println!("\nhotspot analysis:");
+    println!("  pre-executable pcs    {:>5}", analysis.preexec_pcs.len());
+    println!(
+        "  constant instructions {:>5}",
+        analysis.const_operand_pcs.len()
+    );
+    println!(
+        "  eliminated PUSHes     {:>5}",
+        analysis.eliminated_push_pcs.len()
+    );
+    println!("  prefetchable SLOADs   {:>5}", analysis.prefetch_pcs.len());
+    println!(
+        "  chunked loading       {:>5} / {} bytes ({:.1}%)",
+        analysis.loaded_bytes,
+        analysis.full_bytes,
+        100.0 * analysis.loaded_bytes as f64 / analysis.full_bytes as f64
+    );
+
+    println!("\ntiming (single PU):");
+    for (label, cfg) in [
+        ("scalar baseline", MtpuConfig::baseline()),
+        ("ILP upper bound", MtpuConfig::if_()),
+        (
+            "2K-entry cache",
+            MtpuConfig {
+                pu_count: 1,
+                redundancy_opt: true,
+                ..MtpuConfig::default()
+            },
+        ),
+    ] {
+        let job = TxJob::build(trace, &cfg, &StreamTransforms::none());
+        let mut pu = Pu::new(0, &cfg);
+        let t = pu.execute(&job, &mut StateBuffer::default(), &cfg);
+        println!("  {label:<16} {:>6} cycles  IPC {:.2}", t.cycles, t.ipc());
+    }
+
+    println!("\nfirst 24 disassembled instructions:");
+    for i in mtpu_asm::decode(&batch.code).iter().take(24) {
+        println!("  {i}");
+    }
+}
+
+fn batch_for(name: &'static str, function: &str) -> mtpu_bench::harness::ContractBatch {
+    // Draw batches until the first trace matches the requested selector.
+    for seed in 0..64 {
+        let b = contract_batch(name, 8, 4000 + seed);
+        let fx = Fixture::new();
+        let want = fx.spec(name).function(function).selector;
+        if let Some(pos) = b
+            .traces
+            .iter()
+            .position(|t| t.top_frame().and_then(|f| f.selector) == Some(want))
+        {
+            let mut b = b;
+            b.traces.swap(0, pos);
+            return b;
+        }
+    }
+    panic!("no batch produced a {function} call (is it batch-excluded?)");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table5 (see DESIGN.md §5).
+fn main() {
+    println!("{}", mtpu_bench::experiments::stat::table5());
+}

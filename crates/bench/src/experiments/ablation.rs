@@ -1,0 +1,221 @@
+//! Ablation studies of the design choices DESIGN.md calls out: DB-cache
+//! geometry, candidate-window size, State-Buffer capacity, Call_Contract
+//! Stack depth, forwarding-vs-folding decomposition, and PU scaling
+//! beyond the paper's four.
+
+use crate::harness::{contract_batch, exec_cycles, render_table, run_batch};
+use mtpu::config::DbCacheConfig;
+use mtpu::pu::{Pu, StateBuffer, TxJob};
+use mtpu::sched::{simulate_sequential, simulate_st};
+use mtpu::stream::StreamTransforms;
+use mtpu::MtpuConfig;
+use mtpu_workloads::{BlockConfig, Generator};
+
+/// DB-cache associativity at fixed capacity: conflict misses vs ways.
+pub fn assoc_sweep() -> String {
+    let batch = contract_batch("Tether USD", 64, 9001);
+    let mut rows = Vec::new();
+    for ways in [1usize, 2, 4, 8, 16] {
+        let cfg = MtpuConfig {
+            pu_count: 1,
+            redundancy_opt: true,
+            db_cache: DbCacheConfig { entries: 256, ways },
+            ..MtpuConfig::default()
+        };
+        let t = run_batch(&batch.traces, &cfg);
+        rows.push(vec![
+            format!("{ways}"),
+            format!("{:.1}%", 100.0 * t.hit_ratio()),
+            format!("{}", t.cycles),
+        ]);
+    }
+    render_table(
+        "Ablation — DB-cache associativity (256 entries, Tether batch)",
+        &["ways", "hit", "cycles"],
+        &rows,
+    )
+}
+
+/// Candidate-window size *m*: the paper fixes it implicitly (Fig. 6 shows
+/// m = 5); this sweep shows the knee.
+pub fn window_sweep() -> String {
+    let mut g = Generator::new(9002);
+    let p = g.prepared_block(&BlockConfig {
+        tx_count: 128,
+        dependent_ratio: 0.3,
+        erc20_ratio: None,
+        sct_ratio: 0.95,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    let mut rows = Vec::new();
+    for m in [1usize, 2, 4, 8, 16, 32] {
+        let cfg = MtpuConfig {
+            candidate_slots: m,
+            redundancy_opt: true,
+            ..MtpuConfig::default()
+        };
+        let st = simulate_st(&p.jobs(&cfg, None), &p.graph, &cfg);
+        rows.push(vec![
+            format!("{m}"),
+            format!("{}", st.makespan),
+            format!("{:.2}", st.utilization()),
+        ]);
+    }
+    render_table(
+        "Ablation — candidate-window size m (128 txs, 30% dependent, 4 PUs)",
+        &["m", "makespan", "utilization"],
+        &rows,
+    )
+}
+
+/// State Buffer capacity: how much of the redundancy benefit comes from
+/// shared state reuse.
+pub fn state_buffer_sweep() -> String {
+    let batch = contract_batch("Tether USD", 64, 9003);
+    let cfg_base = MtpuConfig {
+        pu_count: 1,
+        redundancy_opt: true,
+        ..MtpuConfig::default()
+    };
+    let mut rows = Vec::new();
+    for slots in [16usize, 64, 256, 4096, 32_768] {
+        let mut pu = Pu::new(0, &cfg_base);
+        let mut buffer = StateBuffer::new(slots);
+        let mut total = mtpu::TxTiming::default();
+        for t in &batch.traces {
+            let job = TxJob::build(t, &cfg_base, &StreamTransforms::none());
+            total.accumulate(&pu.execute(&job, &mut buffer, &cfg_base));
+        }
+        rows.push(vec![format!("{slots}"), format!("{}", total.cycles)]);
+    }
+    render_table(
+        "Ablation — State Buffer capacity (Tether batch, 1 PU)",
+        &["slots", "cycles"],
+        &rows,
+    )
+}
+
+/// Forwarding and folding in isolation: the paper stacks DF on F&D and IF
+/// on DF; this decouples them.
+pub fn ilp_decoupled() -> String {
+    let batch = contract_batch("Tether USD", 64, 9004);
+    let base_cfg = MtpuConfig::baseline();
+    let base = exec_cycles(&run_batch(&batch.traces, &base_cfg)) as f64;
+    let mut rows = Vec::new();
+    for (name, fw, fold) in [
+        ("F&D only", false, false),
+        ("+forwarding (DF)", true, false),
+        ("+folding only", false, true),
+        ("+both (IF)", true, true),
+    ] {
+        let cfg = MtpuConfig {
+            enable_forwarding: fw,
+            enable_folding: fold,
+            ..MtpuConfig::fd()
+        };
+        let t = run_batch(&batch.traces, &cfg);
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", t.ipc()),
+            format!("{:.2}x", base / exec_cycles(&t) as f64),
+        ]);
+    }
+    render_table(
+        "Ablation — forwarding vs folding in isolation (Tether, 100% hit)",
+        &["configuration", "IPC", "speedup"],
+        &rows,
+    ) + "Folding subsumes part of forwarding's benefit (a folded pair no longer needs the F slot),\nso their gains do not add linearly — the paper stacks them for the same reason.\n"
+}
+
+/// PU scaling beyond the paper's four (future-work direction).
+pub fn pu_scaling() -> String {
+    let mut g = Generator::new(9005);
+    let p = g.prepared_block(&BlockConfig {
+        tx_count: 192,
+        dependent_ratio: 0.1,
+        erc20_ratio: None,
+        sct_ratio: 0.95,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    let base_cfg = MtpuConfig::baseline();
+    let seq = simulate_sequential(&p.jobs(&base_cfg, None), &base_cfg);
+    let mut rows = Vec::new();
+    for pus in [1usize, 2, 4, 6, 8, 12, 16] {
+        let cfg = MtpuConfig {
+            pu_count: pus,
+            redundancy_opt: true,
+            ..MtpuConfig::default()
+        };
+        let st = simulate_st(&p.jobs(&cfg, None), &p.graph, &cfg);
+        rows.push(vec![
+            format!("{pus}"),
+            format!("{:.2}x", seq.makespan as f64 / st.makespan as f64),
+            format!("{:.2}", st.utilization()),
+            format!(
+                "{:.1}",
+                mtpu::area::area_report(&cfg).last().expect("total").mm2
+            ),
+        ]);
+    }
+    render_table(
+        "Ablation — PU scaling (192 txs, 10% dependent)",
+        &["PUs", "speedup", "utilization", "area mm^2"],
+        &rows,
+    ) + "Redundancy affinity concentrates popular contracts; beyond ~8 PUs the contract-popularity\nskew and the candidate window bound the benefit.\n"
+}
+
+/// Dissemination coverage: how much of the hotspot benefit survives when
+/// fewer transactions are heard before the block (paper §3.4.2 reports
+/// 91.45%–98.15% coverage on mainnet).
+pub fn preknown_sweep() -> String {
+    let mut g = Generator::new(9006);
+    let warm = g.prepared_block(&BlockConfig::default());
+    let mut table = mtpu::hotspot::ContractTable::new();
+    warm.learn_hotspots(&mut table, &warm.state_before);
+    let p = g.prepared_block(&BlockConfig {
+        tx_count: 128,
+        dependent_ratio: 0.1,
+        erc20_ratio: None,
+        sct_ratio: 1.0,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    let base_cfg = MtpuConfig::baseline();
+    let seq = simulate_sequential(&p.jobs(&base_cfg, None), &base_cfg);
+    let mut rows = Vec::new();
+    for pct in [0u8, 50, 75, 92, 98, 100] {
+        let cfg = MtpuConfig {
+            redundancy_opt: true,
+            hotspot_opt: true,
+            preknown_pct: pct,
+            ..MtpuConfig::default()
+        };
+        let st = simulate_st(&p.jobs(&cfg, Some(&table)), &p.graph, &cfg);
+        rows.push(vec![
+            format!("{pct}%"),
+            format!("{:.2}x", seq.makespan as f64 / st.makespan as f64),
+        ]);
+    }
+    render_table(
+        "Ablation — dissemination coverage (pre-known transactions, §3.4.2)",
+        &["pre-known", "speedup"],
+        &rows,
+    ) + "The hotspot benefit degrades gracefully as fewer transactions are heard early;
+mainnet coverage (91-98%) captures nearly all of it.
+"
+}
+
+/// Everything, concatenated.
+pub fn all() -> String {
+    [
+        assoc_sweep(),
+        window_sweep(),
+        state_buffer_sweep(),
+        ilp_decoupled(),
+        pu_scaling(),
+        preknown_sweep(),
+    ]
+    .join("\n")
+}

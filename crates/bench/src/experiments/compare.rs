@@ -1,0 +1,172 @@
+//! Comparison with BPU: Table 8 (single core, ERC20 proportion sweep) and
+//! Table 9 (quad core, dependent-ratio sweep).
+
+use crate::harness::render_table;
+use mtpu::hotspot::ContractTable;
+use mtpu::sched::{simulate_sequential, simulate_st};
+use mtpu::MtpuConfig;
+use mtpu_bpu::{
+    erc20_addresses, gsc_base_cycles, is_app_engine_tx, simulate_bpu, simulate_gsc_sequential,
+    BpuConfig,
+};
+use mtpu_workloads::{BlockConfig, Generator, PreparedBlock};
+
+fn erc20_flags(p: &PreparedBlock, g: &Generator) -> Vec<bool> {
+    let addrs = erc20_addresses(&g.fx.contracts)
+        .into_iter()
+        .chain(erc20_addresses(&g.fx.extras))
+        .collect::<Vec<_>>();
+    p.traces
+        .iter()
+        .map(|t| is_app_engine_tx(t, &addrs))
+        .collect()
+}
+
+/// Table 8: single-core BPU vs MTPU across the ERC20 proportion, both
+/// normalized to a single GSC engine executing sequentially.
+pub fn table8() -> String {
+    let mut g = Generator::new(88);
+    let mut rows = Vec::new();
+    let paper = [
+        (1.00, 12.82, 2.79),
+        (0.80, 3.40, 2.14),
+        (0.60, 2.23, 2.16),
+        (0.40, 1.63, 2.05),
+        (0.20, 1.33, 2.00),
+        (0.00, 1.00, 1.71),
+    ];
+    for &(ratio, p_bpu, p_mtpu) in &paper {
+        let (mut gsc_t, mut bpu_t, mut mtpu_t) = (0u64, 0u64, 0u64);
+        for _ in 0..3 {
+            let p = g.prepared_block(&BlockConfig {
+                tx_count: 128,
+                dependent_ratio: 0.0,
+                erc20_ratio: Some(ratio),
+                sct_ratio: 1.0,
+                chain_bias: 0.8,
+                focus: None,
+            });
+            let costs = gsc_base_cycles(&p.traces);
+            gsc_t += simulate_gsc_sequential(&costs).makespan;
+            let flags = erc20_flags(&p, &g);
+            bpu_t += simulate_bpu(
+                &costs,
+                &flags,
+                &p.graph,
+                &BpuConfig {
+                    engines: 1,
+                    // A single engine streams transactions, no barriers.
+                    round_overhead: 0,
+                    ..Default::default()
+                },
+            )
+            .makespan;
+            // MTPU single core: ILP + redundancy reuse (§4.4 config).
+            let cfg = MtpuConfig {
+                pu_count: 1,
+                redundancy_opt: true,
+                hotspot_opt: false,
+                ..MtpuConfig::default()
+            };
+            mtpu_t += simulate_sequential(&p.jobs(&cfg, None), &cfg).makespan;
+        }
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * ratio),
+            format!("{:.2}x", gsc_t as f64 / bpu_t as f64),
+            format!("{:.2}x", gsc_t as f64 / mtpu_t as f64),
+            format!("{p_bpu:.2}x"),
+            format!("{p_mtpu:.2}x"),
+        ]);
+    }
+    render_table(
+        "Table 8 — BPU vs MTPU, single core, ERC20 proportion sweep",
+        &["ERC20", "BPU", "MTPU", "paper BPU", "paper MTPU"],
+        &rows,
+    ) + "\nPaper: BPU collapses as the ERC20 share falls (12.82x -> 1x); MTPU stays stable (2.79x -> 1.71x).\n"
+}
+
+/// Table 9: quad-core BPU vs MTPU across the dependent-transaction ratio,
+/// normalized to the sequential single GSC engine.
+pub fn table9() -> String {
+    let mut g = Generator::new(99);
+    // Hotspot table learned from a warmup block.
+    let mut table = ContractTable::new();
+    let warm = g.prepared_block(&BlockConfig {
+        tx_count: 192,
+        dependent_ratio: 0.2,
+        erc20_ratio: None,
+        sct_ratio: 1.0,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    warm.learn_hotspots(&mut table, &warm.state_before);
+
+    let paper = [
+        (1.00, 3.51, 8.68),
+        (0.80, 3.80, 9.36),
+        (0.60, 4.69, 9.87),
+        (0.40, 4.95, 12.01),
+        (0.20, 5.76, 12.08),
+        (0.00, 7.40, 15.25),
+    ];
+    let mut rows = Vec::new();
+    for &(ratio, p_bpu, p_mtpu) in &paper {
+        let (mut gsc_t, mut bpu_t, mut mtpu_t) = (0u64, 0u64, 0u64);
+        let mut realized = 0.0;
+        const N: usize = 3;
+        for _ in 0..N {
+            let p = g.prepared_block(&BlockConfig {
+                tx_count: 128,
+                dependent_ratio: ratio,
+                erc20_ratio: None,
+                sct_ratio: 0.95,
+                // The paper's Table 9 blocks keep DAG width even at 100%
+                // dependence (BPU still reaches 3.51x there):
+                // dependencies are mostly non-chained conflicts.
+                chain_bias: 0.35,
+                focus: None,
+            });
+            realized += p.dependent_ratio() / N as f64;
+            let costs = gsc_base_cycles(&p.traces);
+            gsc_t += simulate_gsc_sequential(&costs).makespan;
+            let flags = erc20_flags(&p, &g);
+            bpu_t += simulate_bpu(
+                &costs,
+                &flags,
+                &p.graph,
+                &BpuConfig {
+                    engines: 4,
+                    ..Default::default()
+                },
+            )
+            .makespan;
+            let cfg = MtpuConfig {
+                pu_count: 4,
+                redundancy_opt: true,
+                hotspot_opt: true,
+                ..MtpuConfig::default()
+            };
+            mtpu_t += simulate_st(&p.jobs(&cfg, Some(&table)), &p.graph, &cfg).makespan;
+        }
+        rows.push(vec![
+            format!("{:.0}%", 100.0 * ratio),
+            format!("{:.0}%", 100.0 * realized),
+            format!("{:.2}x", gsc_t as f64 / bpu_t as f64),
+            format!("{:.2}x", gsc_t as f64 / mtpu_t as f64),
+            format!("{p_bpu:.2}x"),
+            format!("{p_mtpu:.2}x"),
+        ]);
+    }
+    render_table(
+        "Table 9 — BPU vs MTPU, quad core, dependent-transaction sweep",
+        &[
+            "target",
+            "realized",
+            "BPU",
+            "MTPU",
+            "paper BPU",
+            "paper MTPU",
+        ],
+        &rows,
+    ) + "\nPaper: MTPU outruns BPU at every dependency level; dependencies hurt it less.\n"
+}

@@ -1,0 +1,260 @@
+//! Static/structural experiments: Table 2 (bytecode share of loaded
+//! data), Table 6 (instruction breakdown), Table 5 (area/power), and the
+//! hotspot loading figure of §3.4.2.
+
+use crate::harness::{contract_batch, render_table, short_name, TOP8};
+use mtpu::area::{area_report, power_watts};
+use mtpu::hotspot::analyze_path;
+use mtpu::MtpuConfig;
+use mtpu_contracts::Fixture;
+use mtpu_evm::opcode::OpCategory;
+use mtpu_evm::trace_transaction;
+use mtpu_evm::tx::BlockHeader;
+use mtpu_primitives::U256;
+
+/// Table 2: proportion of bytecode in the context data loaded when
+/// executing one named function of each contract.
+pub fn table2() -> String {
+    let mut fx = Fixture::new();
+    let header = BlockHeader::default();
+    let receiver = Fixture::user_address(9).to_u256();
+    let cases: Vec<(&str, &str, Vec<U256>)> = vec![
+        ("Tether USD", "transfer", vec![receiver, U256::from(100u64)]),
+        ("WETH9", "withdraw", vec![U256::from(50u64)]),
+        (
+            "CryptoCat",
+            "createSaleAuction",
+            vec![
+                U256::from(1u64),
+                U256::from(1000u64),
+                U256::from(100u64),
+                U256::from(3600u64),
+            ],
+        ),
+        ("Ballot", "vote", vec![U256::from(3u64)]),
+    ];
+    let mut rows = Vec::new();
+    // Distinct users per case keep nonces valid against the shared state.
+    let users = [2u64, 3, 1, 4];
+    for (case, (contract, function, args)) in cases.into_iter().enumerate() {
+        let mut st = fx.state.clone();
+        let user = users[case];
+        let tx = fx.call_tx(user, contract, function, &args);
+        let (r, trace) = trace_transaction(&mut st, &header, &tx).expect("valid");
+        assert!(r.success, "{contract}::{function}");
+        let code: u64 = trace.frames.iter().map(|f| f.code_len as u64).sum();
+        let total = trace.context_bytes_loaded();
+        let other = total - code;
+        rows.push(vec![
+            contract.to_string(),
+            function.to_string(),
+            format!("{code}"),
+            format!("{:.2}%", 100.0 * code as f64 / total as f64),
+            format!("{other}"),
+            format!("{:.2}%", 100.0 * other as f64 / total as f64),
+        ]);
+    }
+    render_table(
+        "Table 2 — bytecode share of loaded context data",
+        &["Contract", "Function", "Bytecode", "%", "Other", "%"],
+        &rows,
+    ) + "\nPaper: bytecode dominates the load (86%-95%) for all four functions.\n"
+}
+
+/// Table 6: instruction-category breakdown of the TOP8 contracts over
+/// their dynamic execution paths.
+pub fn table6() -> String {
+    let cats = OpCategory::ALL;
+    let mut rows = Vec::new();
+    let mut avg = vec![0.0f64; cats.len()];
+    for (i, name) in TOP8.iter().enumerate() {
+        let batch = contract_batch(name, 48, 600 + i as u64);
+        let mut counts = vec![0u64; cats.len()];
+        let mut total = 0u64;
+        for t in &batch.traces {
+            for s in &t.steps {
+                counts[s.opcode().category().index()] += 1;
+                total += 1;
+            }
+        }
+        let mut row = vec![short_name(name).to_string()];
+        for (k, &c) in counts.iter().enumerate() {
+            let pct = 100.0 * c as f64 / total as f64;
+            avg[k] += pct;
+            row.push(format!("{pct:.2}%"));
+        }
+        rows.push(row);
+    }
+    let mut avg_row = vec!["Avg".to_string()];
+    for a in &avg {
+        avg_row.push(format!("{:.2}%", a / 8.0));
+    }
+    rows.push(avg_row);
+    let mut headers: Vec<&str> = vec!["Contract"];
+    headers.extend(cats.iter().map(|c| c.name()));
+    render_table("Table 6 — instruction breakdown of TOP8 contracts", &headers, &rows)
+        + "\nPaper averages: Stack 62.24%, Arithmetic 8.88%, Logic 8.86%, Memory 6.82%, Branch 5.81%.\n"
+}
+
+/// Table 5: area breakdown + power of the 4-PU MTPU.
+pub fn table5() -> String {
+    let cfg = MtpuConfig::default();
+    let rows: Vec<Vec<String>> = area_report(&cfg)
+        .into_iter()
+        .map(|r| vec![r.name.to_string(), r.size, format!("{:.3}", r.mm2)])
+        .collect();
+    render_table(
+        "Table 5 — area breakdown (45nm analytical model)",
+        &["Component", "Size", "mm^2"],
+        &rows,
+    ) + &format!(
+        "\nAverage on-chip power (4 PUs @ 300 MHz): {:.3} W (paper: 8.648 W)\n\
+         Paper total: 79.623 mm^2. Model is calibrated to the paper's published breakdown\n\
+         (see DESIGN.md substitution #3 — no ASIC synthesis in this environment).\n",
+        power_watts(&cfg, 300.0)
+    )
+}
+
+/// §3.4.2's headline: after chunking + pre-execution, only a fraction of
+/// the hotspot bytecode is loaded (TetherToken transfer: 8.2% in the
+/// paper).
+pub fn hotspot_loading() -> String {
+    let mut rows = Vec::new();
+    for (i, name) in TOP8.iter().enumerate() {
+        let batch = contract_batch(name, 8, 3400 + i as u64);
+        let a = analyze_path(&batch.traces[0], &batch.code);
+        rows.push(vec![
+            short_name(name).to_string(),
+            format!("{}", a.full_bytes),
+            format!("{}", a.loaded_bytes),
+            format!(
+                "{:.1}%",
+                100.0 * a.loaded_bytes as f64 / a.full_bytes as f64
+            ),
+            format!("{}", a.preexec_pcs.len()),
+            format!("{}", a.eliminated_push_pcs.len()),
+            format!("{}", a.prefetch_pcs.len()),
+        ]);
+    }
+    render_table(
+        "Fig 10/11 — hotspot chunked loading and optimization counts (first path)",
+        &[
+            "Contract",
+            "code B",
+            "loaded B",
+            "loaded %",
+            "preexec pcs",
+            "elim PUSH",
+            "prefetch SLOAD",
+        ],
+        &rows,
+    ) + "\nPaper: the Tether transfer path loads only 8.2% of the original bytecode.\n"
+}
+
+/// Table 1's measurable claims: the share of smart-contract transactions
+/// and the share of execution overhead they account for. (The historical
+/// per-year Etherscan counts are quoted data, not measurements; the
+/// generator's defaults encode the 2021 shape.)
+pub fn table1() -> String {
+    use mtpu_workloads::{BlockConfig, Generator};
+    let mut rows = Vec::new();
+    for (year, sct_ratio) in [("2017", 0.37), ("2019", 0.64), ("2021", 0.68)] {
+        let mut g = Generator::new((sct_ratio * 1000.0) as u64);
+        let p = g.prepared_block(&BlockConfig {
+            tx_count: 256,
+            dependent_ratio: 0.2,
+            erc20_ratio: None,
+            sct_ratio,
+            chain_bias: 0.8,
+            focus: None,
+        });
+        let cfg = MtpuConfig::baseline();
+        let jobs = p.jobs(&cfg, None);
+        let mut pu = mtpu::Pu::new(0, &cfg);
+        let mut buffer = mtpu::StateBuffer::default();
+        let mut sct_cycles = 0u64;
+        let mut total_cycles = 0u64;
+        let mut sct_count = 0usize;
+        for (tx, job) in p.block.transactions.iter().zip(&jobs) {
+            let c = pu.execute(job, &mut buffer, &cfg).cycles;
+            total_cycles += c;
+            if tx.is_sct() {
+                sct_cycles += c;
+                sct_count += 1;
+            }
+        }
+        rows.push(vec![
+            year.to_string(),
+            format!(
+                "{:.2}%",
+                100.0 * sct_count as f64 / p.block.transactions.len() as f64
+            ),
+            format!("{:.2}%", 100.0 * sct_cycles as f64 / total_cycles as f64),
+        ]);
+    }
+    render_table(
+        "Table 1 — SCT proportion vs execution-overhead share (synthetic blocks)",
+        &["year profile", "SCT share", "SCT execution share"],
+        &rows,
+    ) + "\nPaper (Etherscan): 2017 37%/72%, 2019 64%/88%, 2021 68%/91% — SCTs dominate\nexecution cost far beyond their count, the premise of accelerating them.\n"
+}
+
+/// Table 3: the implemented instruction set, grouped by functional unit —
+/// printed straight from the `Opcode` definitions so the claim "we
+/// implement the paper's instruction set" is checkable.
+pub fn table3() -> String {
+    use mtpu_evm::opcode::Opcode;
+    let mut rows = Vec::new();
+    for cat in OpCategory::ALL {
+        let members: Vec<String> = (0u16..=255)
+            .filter_map(|b| Opcode::from_u8(b as u8))
+            .filter(|o| o.category() == cat)
+            .map(|o| o.mnemonic().to_string())
+            .collect();
+        // Compress the PUSH/DUP/SWAP/LOG runs like the paper does.
+        let compressed = compress_families(&members);
+        rows.push(vec![
+            cat.name().to_string(),
+            format!("{}", members.len()),
+            compressed,
+        ]);
+    }
+    render_table(
+        "Table 3 — implemented functional units and instruction set",
+        &["Unit", "#", "Instructions"],
+        &rows,
+    ) + "\n140 assigned opcodes across 11 functional units (paper Table 3).\n"
+}
+
+fn compress_families(names: &[String]) -> String {
+    let mut out: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < names.len() {
+        let fam: Option<&str> = ["PUSH", "DUP", "SWAP", "LOG"]
+            .iter()
+            .copied()
+            .find(|f| names[i].starts_with(f) && names[i][f.len()..].parse::<u8>().is_ok());
+        if let Some(f) = fam {
+            let mut j = i;
+            while j + 1 < names.len()
+                && names[j + 1].starts_with(f)
+                && names[j + 1][f.len()..].parse::<u8>().is_ok()
+            {
+                j += 1;
+            }
+            if j > i + 1 {
+                out.push(format!("{}..{}", names[i], names[j]));
+                i = j + 1;
+                continue;
+            }
+        }
+        out.push(names[i].clone());
+        i += 1;
+    }
+    let joined = out.join(", ");
+    if joined.len() > 72 {
+        format!("{}…", &joined[..72])
+    } else {
+        joined
+    }
+}

@@ -1,0 +1,279 @@
+//! Shared experiment plumbing: per-contract transaction batches covering
+//! every entry function, timing helpers, and table formatting.
+
+use mtpu::pu::{Pu, StateBuffer, TxJob, TxTiming};
+use mtpu::stream::StreamTransforms;
+use mtpu::MtpuConfig;
+use mtpu_contracts::{addresses, Fixture};
+use mtpu_evm::trace::TxTrace;
+use mtpu_evm::trace_transaction;
+use mtpu_evm::tx::{BlockHeader, Transaction};
+use mtpu_primitives::U256;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The paper's TOP8 contract names, Table 6 order.
+pub const TOP8: [&str; 8] = [
+    "Tether USD",
+    "UniswapV2Router02",
+    "FiatTokenProxy",
+    "OpenSea",
+    "LinkToken",
+    "SwapRouter",
+    "Dai",
+    "MainchainGatewayProxy",
+];
+
+/// Short display aliases used by the paper's tables.
+pub fn short_name(name: &str) -> &'static str {
+    match name {
+        "Tether USD" => "Tether USD",
+        "UniswapV2Router02" => "UV2R02",
+        "FiatTokenProxy" => "FTP",
+        "OpenSea" => "OpenSea",
+        "LinkToken" => "LinkToken",
+        "SwapRouter" => "SwapRouter",
+        "Dai" => "Dai",
+        "MainchainGatewayProxy" => "MGP",
+        _ => "?",
+    }
+}
+
+/// A batch of recorded transactions against one contract, exercising its
+/// entry functions per their workload weights.
+pub struct ContractBatch {
+    /// Contract name.
+    pub name: &'static str,
+    /// Recorded traces (all successful).
+    pub traces: Vec<TxTrace>,
+    /// Deployed bytecode.
+    pub code: Vec<u8>,
+}
+
+/// Builds argument lists for every entry function of the TOP8 set.
+/// Returns `None` for functions needing special transaction fields.
+fn call_args(
+    fx: &mut Fixture,
+    contract: &str,
+    function: &str,
+    user: u64,
+    salt: &mut u64,
+    rng: &mut StdRng,
+) -> Option<Transaction> {
+    let me = Fixture::user_address(user).to_u256();
+    let other = Fixture::user_address((user + 7) % mtpu_contracts::fixture::USER_COUNT).to_u256();
+    let approver =
+        (user + mtpu_contracts::fixture::USER_COUNT - 1) % mtpu_contracts::fixture::USER_COUNT;
+    let amount = U256::from(rng.random_range(1..900u64));
+    *salt += 1;
+    let args: Vec<U256> = match function {
+        "totalSupply" | "winningProposal" => vec![],
+        // Admin-only switches would poison the batch state; skip them.
+        "pause" | "unpause" => return None,
+        "balanceOf" if contract == "UniswapV2Router02" || contract == "SwapRouter" => {
+            vec![me, addresses::token(0).to_u256()]
+        }
+        "balanceOf" => vec![me],
+        "transfer" if contract == "CryptoCat" => {
+            // transfer(to, catId): the batch user owns cat id == user.
+            vec![other, U256::from(user)]
+        }
+        "transfer" => vec![other, amount],
+        "approve" | "increaseApproval" | "decreaseApproval" => vec![other, amount],
+        "allowance" => vec![Fixture::user_address(approver).to_u256(), me],
+        "transferFrom" => vec![Fixture::user_address(approver).to_u256(), other, amount],
+        "setParams" => {
+            if user != 0 {
+                return None; // owner only
+            }
+            vec![U256::from(10u64), U256::from(50u64)]
+        }
+        "mint" | "burn" => {
+            if user != 0 {
+                return None; // ward only
+            }
+            vec![other, amount]
+        }
+        "issue" | "redeem" => {
+            if user != 0 {
+                return None; // owner only
+            }
+            vec![amount]
+        }
+        "getBlackListStatus" => vec![other],
+        // Mutating admin/blacklist actions would poison later batch
+        // transactions; exercise them via the unit tests instead.
+        "addBlackList" | "removeBlackList" | "destroyBlackFunds" | "deprecate" | "rely"
+        | "deny" | "setLimit" => return None,
+        "withdrawalProcessed" => vec![U256::from(*salt)],
+        "removeLiquidity" => {
+            let (tin, _) = Fixture::user_pair(user);
+            vec![tin.to_u256(), amount]
+        }
+        "getAmountOut" => {
+            let (tin, tout) = Fixture::user_pair(user);
+            vec![tin.to_u256(), tout.to_u256(), U256::from(1_000u64)]
+        }
+        "transferAndCall" => vec![addresses::receiver().to_u256(), amount, U256::from(*salt)],
+        "swapExactTokens" => {
+            let (tin, tout) = Fixture::user_pair(user);
+            vec![
+                tin.to_u256(),
+                tout.to_u256(),
+                U256::from(5_000u64),
+                U256::ZERO,
+            ]
+        }
+        "swapTwoHop" => {
+            // Requires ledger balance in token 0 (seeded for everyone).
+            vec![
+                addresses::token(0).to_u256(),
+                addresses::token(2).to_u256(),
+                addresses::token(1).to_u256(),
+                U256::from(5_000u64),
+                U256::ZERO,
+            ]
+        }
+        "addLiquidity" => {
+            let (tin, _) = Fixture::user_pair(user);
+            vec![tin.to_u256(), amount]
+        }
+        "reserveOf" => vec![addresses::token(0).to_u256()],
+        "atomicMatch" | "cancelOrder" | "approveOrder" | "validateOrder" => vec![
+            me, // maker == caller so cancelOrder succeeds too
+            addresses::token(1).to_u256(),
+            U256::from(*salt),
+            U256::from(1_000u64),
+            U256::from(*salt),
+        ],
+        "isFinalized" => vec![U256::from(*salt)],
+        "deposit" => vec![addresses::token(0).to_u256(), amount],
+        "withdraw" if contract == "MainchainGatewayProxy" => {
+            vec![
+                U256::from(1_000_000 + *salt),
+                addresses::token(0).to_u256(),
+                amount,
+            ]
+        }
+        "depositOf" => vec![me, addresses::token(0).to_u256()],
+        "vote" => vec![U256::from(*salt % 256)],
+        "delegate" => vec![other],
+        "hasVoted" => vec![other],
+        "createSaleAuction" => vec![
+            U256::from(user), // cat owned by the user
+            U256::from(1000u64),
+            U256::from(100u64),
+            U256::from(3600u64),
+        ],
+        // bid/cancel need a live auction from an earlier tx; skipped in
+        // batches (covered by unit tests).
+        "bid" | "ownerOf" | "cancelAuction" => return None,
+        _ => return None,
+    };
+    Some(fx.call_tx(user, contract, function, &args))
+}
+
+/// Builds a batch of `count` transactions against `contract`, choosing
+/// entry functions by their workload weights — the paper's "transactions
+/// that call different entry functions and run through all the execution
+/// paths of that smart contract".
+pub fn contract_batch(contract: &'static str, count: usize, seed: u64) -> ContractBatch {
+    let mut fx = Fixture::new();
+    let mut state = fx.state.clone();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let header = BlockHeader::default();
+    let code = {
+        let spec = fx.spec(contract);
+        state.code(spec.address).to_vec()
+    };
+    let functions: Vec<(String, u32)> = fx
+        .spec(contract)
+        .functions
+        .iter()
+        .map(|f| (f.name.to_string(), f.weight))
+        .collect();
+    let total_w: u32 = functions.iter().map(|(_, w)| w).sum();
+
+    let mut traces = Vec::with_capacity(count);
+    let mut salt = 0u64;
+    let mut user = 1u64;
+    while traces.len() < count {
+        let mut pick = rng.random_range(0..total_w);
+        let mut fname = functions[0].0.clone();
+        for (name, w) in &functions {
+            if pick < *w {
+                fname = name.clone();
+                break;
+            }
+            pick -= w;
+        }
+        user = (user + 1) % mtpu_contracts::fixture::USER_COUNT;
+        let Some(tx) = call_args(&mut fx, contract, &fname, user, &mut salt, &mut rng) else {
+            continue;
+        };
+        let (r, trace) = trace_transaction(&mut state, &header, &tx).expect("batch txs validate");
+        assert!(
+            r.success,
+            "batch call {contract}::{fname} by user {user} must succeed"
+        );
+        traces.push(trace);
+    }
+    ContractBatch {
+        name: contract,
+        traces,
+        code,
+    }
+}
+
+/// Executes a batch of traces on one PU under `cfg`, returning the
+/// aggregate timing (the shared State Buffer persists across the batch
+/// when the redundancy optimization is on).
+pub fn run_batch(traces: &[TxTrace], cfg: &MtpuConfig) -> TxTiming {
+    let mut pu = Pu::new(0, cfg);
+    let mut buffer = StateBuffer::default();
+    let mut total = TxTiming::default();
+    for t in traces {
+        let job = TxJob::build(t, cfg, &StreamTransforms::none());
+        total.accumulate(&pu.execute(&job, &mut buffer, cfg));
+    }
+    total
+}
+
+/// Execution-only cycles (context loads excluded): the denominator the
+/// ILP experiments (Fig. 12, Table 7) compare on, since the context load
+/// is identical across pipeline configurations.
+pub fn exec_cycles(t: &TxTiming) -> u64 {
+    t.cycles - t.ctx_load_cycles
+}
+
+/// Renders a fixed-width table: headers plus rows of cells.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let line = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&line(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+        out.push('\n');
+    }
+    out
+}

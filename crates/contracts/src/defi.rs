@@ -1,0 +1,613 @@
+//! The DeFi-shaped contracts: SwapRouter / UniswapV2Router02 (arithmetic
+//! heavy constant-product math), OpenSea (SHA3-heavy order matching) and
+//! MainchainGatewayProxy (logic-heavy checks), matching the instruction
+//! profiles of paper Table 6.
+
+use crate::helpers::{selector, ContractAsm};
+use crate::spec::{ContractSpec, FunctionSpec, Mutability};
+use mtpu_asm::Assembler;
+use mtpu_evm::opcode::Opcode;
+use mtpu_primitives::Address;
+
+fn f(
+    name: &'static str,
+    signature: &'static str,
+    arg_count: usize,
+    mutability: Mutability,
+    weight: u32,
+) -> FunctionSpec {
+    FunctionSpec {
+        name,
+        signature,
+        selector: selector(signature),
+        arg_count,
+        mutability,
+        weight,
+    }
+}
+
+/// An AMM router with internal reserves and user token ledgers.
+///
+/// Storage: mapping slot 0: reserves\[token\]; nested mapping slot 1:
+/// userBalance\[user\]\[token\]; slot 2: feeBps.
+///
+/// `kind` selects the contract identity ("UniswapV2Router02" or
+/// "SwapRouter") — the two share the AMM core but differ in an extra
+/// multi-hop entry point, mirroring how V2 and V3 routers differ on
+/// mainnet.
+pub fn router(name: &'static str, address: Address, multi_hop: bool) -> ContractSpec {
+    let mut functions = vec![
+        f(
+            "swapExactTokens",
+            "swapExactTokens(address,address,uint256,uint256)",
+            4,
+            Mutability::Write,
+            50,
+        ),
+        f(
+            "addLiquidity",
+            "addLiquidity(address,uint256)",
+            2,
+            Mutability::Write,
+            10,
+        ),
+        f("reserveOf", "reserveOf(address)", 1, Mutability::View, 5),
+        f(
+            "balanceOf",
+            "balanceOf(address,address)",
+            2,
+            Mutability::View,
+            5,
+        ),
+    ];
+    functions.extend([
+        f(
+            "removeLiquidity",
+            "removeLiquidity(address,uint256)",
+            2,
+            Mutability::Write,
+            4,
+        ),
+        f(
+            "getAmountOut",
+            "getAmountOut(address,address,uint256)",
+            3,
+            Mutability::View,
+            4,
+        ),
+    ]);
+    if multi_hop {
+        functions.push(f(
+            "swapTwoHop",
+            "swapTwoHop(address,address,address,uint256,uint256)",
+            5,
+            Mutability::Write,
+            15,
+        ));
+    }
+    let mut a = Assembler::new();
+    let entries: Vec<_> = functions.iter().map(|x| (x.selector, x.name)).collect();
+    a.dispatcher(&entries, "fallback");
+
+    // ---- swapExactTokens(tokenIn, tokenOut, amountIn, minOut) ----
+    a.label("swapExactTokens")
+        .fn_enter_args(4)
+        .require_not_payable();
+    a.addr_arg_to_local(0, 0x80); // tokenIn
+    a.addr_arg_to_local(1, 0xa0); // tokenOut
+    a.arg_to_local(2, 0xc0); // amountIn
+    a.arg_to_local(3, 0xe0); // minOut
+    emit_swap_core(&mut a, 0x80, 0xa0, 0xc0, 0x100);
+    // require(out >= minOut)
+    a.local(0x100)
+        .local(0xe0)
+        .op(Opcode::Gt)
+        .op(Opcode::Iszero)
+        .require();
+    // userBalance[caller][tokenIn] -= amountIn (with check)
+    debit_user(&mut a, 0x80, 0xc0);
+    // userBalance[caller][tokenOut] += out
+    credit_user(&mut a, 0xa0, 0x100);
+    // Swap(caller, amountIn, out)
+    a.local(0xc0).push(0u64).op(Opcode::Mstore);
+    a.local(0x100).push(32u64).op(Opcode::Mstore);
+    a.op(Opcode::Caller)
+        .log_event("Swap(address,uint256,uint256)", 1, 0, 64);
+    a.local(0x100).return_word();
+
+    // ---- addLiquidity(token, amount) ----
+    a.label("addLiquidity")
+        .fn_enter_args(2)
+        .require_not_payable();
+    a.addr_arg_to_local(0, 0x80);
+    a.arg_to_local(1, 0xa0);
+    // userBalance[caller][token] -= amount
+    debit_user(&mut a, 0x80, 0xa0);
+    // reserves[token] += amount
+    a.local(0x80).mapping_slot(0);
+    a.op(Opcode::Dup1)
+        .op(Opcode::Sload)
+        .local(0xa0)
+        .op(Opcode::Add);
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    a.return_true();
+
+    // ---- removeLiquidity(token, amount) ----
+    a.label("removeLiquidity")
+        .fn_enter_args(2)
+        .require_not_payable();
+    a.addr_arg_to_local(0, 0x80);
+    a.arg_to_local(1, 0xa0);
+    // reserves[token] -= amount
+    a.local(0x80).mapping_slot(0);
+    a.op(Opcode::Dup1).op(Opcode::Sload);
+    a.local(0xa0).call_internal("safe_sub");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    // userBalance[caller][token] += amount
+    credit_user(&mut a, 0x80, 0xa0);
+    a.return_true();
+
+    // ---- getAmountOut(tokenIn, tokenOut, amountIn) ---- pure quote.
+    a.label("getAmountOut").fn_enter_args(3);
+    a.addr_arg_to_local(0, 0x80);
+    a.addr_arg_to_local(1, 0xa0);
+    a.arg_to_local(2, 0xc0);
+    // inFee = amt * 997 / 1000
+    a.local(0xc0).push(997u64).call_internal("safe_mul");
+    a.push(1000u64).call_internal("safe_div").set_local(0xe0);
+    a.local(0x80).mapping_slot(0).op(Opcode::Sload); // [rIn]
+    a.op(Opcode::Dup1).require();
+    a.local(0xa0).mapping_slot(0).op(Opcode::Sload); // [rIn, rOut]
+    a.local(0xe0).call_internal("safe_mul"); // [rIn, num]
+    a.op(Opcode::Swap1).local(0xe0).call_internal("safe_add"); // [num, den]
+    a.call_internal("safe_div");
+    a.return_word();
+
+    // ---- reserveOf(token) ----
+    a.label("reserveOf").fn_enter_args(1);
+    a.calldata_arg(0).sload_mapping(0).return_word();
+
+    // ---- balanceOf(user, token) ----
+    a.label("balanceOf").fn_enter_args(2);
+    a.calldata_arg(1) // key2 = token
+        .calldata_arg(0) // key1 = user (top)
+        .nested_mapping_slot(1)
+        .op(Opcode::Sload)
+        .return_word();
+
+    if multi_hop {
+        // ---- swapTwoHop(a, mid, b, amountIn, minOut) ----
+        a.label("swapTwoHop").fn_enter_args(5).require_not_payable();
+        a.addr_arg_to_local(0, 0x80); // tokenA
+        a.addr_arg_to_local(1, 0xa0); // mid
+        a.addr_arg_to_local(2, 0xc0); // tokenB
+        a.arg_to_local(3, 0xe0); // amountIn
+        a.arg_to_local(4, 0x120); // minOut
+        emit_swap_core(&mut a, 0x80, 0xa0, 0xe0, 0x100); // hop 1 -> out at 0x100
+        emit_swap_core(&mut a, 0xa0, 0xc0, 0x100, 0x140); // hop 2 -> out at 0x140
+        a.local(0x140)
+            .local(0x120)
+            .op(Opcode::Gt)
+            .op(Opcode::Iszero)
+            .require();
+        debit_user(&mut a, 0x80, 0xe0);
+        credit_user(&mut a, 0xc0, 0x140);
+        a.local(0xe0).push(0u64).op(Opcode::Mstore);
+        a.local(0x140).push(32u64).op(Opcode::Mstore);
+        a.op(Opcode::Caller)
+            .log_event("Swap(address,uint256,uint256)", 1, 0, 64);
+        a.local(0x140).return_word();
+    }
+
+    a.label("fallback").revert_zero();
+    a.emit_safemath();
+    ContractSpec {
+        name,
+        code: a.assemble().expect("router assembles"),
+        address,
+        functions,
+        is_erc20: false,
+    }
+}
+
+/// Constant-product swap with a 0.3% fee, updating reserves:
+/// `out = rOut * inFee / (rIn + inFee)` where `inFee = in * 997 / 1000`.
+/// Reads locals `tin`/`tout`/`amt`, writes the output amount to `out`.
+fn emit_swap_core(a: &mut Assembler, tin: u64, tout: u64, amt: u64, out: u64) {
+    // inFee = safe_div(safe_mul(amt, 997), 1000)
+    a.local(amt).push(997u64).call_internal("safe_mul");
+    a.push(1000u64).call_internal("safe_div");
+    a.set_local(out); // temporarily hold inFee in `out`
+                      // rIn, rOut
+    a.local(tin).mapping_slot(0).op(Opcode::Sload); // [rIn]
+    a.op(Opcode::Dup1).require(); // pool must exist
+    a.local(tout).mapping_slot(0).op(Opcode::Sload); // [rIn, rOut]
+    a.op(Opcode::Dup1).require();
+    // out = safe_div(safe_mul(rOut, inFee), safe_add(rIn, inFee))
+    a.local(out).call_internal("safe_mul"); // [rIn, num]
+    a.op(Opcode::Swap1).local(out).call_internal("safe_add"); // [num, den]
+    a.call_internal("safe_div"); // num / den -> [out]
+    a.op(Opcode::Dup1).set_local(out);
+    a.op(Opcode::Pop);
+    // reserves[tin] += amt ; reserves[tout] -= out
+    a.local(tin).mapping_slot(0);
+    a.op(Opcode::Dup1)
+        .op(Opcode::Sload)
+        .local(amt)
+        .call_internal("safe_add");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    a.local(tout).mapping_slot(0);
+    a.op(Opcode::Dup1).op(Opcode::Sload);
+    a.local(out).call_internal("safe_sub");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+}
+
+/// `userBalance[caller][token] -= amount` with a balance check.
+fn debit_user(a: &mut Assembler, token_local: u64, amount_local: u64) {
+    a.local(token_local) // key2 = token
+        .op(Opcode::Caller) // key1 = caller (top)
+        .nested_mapping_slot(1);
+    a.op(Opcode::Dup1).op(Opcode::Sload); // [slot, bal]
+    a.local(amount_local).call_internal("safe_sub");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+}
+
+/// `userBalance[caller][token] += amount`.
+fn credit_user(a: &mut Assembler, token_local: u64, amount_local: u64) {
+    a.local(token_local)
+        .op(Opcode::Caller)
+        .nested_mapping_slot(1);
+    a.op(Opcode::Dup1)
+        .op(Opcode::Sload)
+        .local(amount_local)
+        .call_internal("safe_add");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+}
+
+/// OpenSea-style exchange: order hashing (SHA3-heavy), cancellation
+/// bitmap, and internal settlement.
+///
+/// Storage: mapping slot 0: cancelledOrFinalized\[orderHash\];
+/// nested mapping slot 1: ledger\[user\]\[token\]; slot 2: protocol fee bps;
+/// slot 3: fee recipient.
+pub fn opensea(address: Address) -> ContractSpec {
+    let functions = vec![
+        f(
+            "atomicMatch",
+            "atomicMatch(address,address,uint256,uint256,uint256)",
+            5,
+            Mutability::Write,
+            40,
+        ),
+        f(
+            "cancelOrder",
+            "cancelOrder(address,address,uint256,uint256,uint256)",
+            5,
+            Mutability::Write,
+            8,
+        ),
+        f(
+            "isFinalized",
+            "isFinalized(uint256)",
+            1,
+            Mutability::View,
+            4,
+        ),
+        f(
+            "approveOrder",
+            "approveOrder(address,address,uint256,uint256,uint256)",
+            5,
+            Mutability::Write,
+            6,
+        ),
+        f(
+            "validateOrder",
+            "validateOrder(address,address,uint256,uint256,uint256)",
+            5,
+            Mutability::View,
+            4,
+        ),
+    ];
+    let mut a = Assembler::new();
+    let entries: Vec<_> = functions.iter().map(|x| (x.selector, x.name)).collect();
+    a.dispatcher(&entries, "fallback");
+
+    // Order hash: keccak(maker ++ token ++ tokenId ++ price ++ salt) over
+    // calldata words 0..5 copied to memory 0x80..0x120.
+    // (hash_order jumps back via a return-address on the stack — the
+    // classic Solidity internal-call pattern.)
+    a.label("hash_order");
+    // stack: [ret]
+    a.calldata_arg(0).set_local(0x80);
+    a.calldata_arg(1).set_local(0xa0);
+    a.calldata_arg(2).set_local(0xc0);
+    a.calldata_arg(3).set_local(0xe0);
+    a.calldata_arg(4).set_local(0x100);
+    a.push(160u64).push(0x80u64).op(Opcode::Sha3); // [ret, hash]
+    a.op(Opcode::Swap1).op(Opcode::Jump);
+
+    // ---- atomicMatch(maker, token, tokenId, price, salt) ----
+    a.label("atomicMatch")
+        .fn_enter_args(5)
+        .require_not_payable();
+    a.push_label("am_hashed").jump("hash_order");
+    a.label("am_hashed"); // [hash]
+    a.op(Opcode::Dup1).set_local(0x120);
+    // require(!cancelledOrFinalized[hash])
+    a.sload_mapping(0).op(Opcode::Iszero).require();
+    // mark finalized
+    a.push(1u64).local(0x120).mapping_slot(0).op(Opcode::Sstore);
+    // settlement: price with protocol fee moves between internal ledgers.
+    // fee = price * feeBps / 10000
+    a.calldata_arg(3)
+        .push(2u64)
+        .op(Opcode::Sload)
+        .call_internal("safe_mul");
+    a.push(10_000u64).call_internal("safe_div").set_local(0x140);
+    // ledger[caller][token] -= price
+    a.calldata_arg(1).op(Opcode::Caller).nested_mapping_slot(1);
+    a.op(Opcode::Dup1).op(Opcode::Sload);
+    a.calldata_arg(3).call_internal("safe_sub");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    // ledger[maker][token] += price - fee
+    a.calldata_arg(1).calldata_arg(0).nested_mapping_slot(1);
+    a.op(Opcode::Dup1).op(Opcode::Sload);
+    a.calldata_arg(3).local(0x140).call_internal("safe_sub"); // price - fee
+    a.call_internal("safe_add")
+        .op(Opcode::Swap1)
+        .op(Opcode::Sstore);
+    // ledger[feeRecipient][token] += fee
+    a.calldata_arg(1)
+        .push(3u64)
+        .op(Opcode::Sload)
+        .nested_mapping_slot(1);
+    a.op(Opcode::Dup1)
+        .op(Opcode::Sload)
+        .local(0x140)
+        .call_internal("safe_add");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    // OrdersMatched(hash, maker, taker) data=price
+    a.calldata_arg(3).push(0u64).op(Opcode::Mstore);
+    a.op(Opcode::Caller).calldata_arg(0).local(0x120).log_event(
+        "OrdersMatched(uint256,address,address)",
+        3,
+        0,
+        32,
+    );
+    a.return_true();
+
+    // ---- cancelOrder(maker, token, tokenId, price, salt) ----
+    a.label("cancelOrder")
+        .fn_enter_args(5)
+        .require_not_payable();
+    // only the maker cancels
+    a.calldata_arg(0)
+        .op(Opcode::Caller)
+        .op(Opcode::Eq)
+        .require();
+    a.push_label("co_hashed").jump("hash_order");
+    a.label("co_hashed"); // [hash]
+    a.op(Opcode::Dup1)
+        .sload_mapping(0)
+        .op(Opcode::Iszero)
+        .require();
+    a.op(Opcode::Dup1).set_local(0x120);
+    a.push(1u64)
+        .op(Opcode::Swap1)
+        .mapping_slot(0)
+        .op(Opcode::Sstore);
+    a.local(0x120).push(0u64).op(Opcode::Mstore);
+    a.log_event("OrderCancelled(uint256)", 0, 0, 32);
+    a.return_true();
+
+    // ---- isFinalized(hash) ----
+    a.label("isFinalized").fn_enter_args(1);
+    a.calldata_arg(0).sload_mapping(0).return_word();
+
+    // ---- approveOrder(maker, token, tokenId, price, salt) ----
+    // mapping slot 4: approvedOrders[hash]
+    a.label("approveOrder")
+        .fn_enter_args(5)
+        .require_not_payable();
+    a.calldata_arg(0)
+        .op(Opcode::Caller)
+        .op(Opcode::Eq)
+        .require();
+    a.push_label("ao_hashed").jump("hash_order");
+    a.label("ao_hashed"); // [hash]
+    a.op(Opcode::Dup1)
+        .sload_mapping(0)
+        .op(Opcode::Iszero)
+        .require();
+    a.op(Opcode::Dup1).set_local(0x120);
+    a.push(1u64)
+        .op(Opcode::Swap1)
+        .mapping_slot(4)
+        .op(Opcode::Sstore);
+    a.local(0x120).push(0u64).op(Opcode::Mstore);
+    a.log_event("OrderApproved(uint256)", 0, 0, 32);
+    a.return_true();
+
+    // ---- validateOrder(maker, token, tokenId, price, salt) ----
+    // valid := approved && !cancelledOrFinalized && price > 0
+    a.label("validateOrder").fn_enter_args(5);
+    a.push_label("vo_hashed").jump("hash_order");
+    a.label("vo_hashed"); // [hash]
+    a.op(Opcode::Dup1).sload_mapping(4); // [hash, approved]
+    a.op(Opcode::Swap1).sload_mapping(0).op(Opcode::Iszero); // [approved, live]
+    a.op(Opcode::And);
+    a.calldata_arg(3).op(Opcode::Iszero).op(Opcode::Iszero); // price > 0
+    a.op(Opcode::And);
+    a.return_word();
+
+    a.label("fallback").revert_zero();
+    a.emit_safemath();
+    ContractSpec {
+        name: "OpenSea",
+        code: a.assemble().expect("opensea assembles"),
+        address,
+        functions,
+        is_erc20: false,
+    }
+}
+
+/// MainchainGatewayProxy: deposit/withdraw gateway with heavy validation
+/// logic (the Logic-dominant row of Table 6).
+///
+/// Storage: slot 0: paused; slot 1: depositCount; slot 2: admin;
+/// slot 3: perTxLimit; nested mapping slot 4: deposits\[user\]\[token\];
+/// mapping slot 5: withdrawalProcessed\[id\].
+pub fn gateway_proxy(address: Address) -> ContractSpec {
+    let functions = vec![
+        f(
+            "deposit",
+            "deposit(address,uint256)",
+            2,
+            Mutability::Write,
+            30,
+        ),
+        f(
+            "withdraw",
+            "withdraw(uint256,address,uint256)",
+            3,
+            Mutability::Write,
+            20,
+        ),
+        f("pause", "pause()", 0, Mutability::Write, 1),
+        f("unpause", "unpause()", 0, Mutability::Write, 1),
+        f(
+            "depositOf",
+            "depositOf(address,address)",
+            2,
+            Mutability::View,
+            4,
+        ),
+        f("setLimit", "setLimit(uint256)", 1, Mutability::Write, 1),
+        f(
+            "withdrawalProcessed",
+            "withdrawalProcessed(uint256)",
+            1,
+            Mutability::View,
+            3,
+        ),
+    ];
+    let mut a = Assembler::new();
+    let entries: Vec<_> = functions.iter().map(|x| (x.selector, x.name)).collect();
+    a.dispatcher(&entries, "fallback");
+
+    // ---- deposit(token, amount) ----
+    a.label("deposit").fn_enter_args(2).require_not_payable();
+    // require(!paused)
+    a.push(0u64).op(Opcode::Sload).op(Opcode::Iszero).require();
+    // require(0 < amount && amount <= perTxLimit)
+    a.calldata_arg(1)
+        .op(Opcode::Iszero)
+        .op(Opcode::Iszero)
+        .require();
+    a.calldata_arg(1).push(3u64).op(Opcode::Sload); // [amt, lim] top=lim
+    a.op(Opcode::Lt).op(Opcode::Iszero).require(); // !(lim < amt)
+                                                   // require(token != 0)
+    a.calldata_arg(0)
+        .op(Opcode::Iszero)
+        .op(Opcode::Iszero)
+        .require();
+    // deposits[caller][token] += amount
+    a.calldata_arg(0).op(Opcode::Caller).nested_mapping_slot(4);
+    a.op(Opcode::Dup1)
+        .op(Opcode::Sload)
+        .calldata_arg(1)
+        .call_internal("safe_add");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    // depositCount++
+    a.push(1u64)
+        .op(Opcode::Sload)
+        .push(1u64)
+        .call_internal("safe_add")
+        .push(1u64)
+        .op(Opcode::Sstore);
+    // Deposited(caller, token, amount)
+    a.calldata_arg(1).push(0u64).op(Opcode::Mstore);
+    a.calldata_arg(0)
+        .op(Opcode::Caller)
+        .log_event("Deposited(address,address,uint256)", 2, 0, 32);
+    a.return_true();
+
+    // ---- withdraw(withdrawalId, token, amount) ----
+    a.label("withdraw").fn_enter_args(3).require_not_payable();
+    a.push(0u64).op(Opcode::Sload).op(Opcode::Iszero).require();
+    // require(!withdrawalProcessed[id])
+    a.calldata_arg(0)
+        .sload_mapping(5)
+        .op(Opcode::Iszero)
+        .require();
+    a.push(1u64)
+        .calldata_arg(0)
+        .mapping_slot(5)
+        .op(Opcode::Sstore);
+    // require(deposits[caller][token] >= amount); deduct.
+    a.calldata_arg(1).op(Opcode::Caller).nested_mapping_slot(4);
+    a.op(Opcode::Dup1).op(Opcode::Sload);
+    a.calldata_arg(2).call_internal("safe_sub");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    // Withdrew(id, caller, token) data=amount
+    a.calldata_arg(2).push(0u64).op(Opcode::Mstore);
+    a.calldata_arg(1)
+        .op(Opcode::Caller)
+        .calldata_arg(0)
+        .log_event("Withdrew(uint256,address,address)", 3, 0, 32);
+    a.return_true();
+
+    // ---- pause()/unpause() ---- (admin only)
+    a.label("pause").fn_enter_args(0).require_not_payable();
+    a.op(Opcode::Caller)
+        .push(2u64)
+        .op(Opcode::Sload)
+        .op(Opcode::Eq)
+        .require();
+    a.push(1u64).push(0u64).op(Opcode::Sstore);
+    a.return_true();
+    a.label("unpause").fn_enter_args(0).require_not_payable();
+    a.op(Opcode::Caller)
+        .push(2u64)
+        .op(Opcode::Sload)
+        .op(Opcode::Eq)
+        .require();
+    a.push(0u64).push(0u64).op(Opcode::Sstore);
+    a.return_true();
+
+    // ---- depositOf(user, token) ----
+    a.label("depositOf").fn_enter_args(2);
+    a.calldata_arg(1)
+        .calldata_arg(0)
+        .nested_mapping_slot(4)
+        .op(Opcode::Sload)
+        .return_word();
+
+    // ---- setLimit(uint256) ---- (admin only)
+    a.label("setLimit").fn_enter_args(1).require_not_payable();
+    a.op(Opcode::Caller)
+        .push(2u64)
+        .op(Opcode::Sload)
+        .op(Opcode::Eq)
+        .require();
+    a.calldata_arg(0)
+        .op(Opcode::Iszero)
+        .op(Opcode::Iszero)
+        .require();
+    a.calldata_arg(0).push(3u64).op(Opcode::Sstore);
+    a.return_true();
+
+    // ---- withdrawalProcessed(id) ----
+    a.label("withdrawalProcessed").fn_enter_args(1);
+    a.calldata_arg(0).sload_mapping(5).return_word();
+
+    a.label("fallback").revert_zero();
+    a.emit_safemath();
+    ContractSpec {
+        name: "MainchainGatewayProxy",
+        code: a.assemble().expect("gateway assembles"),
+        address,
+        functions,
+        is_erc20: false,
+    }
+}

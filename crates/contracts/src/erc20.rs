@@ -1,0 +1,692 @@
+//! A configurable ERC20 generator. Four of the paper's TOP8 contracts are
+//! token-shaped (Tether USD, FiatToken, LinkToken, Dai); they share the
+//! ERC20 core but differ in fee logic, mint/burn authority and ERC677
+//! `transferAndCall`, which this generator toggles — producing distinct
+//! bytecode per contract exactly as on mainnet.
+//!
+//! The generated code follows pre-0.8 Solidity conventions: calldata
+//! length checks, address-argument masking, and SafeMath internal calls
+//! for all balance arithmetic — these produce the stack-heavy instruction
+//! mix of paper Table 6.
+//!
+//! Storage layout (Solidity-style):
+//! - slot 0: totalSupply
+//! - slot 1: owner
+//! - slot 2: basisPointsRate (fee contracts)
+//! - slot 3: maximumFee (fee contracts)
+//! - mapping slot 4: balances
+//! - nested mapping slot 5: allowance\[owner\]\[spender\]
+//! - mapping slot 6: wards (mint/burn contracts)
+
+use crate::helpers::{selector, ContractAsm};
+use crate::spec::{ContractSpec, FunctionSpec, Mutability};
+use mtpu_asm::Assembler;
+use mtpu_evm::opcode::Opcode;
+use mtpu_primitives::Address;
+
+/// Storage slot of `totalSupply`.
+pub const SLOT_TOTAL_SUPPLY: u64 = 0;
+/// Storage slot of `owner`.
+pub const SLOT_OWNER: u64 = 1;
+/// Storage slot of `basisPointsRate`.
+pub const SLOT_FEE_RATE: u64 = 2;
+/// Storage slot of `maximumFee`.
+pub const SLOT_MAX_FEE: u64 = 3;
+/// Mapping slot of `balances`.
+pub const SLOT_BALANCES: u64 = 4;
+/// Nested mapping slot of `allowance`.
+pub const SLOT_ALLOWANCE: u64 = 5;
+/// Mapping slot of `wards` (mint/burn authority).
+pub const SLOT_WARDS: u64 = 6;
+/// Mapping slot of `isBlackListed` (fee contracts).
+pub const SLOT_BLACKLIST: u64 = 7;
+/// Slot of the upgraded-contract address (fee contracts, `deprecate`).
+pub const SLOT_UPGRADED: u64 = 8;
+
+/// Feature toggles of the ERC20 generator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Erc20Config {
+    /// Charge `value * basisPointsRate / 10000` (capped) to the owner —
+    /// TetherUSD behaviour.
+    pub with_fee: bool,
+    /// `mint`/`burn` guarded by the wards mapping — Dai behaviour.
+    pub with_mint_burn: bool,
+    /// ERC677 `transferAndCall(address,uint256,uint256)` — LinkToken
+    /// behaviour (the `bytes` payload is modelled as one word).
+    pub with_transfer_and_call: bool,
+}
+
+const TRANSFER_EVENT: &str = "Transfer(address,address,uint256)";
+const APPROVAL_EVENT: &str = "Approval(address,address,uint256)";
+
+/// Builds the runtime bytecode and function table for an ERC20 variant.
+pub fn build(name: &'static str, address: Address, cfg: Erc20Config) -> ContractSpec {
+    let mut functions = vec![
+        FunctionSpec {
+            name: "totalSupply",
+            signature: "totalSupply()",
+            selector: selector("totalSupply()"),
+            arg_count: 0,
+            mutability: Mutability::View,
+            weight: 2,
+        },
+        FunctionSpec {
+            name: "balanceOf",
+            signature: "balanceOf(address)",
+            selector: selector("balanceOf(address)"),
+            arg_count: 1,
+            mutability: Mutability::View,
+            weight: 8,
+        },
+        FunctionSpec {
+            name: "transfer",
+            signature: "transfer(address,uint256)",
+            selector: selector("transfer(address,uint256)"),
+            arg_count: 2,
+            mutability: Mutability::Write,
+            weight: 60,
+        },
+        FunctionSpec {
+            name: "approve",
+            signature: "approve(address,uint256)",
+            selector: selector("approve(address,uint256)"),
+            arg_count: 2,
+            mutability: Mutability::Write,
+            weight: 12,
+        },
+        FunctionSpec {
+            name: "allowance",
+            signature: "allowance(address,address)",
+            selector: selector("allowance(address,address)"),
+            arg_count: 2,
+            mutability: Mutability::View,
+            weight: 3,
+        },
+        FunctionSpec {
+            name: "transferFrom",
+            signature: "transferFrom(address,address,uint256)",
+            selector: selector("transferFrom(address,address,uint256)"),
+            arg_count: 3,
+            mutability: Mutability::Write,
+            weight: 15,
+        },
+    ];
+    functions.extend([
+        FunctionSpec {
+            name: "increaseApproval",
+            signature: "increaseApproval(address,uint256)",
+            selector: selector("increaseApproval(address,uint256)"),
+            arg_count: 2,
+            mutability: Mutability::Write,
+            weight: 2,
+        },
+        FunctionSpec {
+            name: "decreaseApproval",
+            signature: "decreaseApproval(address,uint256)",
+            selector: selector("decreaseApproval(address,uint256)"),
+            arg_count: 2,
+            mutability: Mutability::Write,
+            weight: 1,
+        },
+    ]);
+    if cfg.with_fee {
+        functions.extend([
+            FunctionSpec {
+                name: "setParams",
+                signature: "setParams(uint256,uint256)",
+                selector: selector("setParams(uint256,uint256)"),
+                arg_count: 2,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "issue",
+                signature: "issue(uint256)",
+                selector: selector("issue(uint256)"),
+                arg_count: 1,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "redeem",
+                signature: "redeem(uint256)",
+                selector: selector("redeem(uint256)"),
+                arg_count: 1,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "addBlackList",
+                signature: "addBlackList(address)",
+                selector: selector("addBlackList(address)"),
+                arg_count: 1,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "removeBlackList",
+                signature: "removeBlackList(address)",
+                selector: selector("removeBlackList(address)"),
+                arg_count: 1,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "getBlackListStatus",
+                signature: "getBlackListStatus(address)",
+                selector: selector("getBlackListStatus(address)"),
+                arg_count: 1,
+                mutability: Mutability::View,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "destroyBlackFunds",
+                signature: "destroyBlackFunds(address)",
+                selector: selector("destroyBlackFunds(address)"),
+                arg_count: 1,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "deprecate",
+                signature: "deprecate(address)",
+                selector: selector("deprecate(address)"),
+                arg_count: 1,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+        ]);
+    }
+    if cfg.with_mint_burn {
+        functions.extend([
+            FunctionSpec {
+                name: "rely",
+                signature: "rely(address)",
+                selector: selector("rely(address)"),
+                arg_count: 1,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "deny",
+                signature: "deny(address)",
+                selector: selector("deny(address)"),
+                arg_count: 1,
+                mutability: Mutability::Write,
+                weight: 1,
+            },
+            FunctionSpec {
+                name: "mint",
+                signature: "mint(address,uint256)",
+                selector: selector("mint(address,uint256)"),
+                arg_count: 2,
+                mutability: Mutability::Write,
+                weight: 4,
+            },
+            FunctionSpec {
+                name: "burn",
+                signature: "burn(address,uint256)",
+                selector: selector("burn(address,uint256)"),
+                arg_count: 2,
+                mutability: Mutability::Write,
+                weight: 2,
+            },
+        ]);
+    }
+    if cfg.with_transfer_and_call {
+        functions.push(FunctionSpec {
+            name: "transferAndCall",
+            signature: "transferAndCall(address,uint256,uint256)",
+            selector: selector("transferAndCall(address,uint256,uint256)"),
+            arg_count: 3,
+            mutability: Mutability::Write,
+            weight: 10,
+        });
+    }
+
+    let code = assemble(&functions, cfg);
+    ContractSpec {
+        name,
+        code,
+        address,
+        functions,
+        is_erc20: true,
+    }
+}
+
+/// `balances[<local key>] -= <local amount>` via SafeMath.
+fn debit_balance(a: &mut Assembler, key_from_caller: bool, key_local: u64, amount_local: u64) {
+    if key_from_caller {
+        a.op(Opcode::Caller);
+    } else {
+        a.local(key_local);
+    }
+    a.mapping_slot(SLOT_BALANCES);
+    a.op(Opcode::Dup1).op(Opcode::Sload); // [slot, bal]
+    a.local(amount_local); // [slot, bal, value]
+    a.call_internal("safe_sub"); // [slot, bal - value]
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+}
+
+/// `balances[<local key>] += <local amount>` via SafeMath.
+fn credit_balance(a: &mut Assembler, key_local: u64, amount_local: u64) {
+    a.local(key_local).mapping_slot(SLOT_BALANCES);
+    a.op(Opcode::Dup1).op(Opcode::Sload);
+    a.local(amount_local);
+    a.call_internal("safe_add");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+}
+
+fn assemble(functions: &[FunctionSpec], cfg: Erc20Config) -> Vec<u8> {
+    let mut a = Assembler::new();
+    // Solidity prologue: initialize the free-memory pointer.
+    a.push(0x200u64).push(0x40u64).op(Opcode::Mstore);
+
+    let entries: Vec<([u8; 4], &str)> = functions.iter().map(|f| (f.selector, f.name)).collect();
+    a.dispatcher(&entries, "fallback");
+
+    // ---- totalSupply() ----
+    a.label("totalSupply").fn_enter_args(0);
+    a.push(SLOT_TOTAL_SUPPLY).op(Opcode::Sload).return_word();
+
+    // ---- balanceOf(address) ----
+    a.label("balanceOf").fn_enter_args(1);
+    a.addr_arg_to_local(0, 0x80);
+    a.local(0x80).sload_mapping(SLOT_BALANCES).return_word();
+
+    // ---- transfer(address,uint256) ----
+    a.label("transfer").fn_enter_args(2).require_not_payable();
+    if cfg.with_fee {
+        // require(!isBlackListed[msg.sender])
+        a.op(Opcode::Caller)
+            .sload_mapping(SLOT_BLACKLIST)
+            .op(Opcode::Iszero)
+            .require();
+    }
+    a.addr_arg_to_local(0, 0x80); // to
+    a.arg_to_local(1, 0xa0); // value
+    emit_fee(&mut a, cfg, 0xa0, 0xc0);
+    // balances[caller] = safe_sub(balances[caller], value)
+    debit_balance(&mut a, true, 0, 0xa0);
+    // sendAmount = safe_sub(value, fee)
+    a.local(0xa0)
+        .local(0xc0)
+        .call_internal("safe_sub")
+        .set_local(0xe0);
+    // balances[to] = safe_add(balances[to], sendAmount)
+    credit_balance(&mut a, 0x80, 0xe0);
+    emit_fee_payout(&mut a, cfg, 0xc0, "t_nofee");
+    // Transfer(caller, to, sendAmount)
+    a.local(0xe0).push(0u64).op(Opcode::Mstore);
+    a.local(0x80)
+        .op(Opcode::Caller)
+        .log_event(TRANSFER_EVENT, 2, 0, 32);
+    a.return_true();
+
+    // ---- approve(address,uint256) ----
+    a.label("approve").fn_enter_args(2).require_not_payable();
+    a.addr_arg_to_local(0, 0x80);
+    a.local(0x80) // spender (key2)
+        .op(Opcode::Caller) // caller (key1, top)
+        .nested_mapping_slot(SLOT_ALLOWANCE);
+    a.calldata_arg(1).op(Opcode::Swap1).op(Opcode::Sstore);
+    a.calldata_arg(1).push(0u64).op(Opcode::Mstore);
+    a.local(0x80)
+        .op(Opcode::Caller)
+        .log_event(APPROVAL_EVENT, 2, 0, 32);
+    a.return_true();
+
+    // ---- allowance(address,address) ----
+    a.label("allowance").fn_enter_args(2);
+    a.addr_arg_to_local(0, 0x80);
+    a.addr_arg_to_local(1, 0xa0);
+    a.local(0xa0) // spender (key2)
+        .local(0x80) // owner (key1, top)
+        .nested_mapping_slot(SLOT_ALLOWANCE)
+        .op(Opcode::Sload)
+        .return_word();
+
+    // ---- transferFrom(address,address,uint256) ----
+    a.label("transferFrom")
+        .fn_enter_args(3)
+        .require_not_payable();
+    if cfg.with_fee {
+        a.op(Opcode::Caller)
+            .sload_mapping(SLOT_BLACKLIST)
+            .op(Opcode::Iszero)
+            .require();
+    }
+    a.addr_arg_to_local(0, 0x80); // from
+    a.addr_arg_to_local(1, 0xa0); // to
+    a.arg_to_local(2, 0xc0); // value
+                             // allowance[from][caller] = safe_sub(allowance, value)
+    a.op(Opcode::Caller) // key2
+        .local(0x80) // key1 = from (top)
+        .nested_mapping_slot(SLOT_ALLOWANCE);
+    a.op(Opcode::Dup1).op(Opcode::Sload);
+    a.local(0xc0).call_internal("safe_sub");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    emit_fee(&mut a, cfg, 0xc0, 0xe0);
+    // balances[from] -= value
+    debit_balance(&mut a, false, 0x80, 0xc0);
+    // send = value - fee
+    a.local(0xc0)
+        .local(0xe0)
+        .call_internal("safe_sub")
+        .set_local(0x100);
+    // balances[to] += send
+    credit_balance(&mut a, 0xa0, 0x100);
+    emit_fee_payout(&mut a, cfg, 0xe0, "tf_nofee");
+    a.local(0x100).push(0u64).op(Opcode::Mstore);
+    a.local(0xa0)
+        .local(0x80)
+        .log_event(TRANSFER_EVENT, 2, 0, 32);
+    a.return_true();
+
+    // ---- increaseApproval(address,uint256) ----
+    a.label("increaseApproval")
+        .fn_enter_args(2)
+        .require_not_payable();
+    a.addr_arg_to_local(0, 0x80);
+    a.local(0x80)
+        .op(Opcode::Caller)
+        .nested_mapping_slot(SLOT_ALLOWANCE);
+    a.op(Opcode::Dup1)
+        .op(Opcode::Sload)
+        .calldata_arg(1)
+        .call_internal("safe_add");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    a.calldata_arg(1).push(0u64).op(Opcode::Mstore);
+    a.local(0x80)
+        .op(Opcode::Caller)
+        .log_event(APPROVAL_EVENT, 2, 0, 32);
+    a.return_true();
+
+    // ---- decreaseApproval(address,uint256) ---- (floors at zero)
+    a.label("decreaseApproval")
+        .fn_enter_args(2)
+        .require_not_payable();
+    a.addr_arg_to_local(0, 0x80);
+    a.local(0x80)
+        .op(Opcode::Caller)
+        .nested_mapping_slot(SLOT_ALLOWANCE);
+    a.op(Opcode::Dup1).op(Opcode::Sload); // [slot, cur]
+                                          // new = cur > dec ? cur - dec : 0
+    a.op(Opcode::Dup1).calldata_arg(1); // [slot, cur, cur, dec]
+    a.op(Opcode::Gt).jumpi("da_sub"); // cur... dec>cur? Gt pops dec,cur -> dec>cur
+                                      // dec <= cur: subtract
+    a.calldata_arg(1).op(Opcode::Swap1).op(Opcode::Sub);
+    a.jump("da_store");
+    a.label("da_sub"); // floor at zero
+    a.op(Opcode::Pop).push(0u64);
+    a.label("da_store");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    a.calldata_arg(1).push(0u64).op(Opcode::Mstore);
+    a.local(0x80)
+        .op(Opcode::Caller)
+        .log_event(APPROVAL_EVENT, 2, 0, 32);
+    a.return_true();
+
+    if cfg.with_fee {
+        // ---- setParams(uint256,uint256) ----
+        a.label("setParams").fn_enter_args(2).require_not_payable();
+        a.op(Opcode::Caller)
+            .push(SLOT_OWNER)
+            .op(Opcode::Sload)
+            .op(Opcode::Eq)
+            .require();
+        // Sanity bounds, as the real contract enforces.
+        a.calldata_arg(0)
+            .push(1000u64)
+            .op(Opcode::Lt)
+            .op(Opcode::Iszero)
+            .require(); // rate < 1000
+        a.calldata_arg(0).push(SLOT_FEE_RATE).op(Opcode::Sstore);
+        a.calldata_arg(1).push(SLOT_MAX_FEE).op(Opcode::Sstore);
+        a.return_true();
+
+        // ---- issue(uint256) ---- owner mints to itself.
+        a.label("issue").fn_enter_args(1).require_not_payable();
+        require_owner(&mut a);
+        a.push(SLOT_OWNER)
+            .op(Opcode::Sload)
+            .mapping_slot(SLOT_BALANCES);
+        a.op(Opcode::Dup1)
+            .op(Opcode::Sload)
+            .calldata_arg(0)
+            .call_internal("safe_add");
+        a.op(Opcode::Swap1).op(Opcode::Sstore);
+        a.push(SLOT_TOTAL_SUPPLY)
+            .op(Opcode::Sload)
+            .calldata_arg(0)
+            .call_internal("safe_add");
+        a.push(SLOT_TOTAL_SUPPLY).op(Opcode::Sstore);
+        a.calldata_arg(0).push(0u64).op(Opcode::Mstore);
+        a.log_event("Issue(uint256)", 0, 0, 32);
+        a.return_true();
+
+        // ---- redeem(uint256) ---- owner burns from itself.
+        a.label("redeem").fn_enter_args(1).require_not_payable();
+        require_owner(&mut a);
+        a.push(SLOT_OWNER)
+            .op(Opcode::Sload)
+            .mapping_slot(SLOT_BALANCES);
+        a.op(Opcode::Dup1)
+            .op(Opcode::Sload)
+            .calldata_arg(0)
+            .call_internal("safe_sub");
+        a.op(Opcode::Swap1).op(Opcode::Sstore);
+        a.push(SLOT_TOTAL_SUPPLY)
+            .op(Opcode::Sload)
+            .calldata_arg(0)
+            .call_internal("safe_sub");
+        a.push(SLOT_TOTAL_SUPPLY).op(Opcode::Sstore);
+        a.calldata_arg(0).push(0u64).op(Opcode::Mstore);
+        a.log_event("Redeem(uint256)", 0, 0, 32);
+        a.return_true();
+
+        // ---- addBlackList(address) ----
+        a.label("addBlackList")
+            .fn_enter_args(1)
+            .require_not_payable();
+        require_owner(&mut a);
+        a.addr_arg_to_local(0, 0x80);
+        a.push(1u64)
+            .local(0x80)
+            .mapping_slot(SLOT_BLACKLIST)
+            .op(Opcode::Sstore);
+        a.local(0x80).push(0u64).op(Opcode::Mstore);
+        a.log_event("AddedBlackList(address)", 0, 0, 32);
+        a.return_true();
+
+        // ---- removeBlackList(address) ----
+        a.label("removeBlackList")
+            .fn_enter_args(1)
+            .require_not_payable();
+        require_owner(&mut a);
+        a.addr_arg_to_local(0, 0x80);
+        a.push(0u64)
+            .local(0x80)
+            .mapping_slot(SLOT_BLACKLIST)
+            .op(Opcode::Sstore);
+        a.local(0x80).push(0u64).op(Opcode::Mstore);
+        a.log_event("RemovedBlackList(address)", 0, 0, 32);
+        a.return_true();
+
+        // ---- getBlackListStatus(address) ----
+        a.label("getBlackListStatus").fn_enter_args(1);
+        a.addr_arg_to_local(0, 0x80);
+        a.local(0x80).sload_mapping(SLOT_BLACKLIST).return_word();
+
+        // ---- destroyBlackFunds(address) ----
+        a.label("destroyBlackFunds")
+            .fn_enter_args(1)
+            .require_not_payable();
+        require_owner(&mut a);
+        a.addr_arg_to_local(0, 0x80);
+        // require(isBlackListed[who])
+        a.local(0x80).sload_mapping(SLOT_BLACKLIST).require();
+        // supply -= balances[who]; balances[who] = 0
+        a.local(0x80).sload_mapping(SLOT_BALANCES).set_local(0xa0);
+        a.push(SLOT_TOTAL_SUPPLY)
+            .op(Opcode::Sload)
+            .local(0xa0)
+            .call_internal("safe_sub");
+        a.push(SLOT_TOTAL_SUPPLY).op(Opcode::Sstore);
+        a.push(0u64)
+            .local(0x80)
+            .mapping_slot(SLOT_BALANCES)
+            .op(Opcode::Sstore);
+        a.local(0xa0).push(0u64).op(Opcode::Mstore);
+        a.local(0x80)
+            .log_event("DestroyedBlackFunds(address,uint256)", 1, 0, 32);
+        a.return_true();
+
+        // ---- deprecate(address) ----
+        a.label("deprecate").fn_enter_args(1).require_not_payable();
+        require_owner(&mut a);
+        a.addr_arg_to_local(0, 0x80);
+        a.local(0x80).push(SLOT_UPGRADED).op(Opcode::Sstore);
+        a.local(0x80).push(0u64).op(Opcode::Mstore);
+        a.log_event("Deprecate(address)", 0, 0, 32);
+        a.return_true();
+    }
+
+    if cfg.with_mint_burn {
+        // ---- rely(address) / deny(address) ----
+        a.label("rely").fn_enter_args(1).require_not_payable();
+        require_ward(&mut a);
+        a.addr_arg_to_local(0, 0x80);
+        a.push(1u64)
+            .local(0x80)
+            .mapping_slot(SLOT_WARDS)
+            .op(Opcode::Sstore);
+        a.return_true();
+        a.label("deny").fn_enter_args(1).require_not_payable();
+        require_ward(&mut a);
+        a.addr_arg_to_local(0, 0x80);
+        a.push(0u64)
+            .local(0x80)
+            .mapping_slot(SLOT_WARDS)
+            .op(Opcode::Sstore);
+        a.return_true();
+
+        // ---- mint(address,uint256) ----
+        a.label("mint").fn_enter_args(2).require_not_payable();
+        require_ward(&mut a);
+        a.addr_arg_to_local(0, 0x80);
+        a.arg_to_local(1, 0xa0);
+        credit_balance(&mut a, 0x80, 0xa0);
+        a.push(SLOT_TOTAL_SUPPLY)
+            .op(Opcode::Sload)
+            .local(0xa0)
+            .call_internal("safe_add");
+        a.push(SLOT_TOTAL_SUPPLY).op(Opcode::Sstore);
+        a.local(0xa0).push(0u64).op(Opcode::Mstore);
+        a.local(0x80).push(0u64).log_event(TRANSFER_EVENT, 2, 0, 32);
+        a.return_true();
+
+        // ---- burn(address,uint256) ----
+        a.label("burn").fn_enter_args(2).require_not_payable();
+        require_ward(&mut a);
+        a.addr_arg_to_local(0, 0x80);
+        a.arg_to_local(1, 0xa0);
+        debit_balance(&mut a, false, 0x80, 0xa0);
+        a.push(SLOT_TOTAL_SUPPLY)
+            .op(Opcode::Sload)
+            .local(0xa0)
+            .call_internal("safe_sub");
+        a.push(SLOT_TOTAL_SUPPLY).op(Opcode::Sstore);
+        a.local(0xa0).push(0u64).op(Opcode::Mstore);
+        a.push(0u64).local(0x80).log_event(TRANSFER_EVENT, 2, 0, 32);
+        a.return_true();
+    }
+
+    if cfg.with_transfer_and_call {
+        // ---- transferAndCall(address,uint256,uint256) ----
+        a.label("transferAndCall")
+            .fn_enter_args(3)
+            .require_not_payable();
+        a.addr_arg_to_local(0, 0x80); // to
+        a.arg_to_local(1, 0xa0); // value
+        a.arg_to_local(2, 0xc0); // payload word
+        debit_balance(&mut a, true, 0, 0xa0);
+        credit_balance(&mut a, 0x80, 0xa0);
+        a.local(0xa0).push(0u64).op(Opcode::Mstore);
+        a.local(0x80)
+            .op(Opcode::Caller)
+            .log_event(TRANSFER_EVENT, 2, 0, 32);
+        // Notify: onTokenTransfer(caller, value, payload) at 0x120.
+        let sel = selector("onTokenTransfer(address,uint256,uint256)");
+        a.push_bytes(&sel)
+            .push(224u64)
+            .op(Opcode::Shl)
+            .push(0x120u64)
+            .op(Opcode::Mstore);
+        a.op(Opcode::Caller).set_local(0x124);
+        a.local(0xa0).set_local(0x144);
+        a.local(0xc0).set_local(0x164);
+        a.push(0u64).push(0u64); // ret
+        a.push(0x64u64).push(0x120u64); // in
+        a.push(0u64); // value
+        a.local(0x80); // to
+        a.op(Opcode::Gas);
+        a.op(Opcode::Call);
+        a.require();
+        a.return_true();
+    }
+
+    a.label("fallback").revert_zero();
+    a.emit_safemath();
+    a.assemble().expect("erc20 assembly is label-closed")
+}
+
+/// fee := min(safe_div(safe_mul(value, rate), 10000), maximumFee), stored
+/// at `fee_local` (zero when fees are disabled).
+fn emit_fee(a: &mut Assembler, cfg: Erc20Config, value_local: u64, fee_local: u64) {
+    if cfg.with_fee {
+        a.local(value_local)
+            .push(SLOT_FEE_RATE)
+            .op(Opcode::Sload)
+            .call_internal("safe_mul")
+            .push(10_000u64)
+            .call_internal("safe_div")
+            .push(SLOT_MAX_FEE)
+            .op(Opcode::Sload)
+            .min()
+            .set_local(fee_local);
+    } else {
+        a.push(0u64).set_local(fee_local);
+    }
+}
+
+/// `if fee > 0 { balances[owner] += fee }`.
+fn emit_fee_payout(a: &mut Assembler, cfg: Erc20Config, fee_local: u64, skip: &str) {
+    if !cfg.with_fee {
+        return;
+    }
+    a.local(fee_local).op(Opcode::Iszero).jumpi(skip);
+    a.push(SLOT_OWNER)
+        .op(Opcode::Sload)
+        .mapping_slot(SLOT_BALANCES);
+    a.op(Opcode::Dup1)
+        .op(Opcode::Sload)
+        .local(fee_local)
+        .call_internal("safe_add");
+    a.op(Opcode::Swap1).op(Opcode::Sstore);
+    a.label(skip);
+}
+
+/// `require(wards[caller] == 1)`.
+fn require_ward(a: &mut Assembler) {
+    a.op(Opcode::Caller).sload_mapping(SLOT_WARDS).require();
+}
+
+/// `require(caller == owner)`.
+fn require_owner(a: &mut Assembler) {
+    a.op(Opcode::Caller)
+        .push(SLOT_OWNER)
+        .op(Opcode::Sload)
+        .op(Opcode::Eq)
+        .require();
+}

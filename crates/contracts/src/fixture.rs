@@ -1,0 +1,392 @@
+//! A ready-to-run deployment of the synthetic TOP8 contracts with seeded
+//! balances, reserves and ownership — the stand-in for the paper's
+//! Ethereum mainnet snapshot.
+
+use crate::erc20::{self, Erc20Config};
+use crate::helpers::{call_data, mapping_slot, nested_mapping_slot};
+use crate::spec::{ContractSpec, FunctionSpec};
+use crate::{defi, misc};
+use mtpu_evm::state::State;
+use mtpu_evm::tx::Transaction;
+use mtpu_primitives::{Address, U256};
+
+/// Number of pre-funded user accounts in the fixture.
+pub const USER_COUNT: u64 = 1024;
+/// Token balance each user starts with in every token contract.
+pub const SEED_BALANCE: u64 = 1_000_000_000;
+/// Ether balance each user starts with.
+pub const SEED_ETHER: u64 = u64::MAX;
+/// Number of virtual tokens with seeded AMM reserves.
+pub const TOKEN_COUNT: u64 = 1024;
+
+/// Canonical contract addresses (stable across runs).
+pub mod addresses {
+    use mtpu_primitives::Address;
+
+    /// TetherUSD.
+    pub fn tether() -> Address {
+        Address::from_low_u64(0x1001)
+    }
+    /// UniswapV2Router02.
+    pub fn uniswap_v2_router() -> Address {
+        Address::from_low_u64(0x1002)
+    }
+    /// FiatTokenProxy.
+    pub fn fiat_proxy() -> Address {
+        Address::from_low_u64(0x1003)
+    }
+    /// FiatToken implementation behind the proxy.
+    pub fn fiat_impl() -> Address {
+        Address::from_low_u64(0x1103)
+    }
+    /// OpenSea.
+    pub fn opensea() -> Address {
+        Address::from_low_u64(0x1004)
+    }
+    /// LinkToken.
+    pub fn link_token() -> Address {
+        Address::from_low_u64(0x1005)
+    }
+    /// SwapRouter.
+    pub fn swap_router() -> Address {
+        Address::from_low_u64(0x1006)
+    }
+    /// Dai.
+    pub fn dai() -> Address {
+        Address::from_low_u64(0x1007)
+    }
+    /// MainchainGatewayProxy.
+    pub fn gateway() -> Address {
+        Address::from_low_u64(0x1008)
+    }
+    /// WETH9.
+    pub fn weth9() -> Address {
+        Address::from_low_u64(0x1009)
+    }
+    /// Ballot.
+    pub fn ballot() -> Address {
+        Address::from_low_u64(0x100a)
+    }
+    /// CryptoCat.
+    pub fn cryptocat() -> Address {
+        Address::from_low_u64(0x100b)
+    }
+    /// Counter.
+    pub fn counter() -> Address {
+        Address::from_low_u64(0x100c)
+    }
+    /// ERC677 receiver sink.
+    pub fn receiver() -> Address {
+        Address::from_low_u64(0x100d)
+    }
+    /// The tokens traded on the routers/exchanges (virtual token ids).
+    pub fn token(i: u64) -> Address {
+        Address::from_low_u64(0x2000 + i)
+    }
+}
+
+/// Builds the eight TOP8 specs in the paper's Table 6 order, plus
+/// auxiliary contracts.
+pub fn top8() -> Vec<ContractSpec> {
+    vec![
+        erc20::build(
+            "Tether USD",
+            addresses::tether(),
+            Erc20Config {
+                with_fee: true,
+                ..Default::default()
+            },
+        ),
+        defi::router("UniswapV2Router02", addresses::uniswap_v2_router(), true),
+        fiat_proxy_spec(),
+        defi::opensea(addresses::opensea()),
+        erc20::build(
+            "LinkToken",
+            addresses::link_token(),
+            Erc20Config {
+                with_transfer_and_call: true,
+                ..Default::default()
+            },
+        ),
+        defi::router("SwapRouter", addresses::swap_router(), false),
+        erc20::build(
+            "Dai",
+            addresses::dai(),
+            Erc20Config {
+                with_mint_burn: true,
+                ..Default::default()
+            },
+        ),
+        defi::gateway_proxy(addresses::gateway()),
+    ]
+}
+
+fn fiat_impl_spec() -> ContractSpec {
+    erc20::build("FiatToken", addresses::fiat_impl(), Erc20Config::default())
+}
+
+fn fiat_proxy_spec() -> ContractSpec {
+    let impl_spec = fiat_impl_spec();
+    misc::fiat_proxy(addresses::fiat_proxy(), &impl_spec.functions)
+}
+
+/// All auxiliary contracts (WETH9, Ballot, CryptoCat, Counter, receiver).
+pub fn auxiliary() -> Vec<ContractSpec> {
+    vec![
+        misc::weth9(addresses::weth9()),
+        misc::ballot(addresses::ballot()),
+        misc::cryptocat(addresses::cryptocat()),
+        misc::counter(addresses::counter()),
+        misc::token_receiver(addresses::receiver()),
+    ]
+}
+
+/// A deployed world: state with all contracts installed and seeded, plus
+/// per-user nonce tracking for building valid transactions.
+#[derive(Debug, Clone)]
+pub struct Fixture {
+    /// The seeded world state.
+    pub state: State,
+    /// The TOP8 specs.
+    pub contracts: Vec<ContractSpec>,
+    /// Auxiliary specs.
+    pub extras: Vec<ContractSpec>,
+    nonces: Vec<u64>,
+}
+
+impl Default for Fixture {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fixture {
+    /// Deploys and seeds everything.
+    pub fn new() -> Self {
+        let mut state = State::new();
+        let contracts = top8();
+        let extras = auxiliary();
+
+        for spec in contracts.iter().chain(extras.iter()) {
+            state.deploy_code(spec.address, spec.code.clone());
+        }
+        // The proxy needs its implementation.
+        let impl_spec = fiat_impl_spec();
+        state.deploy_code(impl_spec.address, impl_spec.code.clone());
+        state.set_storage(
+            addresses::fiat_proxy(),
+            U256::from(0xf0u64),
+            impl_spec.address.to_u256(),
+        );
+
+        let admin = Self::user_address(0);
+        // Seed token state for every ERC20-shaped contract (including the
+        // proxy, whose storage lives at the proxy address).
+        let token_like = [
+            addresses::tether(),
+            addresses::fiat_proxy(),
+            addresses::link_token(),
+            addresses::dai(),
+            addresses::weth9(),
+        ];
+        let supply = U256::from(SEED_BALANCE) * U256::from(USER_COUNT);
+        for &t in &token_like {
+            state.set_storage(t, U256::from(erc20::SLOT_TOTAL_SUPPLY), supply);
+            state.set_storage(t, U256::from(erc20::SLOT_OWNER), admin.to_u256());
+            for u in 0..USER_COUNT {
+                let user = Self::user_address(u);
+                state.set_storage(
+                    t,
+                    mapping_slot(user.to_u256(), erc20::SLOT_BALANCES),
+                    U256::from(SEED_BALANCE),
+                );
+            }
+        }
+        // Pre-approved allowances: user u approves user u+1 (enables
+        // transferFrom coverage without pairing transactions).
+        for &t in &token_like {
+            for u in 0..USER_COUNT {
+                let spender = Self::user_address((u + 1) % USER_COUNT);
+                state.set_storage(
+                    t,
+                    nested_mapping_slot(
+                        Self::user_address(u).to_u256(),
+                        spender.to_u256(),
+                        erc20::SLOT_ALLOWANCE,
+                    ),
+                    U256::from(SEED_BALANCE / 2),
+                );
+            }
+        }
+        // Tether fee params: 10 bps, max fee 50.
+        state.set_storage(
+            addresses::tether(),
+            U256::from(erc20::SLOT_FEE_RATE),
+            U256::from(10u64),
+        );
+        state.set_storage(
+            addresses::tether(),
+            U256::from(erc20::SLOT_MAX_FEE),
+            U256::from(50u64),
+        );
+        // Dai wards: admin can mint/burn.
+        state.set_storage(
+            addresses::dai(),
+            mapping_slot(admin.to_u256(), erc20::SLOT_WARDS),
+            U256::ONE,
+        );
+
+        // Router/exchange seeding: reserves for TOKEN_COUNT tokens and a
+        // per-user ledger in the user's dedicated pair (see
+        // `Fixture::user_pair`), so independent swaps touch disjoint
+        // reserves.
+        for &router in &[addresses::uniswap_v2_router(), addresses::swap_router()] {
+            for t in 0..TOKEN_COUNT {
+                state.set_storage(
+                    router,
+                    mapping_slot(addresses::token(t).to_u256(), 0),
+                    U256::from(10_000_000_000u64),
+                );
+            }
+            for u in 0..USER_COUNT {
+                let (tin, _) = Self::user_pair(u);
+                state.set_storage(
+                    router,
+                    nested_mapping_slot(Self::user_address(u).to_u256(), tin.to_u256(), 1),
+                    U256::from(SEED_BALANCE),
+                );
+                // Also a ledger in token 0/1 so pair-0 conflicts remain
+                // expressible for every user.
+                for t in 0..2 {
+                    state.set_storage(
+                        router,
+                        nested_mapping_slot(
+                            Self::user_address(u).to_u256(),
+                            addresses::token(t).to_u256(),
+                            1,
+                        ),
+                        U256::from(SEED_BALANCE),
+                    );
+                }
+            }
+        }
+        // OpenSea ledgers + fee config.
+        for t in 0..2 {
+            for u in 0..USER_COUNT {
+                state.set_storage(
+                    addresses::opensea(),
+                    nested_mapping_slot(
+                        Self::user_address(u).to_u256(),
+                        addresses::token(t).to_u256(),
+                        1,
+                    ),
+                    U256::from(SEED_BALANCE),
+                );
+            }
+        }
+        state.set_storage(addresses::opensea(), U256::from(2u64), U256::from(250u64));
+        state.set_storage(addresses::opensea(), U256::from(3u64), admin.to_u256());
+
+        // Gateway: per-tx limit + admin + seeded deposits so withdraws work.
+        state.set_storage(
+            addresses::gateway(),
+            U256::from(3u64),
+            U256::from(1_000_000u64),
+        );
+        state.set_storage(addresses::gateway(), U256::from(2u64), admin.to_u256());
+        for u in 0..USER_COUNT {
+            state.set_storage(
+                addresses::gateway(),
+                nested_mapping_slot(
+                    Self::user_address(u).to_u256(),
+                    addresses::token(0).to_u256(),
+                    4,
+                ),
+                U256::from(SEED_BALANCE),
+            );
+        }
+
+        // Ballot: a large proposal space so independent votes can pick
+        // distinct tallies.
+        state.set_storage(addresses::ballot(), U256::from(2u64), U256::from(256u64));
+        // CryptoCat: each user owns cat id == user index.
+        for u in 0..USER_COUNT {
+            state.set_storage(
+                addresses::cryptocat(),
+                mapping_slot(U256::from(u), 0),
+                Self::user_address(u).to_u256(),
+            );
+        }
+
+        // Fund users with ether.
+        for u in 0..USER_COUNT {
+            state.credit(Self::user_address(u), U256::from(SEED_ETHER));
+        }
+        // WETH holds ether backing its supply (so withdraw's CALL succeeds).
+        state.credit(addresses::weth9(), supply);
+        state.finalize_tx();
+
+        Fixture {
+            state,
+            contracts,
+            extras,
+            nonces: vec![0; USER_COUNT as usize],
+        }
+    }
+
+    /// Address of fixture user `i` (`i < USER_COUNT`).
+    pub fn user_address(i: u64) -> Address {
+        Address::from_low_u64(0x10_0000 + i)
+    }
+
+    /// The token pair user `i` holds AMM ledger balance in: disjoint per
+    /// user so independent swaps touch disjoint reserves.
+    pub fn user_pair(i: u64) -> (Address, Address) {
+        let base = 2 * (i % (TOKEN_COUNT / 2));
+        (addresses::token(base), addresses::token(base + 1))
+    }
+
+    /// Looks up a TOP8 or auxiliary spec by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no such contract exists.
+    pub fn spec(&self, name: &str) -> &ContractSpec {
+        self.contracts
+            .iter()
+            .chain(self.extras.iter())
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no contract named {name}"))
+    }
+
+    /// Builds a valid transaction from user `user` calling `function` on
+    /// `spec` with `args`, advancing the user's tracked nonce.
+    pub fn call_tx(
+        &mut self,
+        user: u64,
+        spec_name: &str,
+        function: &str,
+        args: &[U256],
+    ) -> Transaction {
+        let spec = self.spec(spec_name);
+        let to = spec.address;
+        let f: &FunctionSpec = spec.function(function);
+        assert_eq!(
+            f.arg_count,
+            args.len(),
+            "{function} expects {} args",
+            f.arg_count
+        );
+        let data = call_data(f.signature, args);
+        let nonce = self.next_nonce(user);
+        Transaction::call(Self::user_address(user), to, data, nonce)
+    }
+
+    /// Returns and advances user `user`'s nonce.
+    pub fn next_nonce(&mut self, user: u64) -> u64 {
+        let n = &mut self.nonces[user as usize];
+        let v = *n;
+        *n += 1;
+        v
+    }
+}

@@ -1,0 +1,32 @@
+//! Synthetic equivalents of the paper's TOP8 Ethereum contracts (Table 6)
+//! plus the auxiliary contracts of Table 2, hand-assembled in the idioms
+//! the Solidity compiler emits.
+//!
+//! See `DESIGN.md` §2 for why synthetic contracts preserve the behaviours
+//! the evaluation depends on (instruction mix, chunk structure, mapping
+//! access patterns).
+//!
+//! ```
+//! use mtpu_contracts::Fixture;
+//! use mtpu_evm::{execute_transaction, BlockHeader, NoopTracer};
+//! use mtpu_primitives::U256;
+//!
+//! let mut fx = Fixture::new();
+//! let to = Fixture::user_address(9).to_u256();
+//! let tx = fx.call_tx(1, "Tether USD", "transfer", &[to, U256::from(100u64)]);
+//! let mut state = fx.state.clone();
+//! let receipt =
+//!     execute_transaction(&mut state, &BlockHeader::default(), &tx, &mut NoopTracer).unwrap();
+//! assert!(receipt.success);
+//! ```
+
+pub mod defi;
+pub mod erc20;
+pub mod fixture;
+pub mod helpers;
+pub mod misc;
+pub mod spec;
+
+pub use fixture::{addresses, Fixture};
+pub use helpers::{call_data, event_topic, mapping_slot, nested_mapping_slot, selector};
+pub use spec::{ContractSpec, FunctionSpec, Mutability};

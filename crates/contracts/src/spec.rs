@@ -1,0 +1,68 @@
+//! Contract metadata: names, deployed addresses, entry functions.
+
+use mtpu_primitives::Address;
+
+/// Mutability class of an entry function, used by the workload generator
+/// to decide which calls create read/write dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutability {
+    /// Pure/view: never conflicts.
+    View,
+    /// Writes storage.
+    Write,
+}
+
+/// One externally callable function of a synthetic contract.
+#[derive(Debug, Clone)]
+pub struct FunctionSpec {
+    /// Human-readable name (`transfer`).
+    pub name: &'static str,
+    /// Full ABI signature (`transfer(address,uint256)`).
+    pub signature: &'static str,
+    /// 4-byte selector.
+    pub selector: [u8; 4],
+    /// Number of 32-byte word arguments.
+    pub arg_count: usize,
+    /// Whether calls mutate state.
+    pub mutability: Mutability,
+    /// Relative call frequency in the synthetic workload (weights are
+    /// normalized per contract); approximates mainnet entry-function
+    /// mixes (transfer dominates tokens, etc.).
+    pub weight: u32,
+}
+
+/// A fully built synthetic contract.
+#[derive(Debug, Clone)]
+pub struct ContractSpec {
+    /// Short name matching the paper's Table 6 rows.
+    pub name: &'static str,
+    /// Deployed (runtime) bytecode.
+    pub code: Vec<u8>,
+    /// Canonical deployment address used by fixtures.
+    pub address: Address,
+    /// Entry functions.
+    pub functions: Vec<FunctionSpec>,
+    /// `true` for ERC20-compatible tokens (drives the paper's Table 8
+    /// ERC20-proportion sweep).
+    pub is_erc20: bool,
+}
+
+impl ContractSpec {
+    /// Looks up a function by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the function does not exist — specs are static data, so
+    /// a miss is a programming error.
+    pub fn function(&self, name: &str) -> &FunctionSpec {
+        self.functions
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("contract {} has no function {name}", self.name))
+    }
+
+    /// Total of the per-function workload weights.
+    pub fn total_weight(&self) -> u32 {
+        self.functions.iter().map(|f| f.weight).sum()
+    }
+}

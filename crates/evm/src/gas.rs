@@ -1,0 +1,189 @@
+//! The gas schedule.
+//!
+//! Gas is the property that forces the MTPU to use *conservative* ILP
+//! (paper §3.1): every instruction's cost must be deducted before it
+//! executes, and the consistency of the blockchain requires the total per
+//! transaction to be uniquely determined. The constants follow the
+//! Istanbul-era schedule of the yellow paper.
+
+use crate::opcode::Opcode;
+
+/// Base transaction cost.
+pub const TX_BASE: u64 = 21_000;
+/// Per zero byte of transaction data.
+pub const TX_DATA_ZERO: u64 = 4;
+/// Per nonzero byte of transaction data.
+pub const TX_DATA_NONZERO: u64 = 16;
+/// Additional cost of a contract-creating transaction.
+pub const TX_CREATE: u64 = 32_000;
+
+/// `SSTORE` cost when a zero slot becomes nonzero.
+pub const SSTORE_SET: u64 = 20_000;
+/// `SSTORE` cost in all other cases.
+pub const SSTORE_RESET: u64 = 5_000;
+/// Refund when a nonzero slot is cleared.
+pub const SSTORE_CLEAR_REFUND: u64 = 15_000;
+
+/// `SLOAD` cost.
+pub const SLOAD: u64 = 800;
+/// `BALANCE` cost.
+pub const BALANCE: u64 = 700;
+/// `EXTCODESIZE` / `EXTCODECOPY` / `EXTCODEHASH` base cost.
+pub const EXTCODE: u64 = 700;
+/// Base cost of CALL-family instructions.
+pub const CALL_BASE: u64 = 700;
+/// Extra cost of a value-transferring call.
+pub const CALL_VALUE: u64 = 9_000;
+/// Gas stipend handed to the callee of a value-transferring call.
+pub const CALL_STIPEND: u64 = 2_300;
+/// Extra cost when a call creates a new account.
+pub const CALL_NEW_ACCOUNT: u64 = 25_000;
+/// `CREATE` / `CREATE2` base cost.
+pub const CREATE: u64 = 32_000;
+/// `SELFDESTRUCT` cost.
+pub const SELFDESTRUCT: u64 = 5_000;
+/// `SHA3` base cost.
+pub const SHA3_BASE: u64 = 30;
+/// `SHA3` per 32-byte word.
+pub const SHA3_WORD: u64 = 6;
+/// `LOGn` base cost.
+pub const LOG_BASE: u64 = 375;
+/// `LOGn` per topic.
+pub const LOG_TOPIC: u64 = 375;
+/// `LOGn` per byte of data.
+pub const LOG_DATA: u64 = 8;
+/// Copy cost per 32-byte word (`CALLDATACOPY` etc.).
+pub const COPY_WORD: u64 = 3;
+/// `EXP` cost per byte of exponent.
+pub const EXP_BYTE: u64 = 50;
+/// Memory expansion: linear coefficient per word.
+pub const MEMORY_WORD: u64 = 3;
+/// Memory expansion: quadratic divisor.
+pub const MEMORY_QUAD_DIV: u64 = 512;
+/// Per-byte cost of deployed code (`RETURN` from create).
+pub const CODE_DEPOSIT: u64 = 200;
+
+/// Static (size-independent) gas cost of an opcode.
+///
+/// Dynamic components — memory expansion, copy sizes, cold storage rules —
+/// are added by the interpreter at execution time.
+pub const fn static_cost(op: Opcode) -> u64 {
+    use Opcode::*;
+    match op {
+        Stop | Return | Revert | Invalid => 0,
+        Add | Sub | Not | Lt | Gt | Slt | Sgt | Eq | Iszero | And | Or | Xor | Byte | Shl | Shr
+        | Sar | Calldataload | Mload | Mstore | Mstore8 => 3,
+        Mul | Div | Sdiv | Mod | Smod | Signextend => 5,
+        Addmod | Mulmod | Jump => 8,
+        Jumpi => 10,
+        Exp => 10,
+        Sha3 => SHA3_BASE,
+        Address | Origin | Caller | Callvalue | Calldatasize | Codesize | Gasprice
+        | Returndatasize | Coinbase | Timestamp | Number | Difficulty | Gaslimit | Pop | Pc
+        | Msize | Gas => 2,
+        Calldatacopy | Codecopy | Returndatacopy => 3,
+        Balance => BALANCE,
+        Extcodesize | Extcodecopy | Extcodehash => EXTCODE,
+        Blockhash => 20,
+        Sload => SLOAD,
+        Sstore => 0, // fully dynamic
+        Jumpdest => 1,
+        Log0 | Log1 | Log2 | Log3 | Log4 => LOG_BASE,
+        Create | Create2 => CREATE,
+        Call | Callcode | Delegatecall | Staticcall => CALL_BASE,
+        Selfdestruct => SELFDESTRUCT,
+        _ => 3, // PUSH / DUP / SWAP
+    }
+}
+
+/// Total memory cost (linear + quadratic) of holding `words` 32-byte words.
+pub fn memory_cost(words: u64) -> u64 {
+    MEMORY_WORD * words + words * words / MEMORY_QUAD_DIV
+}
+
+/// Gas charged to expand memory from `from_words` to `to_words`.
+pub fn memory_expansion_cost(from_words: u64, to_words: u64) -> u64 {
+    if to_words <= from_words {
+        0
+    } else {
+        memory_cost(to_words) - memory_cost(from_words)
+    }
+}
+
+/// Number of 32-byte words covering `bytes` bytes.
+pub const fn words_for(bytes: u64) -> u64 {
+    bytes.div_ceil(32)
+}
+
+/// Intrinsic gas of a transaction with the given calldata.
+pub fn intrinsic_gas(data: &[u8], is_create: bool) -> u64 {
+    let mut g = TX_BASE;
+    if is_create {
+        g += TX_CREATE;
+    }
+    for &b in data {
+        g += if b == 0 {
+            TX_DATA_ZERO
+        } else {
+            TX_DATA_NONZERO
+        };
+    }
+    g
+}
+
+/// EIP-150 "all but one 64th": the maximum gas forwardable to a callee.
+pub const fn max_call_gas(remaining: u64) -> u64 {
+    remaining - remaining / 64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intrinsic() {
+        assert_eq!(intrinsic_gas(&[], false), 21_000);
+        assert_eq!(intrinsic_gas(&[0, 1], false), 21_000 + 4 + 16);
+        assert_eq!(intrinsic_gas(&[], true), 53_000);
+    }
+
+    #[test]
+    fn memory_quadratic() {
+        assert_eq!(memory_cost(0), 0);
+        assert_eq!(memory_cost(1), 3);
+        assert_eq!(memory_cost(32), 32 * 3 + 2);
+        assert_eq!(memory_expansion_cost(0, 1), 3);
+        assert_eq!(memory_expansion_cost(1, 1), 0);
+        assert_eq!(memory_expansion_cost(2, 1), 0);
+        // Expansion cost is the difference of totals.
+        assert_eq!(
+            memory_expansion_cost(10, 100),
+            memory_cost(100) - memory_cost(10)
+        );
+    }
+
+    #[test]
+    fn words() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(32), 1);
+        assert_eq!(words_for(33), 2);
+    }
+
+    #[test]
+    fn call_gas_cap() {
+        assert_eq!(max_call_gas(6400), 6300);
+        assert_eq!(max_call_gas(0), 0);
+    }
+
+    #[test]
+    fn static_costs_spot_checks() {
+        assert_eq!(static_cost(Opcode::Add), 3);
+        assert_eq!(static_cost(Opcode::Mul), 5);
+        assert_eq!(static_cost(Opcode::Sload), 800);
+        assert_eq!(static_cost(Opcode::Push1), 3);
+        assert_eq!(static_cost(Opcode::Dup16), 3);
+        assert_eq!(static_cost(Opcode::Jumpdest), 1);
+        assert_eq!(static_cost(Opcode::Stop), 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! A from-scratch functional EVM: the execution substrate of the MTPU
+//! reproduction.
+//!
+//! The instruction set is exactly the paper's Table 3 (Istanbul-era
+//! Ethereum), with full gas accounting, a journaled world state, the CALL
+//! family, and optional execution-trace recording that drives the
+//! cycle-level accelerator model in the `mtpu` crate.
+//!
+//! # Quick example
+//!
+//! ```
+//! use mtpu_evm::executor::execute_transaction;
+//! use mtpu_evm::state::State;
+//! use mtpu_evm::trace::NoopTracer;
+//! use mtpu_evm::tx::{BlockHeader, Transaction};
+//! use mtpu_primitives::{Address, U256};
+//!
+//! let from = Address::from_low_u64(1);
+//! let to = Address::from_low_u64(2);
+//! let mut state = State::new();
+//! state.credit(from, U256::from(10_000_000u64));
+//! state.finalize_tx();
+//!
+//! let tx = Transaction::transfer(from, to, U256::from(99u64), 0);
+//! let receipt =
+//!     execute_transaction(&mut state, &BlockHeader::default(), &tx, &mut NoopTracer)?;
+//! assert!(receipt.success);
+//! assert_eq!(state.balance(to), U256::from(99u64));
+//! # Ok::<(), mtpu_evm::executor::TxError>(())
+//! ```
+
+pub mod executor;
+pub mod gas;
+pub mod interpreter;
+pub mod memory;
+pub mod opcode;
+pub mod stack;
+pub mod state;
+pub mod trace;
+pub mod tx;
+
+pub use executor::{execute_block, execute_transaction, trace_transaction, TxError};
+pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};
+pub use opcode::{OpCategory, Opcode};
+pub use state::{Account, State};
+pub use trace::{CallKind, FrameInfo, NoopTracer, TraceRecorder, Tracer, TxTrace};
+pub use tx::{Block, BlockHeader, Log, Receipt, Transaction};

@@ -1,0 +1,130 @@
+//! Byte-addressed, word-expanded EVM memory (the "MEM" scratchpad of the
+//! paper's in-core cache, §3.3.6).
+
+use mtpu_primitives::U256;
+
+/// The EVM's transient byte memory. Grows in 32-byte words; expansion gas
+/// is charged by the interpreter via [`Memory::words`].
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Memory { bytes: Vec::new() }
+    }
+
+    /// Current size in bytes (always a multiple of 32).
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` before the first touch.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Current size in 32-byte words.
+    pub fn words(&self) -> u64 {
+        (self.bytes.len() / 32) as u64
+    }
+
+    /// Grows (never shrinks) so `[offset, offset+len)` is addressable.
+    pub fn expand(&mut self, offset: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let end = offset
+            .checked_add(len)
+            .expect("memory range overflow checked by gas first");
+        let target = end.div_ceil(32) * 32;
+        if target > self.bytes.len() {
+            self.bytes.resize(target, 0);
+        }
+    }
+
+    /// Reads a 32-byte word at `offset` (must be pre-expanded).
+    pub fn load_word(&self, offset: usize) -> U256 {
+        let mut buf = [0u8; 32];
+        buf.copy_from_slice(&self.bytes[offset..offset + 32]);
+        U256::from_be_bytes(buf)
+    }
+
+    /// Writes a 32-byte word at `offset` (must be pre-expanded).
+    pub fn store_word(&mut self, offset: usize, value: U256) {
+        self.bytes[offset..offset + 32].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Writes a single byte at `offset` (must be pre-expanded).
+    pub fn store_byte(&mut self, offset: usize, value: u8) {
+        self.bytes[offset] = value;
+    }
+
+    /// Borrows `len` bytes at `offset` (must be pre-expanded).
+    pub fn slice(&self, offset: usize, len: usize) -> &[u8] {
+        if len == 0 {
+            return &[];
+        }
+        &self.bytes[offset..offset + len]
+    }
+
+    /// Copies `src` into memory at `offset`, zero-filling up to `len` when
+    /// `src` is shorter — the semantics of `CALLDATACOPY`/`CODECOPY`.
+    pub fn copy_from(&mut self, offset: usize, src: &[u8], len: usize) {
+        if len == 0 {
+            return;
+        }
+        let n = src.len().min(len);
+        self.bytes[offset..offset + n].copy_from_slice(&src[..n]);
+        self.bytes[offset + n..offset + len].fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expands_in_words() {
+        let mut m = Memory::new();
+        m.expand(0, 1);
+        assert_eq!(m.len(), 32);
+        m.expand(31, 2);
+        assert_eq!(m.len(), 64);
+        m.expand(100, 0); // zero-length never expands
+        assert_eq!(m.len(), 64);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut m = Memory::new();
+        m.expand(64, 32);
+        let v = U256::from(0xdeadbeefu64);
+        m.store_word(64, v);
+        assert_eq!(m.load_word(64), v);
+        assert_eq!(m.load_word(32), U256::ZERO);
+    }
+
+    #[test]
+    fn byte_store() {
+        let mut m = Memory::new();
+        m.expand(0, 32);
+        m.store_byte(31, 0xff);
+        assert_eq!(m.load_word(0), U256::from(0xffu64));
+    }
+
+    #[test]
+    fn copy_zero_fills() {
+        let mut m = Memory::new();
+        m.expand(0, 64);
+        m.store_word(0, U256::MAX);
+        m.store_word(32, U256::MAX);
+        m.copy_from(0, &[1, 2, 3], 40);
+        assert_eq!(m.slice(0, 3), &[1, 2, 3]);
+        assert!(m.slice(3, 37).iter().all(|&b| b == 0));
+        // Beyond the copy the old contents survive.
+        assert_eq!(m.slice(40, 24), &[0xff; 24]);
+    }
+}

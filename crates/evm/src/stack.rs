@@ -1,0 +1,171 @@
+//! The EVM operand stack: up to 1024 elements of 256 bits (paper §3.3.6,
+//! "the maximum depth of the operand stack is 1024, and each element is
+//! 256 bits").
+
+use mtpu_primitives::U256;
+
+/// Maximum stack depth mandated by the EVM.
+pub const STACK_LIMIT: usize = 1024;
+
+/// Error produced by stack operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackError {
+    /// A pop or peek on too few elements.
+    Underflow,
+    /// A push beyond [`STACK_LIMIT`].
+    Overflow,
+}
+
+impl core::fmt::Display for StackError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StackError::Underflow => f.write_str("stack underflow"),
+            StackError::Overflow => f.write_str("stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for StackError {}
+
+/// The 1024-deep, 256-bit-wide operand stack.
+#[derive(Debug, Clone, Default)]
+pub struct Stack {
+    items: Vec<U256>,
+}
+
+impl Stack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Stack {
+            items: Vec::with_capacity(64),
+        }
+    }
+
+    /// Current depth.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pushes a value.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::Overflow`] beyond 1024 elements.
+    #[inline]
+    pub fn push(&mut self, v: U256) -> Result<(), StackError> {
+        if self.items.len() >= STACK_LIMIT {
+            return Err(StackError::Overflow);
+        }
+        self.items.push(v);
+        Ok(())
+    }
+
+    /// Pops the top value.
+    ///
+    /// # Errors
+    ///
+    /// [`StackError::Underflow`] on an empty stack.
+    #[inline]
+    pub fn pop(&mut self) -> Result<U256, StackError> {
+        self.items.pop().ok_or(StackError::Underflow)
+    }
+
+    /// Reads the `n`-th element from the top (0 = top) without popping.
+    #[inline]
+    pub fn peek(&self, n: usize) -> Result<U256, StackError> {
+        if n >= self.items.len() {
+            return Err(StackError::Underflow);
+        }
+        Ok(self.items[self.items.len() - 1 - n])
+    }
+
+    /// Duplicates the `n`-th element (1 = top) onto the top — `DUPn`.
+    pub fn dup(&mut self, n: usize) -> Result<(), StackError> {
+        let v = self.peek(n - 1)?;
+        self.push(v)
+    }
+
+    /// Swaps the top with the `n+1`-th element — `SWAPn`.
+    pub fn swap(&mut self, n: usize) -> Result<(), StackError> {
+        if n >= self.items.len() {
+            return Err(StackError::Underflow);
+        }
+        let top = self.items.len() - 1;
+        self.items.swap(top, top - n);
+        Ok(())
+    }
+
+    /// Iterates from bottom to top.
+    pub fn iter(&self) -> core::slice::Iter<'_, U256> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> U256 {
+        U256::from(v)
+    }
+
+    #[test]
+    fn push_pop_lifo() {
+        let mut s = Stack::new();
+        s.push(u(1)).unwrap();
+        s.push(u(2)).unwrap();
+        assert_eq!(s.pop().unwrap(), u(2));
+        assert_eq!(s.pop().unwrap(), u(1));
+        assert_eq!(s.pop(), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn overflow_at_limit() {
+        let mut s = Stack::new();
+        for i in 0..STACK_LIMIT {
+            s.push(u(i as u64)).unwrap();
+        }
+        assert_eq!(s.push(u(0)), Err(StackError::Overflow));
+        assert_eq!(s.len(), STACK_LIMIT);
+    }
+
+    #[test]
+    fn peek_indexing() {
+        let mut s = Stack::new();
+        s.push(u(10)).unwrap();
+        s.push(u(20)).unwrap();
+        assert_eq!(s.peek(0).unwrap(), u(20));
+        assert_eq!(s.peek(1).unwrap(), u(10));
+        assert_eq!(s.peek(2), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn dup_semantics() {
+        let mut s = Stack::new();
+        s.push(u(10)).unwrap();
+        s.push(u(20)).unwrap();
+        s.dup(2).unwrap(); // DUP2 copies the second element
+        assert_eq!(s.pop().unwrap(), u(10));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.dup(5), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn swap_semantics() {
+        let mut s = Stack::new();
+        s.push(u(1)).unwrap();
+        s.push(u(2)).unwrap();
+        s.push(u(3)).unwrap();
+        s.swap(2).unwrap(); // SWAP2: top <-> third
+        assert_eq!(s.peek(0).unwrap(), u(1));
+        assert_eq!(s.peek(2).unwrap(), u(3));
+        assert_eq!(s.swap(3), Err(StackError::Underflow));
+    }
+}

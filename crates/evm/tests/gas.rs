@@ -1,0 +1,229 @@
+//! Gas-accounting tests: the property the MTPU design revolves around is
+//! that "a transaction has only one uniquely determined gas overhead"
+//! (paper §2.1) — these tests pin the schedule down opcode by opcode.
+
+use mtpu_evm::gas;
+use mtpu_evm::interpreter::{CallParams, Evm};
+use mtpu_evm::opcode::Opcode;
+use mtpu_evm::state::State;
+use mtpu_evm::trace::{CallKind, NoopTracer};
+use mtpu_evm::tx::{BlockHeader, Transaction};
+use mtpu_evm::{execute_transaction, Halt};
+use mtpu_primitives::{Address, U256};
+
+/// Runs raw code and returns gas used by the frame.
+fn frame_gas(code: Vec<u8>, gas: u64) -> (Halt, u64) {
+    let mut state = State::new();
+    let contract = Address::from_low_u64(0xc0de);
+    state.deploy_code(contract, code);
+    let header = BlockHeader::default();
+    let mut tracer = NoopTracer;
+    let mut evm = Evm::new(
+        &mut state,
+        &header,
+        Address::from_low_u64(1),
+        U256::ONE,
+        &mut tracer,
+    );
+    let res = evm.call(CallParams {
+        kind: CallKind::Call,
+        caller: Address::from_low_u64(1),
+        code_address: contract,
+        storage_address: contract,
+        value: U256::ZERO,
+        transfers_value: false,
+        input: vec![],
+        gas,
+        is_static: false,
+        depth: 0,
+    });
+    (res.halt, gas - res.gas_left)
+}
+
+#[test]
+fn simple_op_costs() {
+    // PUSH1(3) PUSH1(3) ADD(3) STOP(0) = 9.
+    let (halt, used) = frame_gas(vec![0x60, 1, 0x60, 2, 0x01, 0x00], 100);
+    assert_eq!(halt, Halt::Stop);
+    assert_eq!(used, 9);
+    // MUL costs 5.
+    let (_, used) = frame_gas(vec![0x60, 1, 0x60, 2, 0x02, 0x00], 100);
+    assert_eq!(used, 11);
+}
+
+#[test]
+fn exp_charges_per_exponent_byte() {
+    // EXP base cost 10 + 50 per byte of exponent.
+    // exponent 0x01 -> 1 byte.
+    let (_, one_byte) = frame_gas(vec![0x60, 1, 0x60, 2, 0x0a, 0x00], 10_000);
+    // exponent 0x0100 -> 2 bytes.
+    let (_, two_bytes) = frame_gas(vec![0x61, 1, 0, 0x60, 2, 0x0a, 0x00], 10_000);
+    assert_eq!(two_bytes - one_byte, 50);
+    // zero exponent costs only the base 10.
+    let (_, zero) = frame_gas(vec![0x60, 0, 0x60, 2, 0x0a, 0x00], 10_000);
+    assert_eq!(one_byte - zero, 50);
+}
+
+#[test]
+fn sha3_charges_per_word() {
+    // SHA3 base 30 + 6/word (+ memory expansion, same for both).
+    let (_, w1) = frame_gas(vec![0x60, 32, 0x60, 0, 0x20, 0x00], 10_000);
+    let (_, w2) = frame_gas(vec![0x60, 64, 0x60, 0, 0x20, 0x00], 10_000);
+    // One extra word of hashing (6) plus one extra word of memory (3).
+    assert_eq!(w2 - w1, 6 + 3);
+}
+
+#[test]
+fn memory_expansion_is_quadratic() {
+    // Expanding to word n costs 3n + n^2/512.
+    let cost_to = |words: u64| {
+        let offset = words * 32 - 32;
+        let mut code = vec![0x61];
+        code.extend_from_slice(&(offset as u16).to_be_bytes());
+        code.push(0x51); // MLOAD
+        code.push(0x00);
+        let (_, used) = frame_gas(code, 10_000_000);
+        used - 3 - 3 // PUSH2 + MLOAD static
+    };
+    assert_eq!(cost_to(1), gas::memory_cost(1));
+    assert_eq!(cost_to(32), gas::memory_cost(32));
+    assert_eq!(cost_to(1024), gas::memory_cost(1024));
+    // Quadratic term visible: doubling words more than doubles cost.
+    assert!(cost_to(2048) > 2 * cost_to(1024));
+}
+
+#[test]
+fn sstore_set_vs_reset() {
+    // Zero -> nonzero costs SSTORE_SET.
+    let (_, set) = frame_gas(vec![0x60, 7, 0x60, 1, 0x55, 0x00], 100_000);
+    assert_eq!(set, 6 + gas::SSTORE_SET);
+    // Nonzero -> nonzero costs SSTORE_RESET (second store in one frame).
+    let (_, both) = frame_gas(
+        vec![0x60, 7, 0x60, 1, 0x55, 0x60, 9, 0x60, 1, 0x55, 0x00],
+        100_000,
+    );
+    assert_eq!(both, 12 + gas::SSTORE_SET + gas::SSTORE_RESET);
+}
+
+#[test]
+fn sstore_clear_refund_capped_at_half() {
+    // A transaction that clears a pre-existing slot earns a refund, but
+    // no more than half the gas used.
+    let mut state = State::new();
+    let contract = Address::from_low_u64(0xc0de);
+    // PUSH1 0; PUSH1 1; SSTORE; STOP — clears slot 1.
+    state.deploy_code(contract, vec![0x60, 0, 0x60, 1, 0x55, 0x00]);
+    state.set_storage(contract, U256::ONE, U256::from(5u64));
+    let from = Address::from_low_u64(1);
+    state.credit(from, U256::from(100_000_000u64));
+    state.finalize_tx();
+    let header = BlockHeader::default();
+    let tx = Transaction::call(from, contract, vec![0xaa, 0xbb, 0xcc, 0xdd], 0);
+    let r = execute_transaction(&mut state, &header, &tx, &mut NoopTracer).unwrap();
+    assert!(r.success);
+    // Without the refund: 21000 + 4*16 intrinsic + 6 + 5000 = 26070.
+    let no_refund = 21_000 + 4 * gas::TX_DATA_NONZERO + 6 + gas::SSTORE_RESET;
+    // The 15000-clear refund is capped at half of that.
+    assert_eq!(r.gas_used, no_refund - no_refund / 2);
+    assert_eq!(state.storage(contract, U256::ONE), U256::ZERO);
+}
+
+#[test]
+fn intrinsic_gas_data_pricing() {
+    let from = Address::from_low_u64(1);
+    let to = Address::from_low_u64(2);
+    let mut state = State::new();
+    state.credit(from, U256::from(100_000_000u64));
+    state.finalize_tx();
+    let header = BlockHeader::default();
+    // Empty code at `to`: gas used == intrinsic.
+    let mut tx = Transaction::call(from, to, vec![0, 0, 1, 1], 0);
+    tx.value = U256::ONE;
+    let r = execute_transaction(&mut state, &header, &tx, &mut NoopTracer).unwrap();
+    assert_eq!(
+        r.gas_used,
+        gas::TX_BASE + 2 * gas::TX_DATA_ZERO + 2 * gas::TX_DATA_NONZERO
+    );
+}
+
+#[test]
+fn out_of_gas_boundary_is_exact() {
+    // The program needs exactly 9 gas; 8 must fail, 9 must succeed.
+    let code = vec![0x60, 1, 0x60, 2, 0x01, 0x00];
+    let (halt, used) = frame_gas(code.clone(), 9);
+    assert_eq!(halt, Halt::Stop);
+    assert_eq!(used, 9);
+    let (halt, used) = frame_gas(code, 8);
+    assert!(matches!(halt, Halt::Exception(_)));
+    assert_eq!(used, 8, "exceptions consume the whole frame budget");
+}
+
+#[test]
+fn call_stipend_lets_empty_callee_finish() {
+    // A value-bearing CALL to an EOA must succeed on the 2300 stipend
+    // even when the caller forwards zero gas.
+    let mut state = State::new();
+    let contract = Address::from_low_u64(0xc0de);
+    // CALL(0 gas, 0x999, value 1, no data); return flag.
+    state.deploy_code(
+        contract,
+        vec![
+            0x60, 0, 0x60, 0, 0x60, 0, 0x60, 0, 0x60, 1, 0x61, 0x09, 0x99, 0x60, 0, 0xf1, 0x60, 0,
+            0x52, 0x60, 32, 0x60, 0, 0xf3,
+        ],
+    );
+    state.credit(contract, U256::from(10u64));
+    let header = BlockHeader::default();
+    let mut tracer = NoopTracer;
+    let mut evm = Evm::new(
+        &mut state,
+        &header,
+        Address::from_low_u64(1),
+        U256::ONE,
+        &mut tracer,
+    );
+    let res = evm.call(CallParams {
+        kind: CallKind::Call,
+        caller: Address::from_low_u64(1),
+        code_address: contract,
+        storage_address: contract,
+        value: U256::ZERO,
+        transfers_value: false,
+        input: vec![],
+        gas: 100_000,
+        is_static: false,
+        depth: 0,
+    });
+    assert!(res.success());
+    assert_eq!(
+        U256::from_be_slice(&res.output),
+        U256::ONE,
+        "transfer call succeeded"
+    );
+    assert_eq!(
+        evm.state.balance(Address::from_low_u64(0x999)),
+        U256::from(1u64)
+    );
+}
+
+#[test]
+fn gas_is_deterministic_across_runs() {
+    // The uniqueness property the scheduler relies on.
+    let code = vec![
+        0x60, 5, 0x60, 1, 0x55, 0x60, 1, 0x54, 0x60, 0, 0x52, 0x60, 32, 0x60, 0, 0x20, 0x50, 0x00,
+    ];
+    let (h1, g1) = frame_gas(code.clone(), 1_000_000);
+    let (h2, g2) = frame_gas(code, 1_000_000);
+    assert_eq!(h1, h2);
+    assert_eq!(g1, g2);
+}
+
+#[test]
+fn static_costs_table_is_total() {
+    // Every assigned opcode has a static cost (no panics / surprises).
+    for b in 0u16..=255 {
+        if let Some(op) = Opcode::from_u8(b as u8) {
+            let _ = gas::static_cost(op);
+        }
+    }
+}

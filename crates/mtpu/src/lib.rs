@@ -1,0 +1,18 @@
+//! The MTPU: the paper's contribution — multi-transaction processing unit
+//! timing model, spatial-temporal scheduler and hotspot optimizer.
+
+pub mod area;
+pub mod config;
+pub mod dbcache;
+pub mod funit;
+pub mod hotspot;
+pub mod node;
+pub mod pu;
+pub mod sched;
+pub mod stream;
+
+pub use config::{DbCacheConfig, LatencyModel, MtpuConfig};
+pub use hotspot::ContractTable;
+pub use node::{BlockReport, Node};
+pub use pu::{Pu, StateBuffer, TxJob, TxTiming};
+pub use sched::{simulate_sequential, simulate_st, simulate_sync, DepGraph, ScheduleResult};

@@ -1,0 +1,279 @@
+//! The dependency DAG between transactions of a block.
+//!
+//! Per the paper (§2.2.2), dependencies are discovered in the consensus
+//! stage — the elected node executes the block and serializes the DAG into
+//! it, so the executing nodes know all conflicts *before* execution. We
+//! reproduce that: the DAG is computed from the read/write sets of the
+//! recorded traces (storage slots plus value-transfer balances).
+
+use mtpu_evm::trace::TxTrace;
+use mtpu_evm::tx::Transaction;
+use mtpu_primitives::{Address, U256};
+use std::collections::{HashMap, HashSet};
+
+/// A conflict key: a storage slot or an account balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Slot {
+    Storage(Address, U256),
+    Balance(Address),
+}
+
+/// Directed acyclic dependency graph over the transactions of one block
+/// (edge `i -> j` means `j` must observe `i`'s effects).
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    parents: Vec<Vec<u32>>,
+    children: Vec<Vec<u32>>,
+}
+
+impl DepGraph {
+    /// An edgeless graph over `n` transactions.
+    pub fn new(n: usize) -> Self {
+        DepGraph {
+            parents: vec![Vec::new(); n],
+            children: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of transactions.
+    pub fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// `true` for an empty block.
+    pub fn is_empty(&self) -> bool {
+        self.parents.is_empty()
+    }
+
+    /// Adds edge `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `from >= to` (edges must follow block order, which
+    /// guarantees acyclicity) or when an index is out of range.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < to, "dependency edges follow block order");
+        assert!(to < self.parents.len(), "edge target out of range");
+        if !self.parents[to].contains(&(from as u32)) {
+            self.parents[to].push(from as u32);
+            self.children[from].push(to as u32);
+        }
+    }
+
+    /// Parents of `tx` (must-happen-before set).
+    pub fn parents(&self, tx: usize) -> &[u32] {
+        &self.parents[tx]
+    }
+
+    /// Children of `tx`.
+    pub fn children(&self, tx: usize) -> &[u32] {
+        &self.children[tx]
+    }
+
+    /// Fraction of transactions with at least one parent — the paper's
+    /// "proportion of dependent transactions" x-axis.
+    pub fn dependent_ratio(&self) -> f64 {
+        if self.parents.is_empty() {
+            return 0.0;
+        }
+        let dependent = self.parents.iter().filter(|p| !p.is_empty()).count();
+        dependent as f64 / self.parents.len() as f64
+    }
+
+    /// Length of the longest dependency chain (critical path in
+    /// transaction counts).
+    pub fn critical_path_len(&self) -> usize {
+        let n = self.len();
+        let mut depth = vec![1usize; n];
+        for i in 0..n {
+            for &p in &self.parents[i] {
+                depth[i] = depth[i].max(depth[p as usize] + 1);
+            }
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+
+    /// Builds the DAG from the conflicts between recorded executions:
+    /// write→read, write→write and read→write orderings over storage
+    /// slots and transferred balances.
+    ///
+    /// Gas-fee bookkeeping (sender gas debit, coinbase credit) is
+    /// excluded: fee accrual commutes and would otherwise serialize every
+    /// block, which neither the paper nor production parallel executors
+    /// (e.g. Block-STM) order on.
+    pub fn from_conflicts(txs: &[Transaction], traces: &[TxTrace]) -> DepGraph {
+        assert_eq!(txs.len(), traces.len());
+        let n = txs.len();
+        let mut g = DepGraph::new(n);
+        let mut last_writer: HashMap<Slot, usize> = HashMap::new();
+        let mut readers_since: HashMap<Slot, Vec<usize>> = HashMap::new();
+        let mut last_of_sender: HashMap<Address, usize> = HashMap::new();
+
+        for i in 0..n {
+            // Nonce ordering: transactions of one sender execute in order.
+            if let Some(&prev) = last_of_sender.get(&txs[i].from) {
+                g.add_edge(prev, i);
+            }
+            last_of_sender.insert(txs[i].from, i);
+            let (reads, writes) = rw_sets(&txs[i], &traces[i]);
+            for r in &reads {
+                if let Some(&w) = last_writer.get(r) {
+                    if w != i {
+                        g.add_edge(w, i);
+                    }
+                }
+                readers_since.entry(*r).or_default().push(i);
+            }
+            for w in &writes {
+                if let Some(&pw) = last_writer.get(w) {
+                    if pw != i {
+                        g.add_edge(pw, i);
+                    }
+                }
+                if let Some(rs) = readers_since.get(w) {
+                    for &r in rs {
+                        if r != i {
+                            g.add_edge(r, i);
+                        }
+                    }
+                }
+                last_writer.insert(*w, i);
+                readers_since.insert(*w, Vec::new());
+            }
+        }
+        g
+    }
+
+    /// Checks that `start[j] >= end[i]` for every edge `i -> j` — the
+    /// serializability oracle used by the scheduler tests.
+    #[allow(clippy::needless_range_loop)] // j indexes parents and start
+    pub fn schedule_respects_dag(&self, start: &[u64], end: &[u64]) -> bool {
+        for j in 0..self.len() {
+            for &p in &self.parents[j] {
+                if start[j] < end[p as usize] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn rw_sets(tx: &Transaction, trace: &TxTrace) -> (HashSet<Slot>, HashSet<Slot>) {
+    let mut reads = HashSet::new();
+    let mut writes = HashSet::new();
+    for acc in &trace.storage {
+        let slot = Slot::Storage(acc.address, acc.key);
+        if acc.write {
+            writes.insert(slot);
+        } else {
+            reads.insert(slot);
+        }
+    }
+    // Value movement touches balances.
+    if !tx.value.is_zero() {
+        writes.insert(Slot::Balance(tx.from));
+        if let Some(to) = tx.to {
+            writes.insert(Slot::Balance(to));
+        }
+    }
+    (reads, writes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtpu_evm::trace::StorageAccess;
+
+    fn tx(from: u64, to: u64, value: u64) -> Transaction {
+        Transaction::transfer(
+            Address::from_low_u64(from),
+            Address::from_low_u64(to),
+            U256::from(value),
+            0,
+        )
+    }
+
+    fn trace_with(accs: &[(u64, u64, bool)]) -> TxTrace {
+        TxTrace {
+            storage: accs
+                .iter()
+                .map(|&(a, k, w)| StorageAccess {
+                    step: 0,
+                    address: Address::from_low_u64(a),
+                    key: U256::from(k),
+                    write: w,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn write_write_conflict() {
+        let txs = vec![tx(1, 2, 0), tx(3, 4, 0)];
+        let traces = vec![trace_with(&[(9, 1, true)]), trace_with(&[(9, 1, true)])];
+        let g = DepGraph::from_conflicts(&txs, &traces);
+        assert_eq!(g.parents(1), &[0]);
+        assert_eq!(g.dependent_ratio(), 0.5);
+    }
+
+    #[test]
+    fn read_write_and_write_read() {
+        // T0 writes k, T1 reads k (WAR->RAW edge 0->1), T2 writes k
+        // (edges from writer 0 and reader 1).
+        let txs = vec![tx(1, 2, 0), tx(3, 4, 0), tx(5, 6, 0)];
+        let traces = vec![
+            trace_with(&[(9, 1, true)]),
+            trace_with(&[(9, 1, false)]),
+            trace_with(&[(9, 1, true)]),
+        ];
+        let g = DepGraph::from_conflicts(&txs, &traces);
+        assert_eq!(g.parents(1), &[0]);
+        let mut p2 = g.parents(2).to_vec();
+        p2.sort();
+        assert_eq!(p2, vec![0, 1]);
+        assert_eq!(g.critical_path_len(), 3);
+    }
+
+    #[test]
+    fn balance_conflicts_from_value_transfers() {
+        // Two transfers from the same sender conflict.
+        let txs = vec![tx(1, 2, 5), tx(1, 3, 5)];
+        let traces = vec![TxTrace::default(), TxTrace::default()];
+        let g = DepGraph::from_conflicts(&txs, &traces);
+        assert_eq!(g.parents(1), &[0]);
+    }
+
+    #[test]
+    fn independent_txs_have_no_edges() {
+        let txs = vec![tx(1, 2, 1), tx(3, 4, 1)];
+        let traces = vec![TxTrace::default(), TxTrace::default()];
+        let g = DepGraph::from_conflicts(&txs, &traces);
+        assert_eq!(g.dependent_ratio(), 0.0);
+        assert_eq!(g.critical_path_len(), 1);
+    }
+
+    #[test]
+    fn reads_do_not_conflict_with_reads() {
+        let txs = vec![tx(1, 2, 0), tx(3, 4, 0)];
+        let traces = vec![trace_with(&[(9, 1, false)]), trace_with(&[(9, 1, false)])];
+        let g = DepGraph::from_conflicts(&txs, &traces);
+        assert_eq!(g.dependent_ratio(), 0.0);
+    }
+
+    #[test]
+    fn schedule_oracle() {
+        let mut g = DepGraph::new(2);
+        g.add_edge(0, 1);
+        assert!(g.schedule_respects_dag(&[0, 10], &[10, 20]));
+        assert!(!g.schedule_respects_dag(&[0, 5], &[10, 20]));
+    }
+
+    #[test]
+    #[should_panic(expected = "block order")]
+    fn backward_edge_rejected() {
+        let mut g = DepGraph::new(2);
+        g.add_edge(1, 0);
+    }
+}

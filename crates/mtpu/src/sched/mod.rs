@@ -1,0 +1,10 @@
+//! The spatial-temporal scheduling algorithm (paper §3.2) and its
+//! comparison baselines.
+
+mod depgraph;
+mod sim;
+mod tables;
+
+pub use depgraph::DepGraph;
+pub use sim::{simulate_sequential, simulate_st, simulate_sync, ScheduleResult};
+pub use tables::{PuRow, SchedulingTable, TransactionTable, MAX_CANDIDATES};

@@ -1,0 +1,245 @@
+//! Conversion of a recorded execution trace into the decoded micro-op
+//! stream the PU pipeline consumes, applying instruction folding
+//! (paper §3.3.4) and the hotspot optimizer's stream transformations
+//! (pre-execution skip, constant-instruction elimination, §3.4).
+
+use mtpu_evm::opcode::Opcode;
+use mtpu_evm::trace::TxTrace;
+use std::collections::HashSet;
+
+/// One decoded micro-operation flowing through the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroOp {
+    /// Index of the primary step in the source [`TxTrace::steps`].
+    pub step: u32,
+    /// Frame index (selects the executing code identity).
+    pub frame: u32,
+    /// PC of the first constituent instruction (lines are addressed by
+    /// the address of the first filled instruction).
+    pub pc: u32,
+    /// The executing opcode (for a folded pair, the *second* op).
+    pub op: Opcode,
+    /// A `PUSH` was folded into this op: its immediate operand comes from
+    /// the synthetic instruction, not the stack.
+    pub const_operand: bool,
+    /// Original instruction count this micro-op retires (1, or 2 for a
+    /// folded pair).
+    pub insn_count: u32,
+    /// Storage operand resolved at pre-execution time and prefetched into
+    /// the data cache (hotspot optimization §3.4.4).
+    pub prefetched: bool,
+}
+
+/// Ops a preceding `PUSH` may fold into (the "most common patterns" the
+/// fill unit's pattern detector checks, §3.3.4).
+pub fn is_foldable_target(op: Opcode) -> bool {
+    use Opcode::*;
+    matches!(
+        op,
+        Eq | Lt
+            | Gt
+            | Slt
+            | Sgt
+            | And
+            | Or
+            | Xor
+            | Add
+            | Sub
+            | Shl
+            | Shr
+            | Jump
+            | Jumpi
+            | Mstore
+            | Mload
+            | Sload
+    )
+}
+
+/// Stream-level transformations requested by the hotspot optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct StreamTransforms {
+    /// Steps to drop entirely: the pre-executed Compare/Check chunks.
+    pub skip_steps: HashSet<u32>,
+    /// PUSH steps eliminated because their value moved to the Constants
+    /// Table; the consuming instruction reads the table instead.
+    pub eliminated_pushes: HashSet<u32>,
+    /// Steps (consumers of eliminated pushes) whose operand comes from
+    /// the Constants Table.
+    pub const_operand_steps: HashSet<u32>,
+    /// SLOAD steps whose data was prefetched before execution.
+    pub prefetched_steps: HashSet<u32>,
+}
+
+impl StreamTransforms {
+    /// No transformations (hotspot optimization off).
+    pub fn none() -> Self {
+        StreamTransforms::default()
+    }
+}
+
+/// Statistics of a stream build.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Steps dropped by pre-execution.
+    pub skipped_preexec: u64,
+    /// PUSH instructions eliminated into the Constants Table.
+    pub eliminated: u64,
+    /// PUSHes folded into their consumers.
+    pub folded: u64,
+}
+
+/// Builds the micro-op stream for one transaction.
+///
+/// Order of transformations matches the hardware: pre-executed chunks
+/// never reach the pipeline; constant-eliminated PUSHes are absent from
+/// the fetched bytecode; folding happens in the fill unit on what remains.
+pub fn build_stream(
+    trace: &TxTrace,
+    enable_folding: bool,
+    tr: &StreamTransforms,
+) -> (Vec<MicroOp>, StreamStats) {
+    let mut stats = StreamStats::default();
+    // Phase 1: filter + annotate.
+    let mut pending: Vec<MicroOp> = Vec::with_capacity(trace.steps.len());
+    for (i, s) in trace.steps.iter().enumerate() {
+        let i = i as u32;
+        if tr.skip_steps.contains(&i) {
+            stats.skipped_preexec += 1;
+            continue;
+        }
+        if tr.eliminated_pushes.contains(&i) {
+            stats.eliminated += 1;
+            continue;
+        }
+        pending.push(MicroOp {
+            step: i,
+            frame: s.frame,
+            pc: s.pc,
+            op: s.opcode(),
+            const_operand: tr.const_operand_steps.contains(&i),
+            insn_count: 1,
+            prefetched: tr.prefetched_steps.contains(&i),
+        });
+    }
+    if !enable_folding {
+        return (pending, stats);
+    }
+    // Phase 2: fold PUSH + target pairs (adjacent, same frame, and the
+    // target actually consumes the pushed value, i.e. consecutive pcs).
+    let mut out: Vec<MicroOp> = Vec::with_capacity(pending.len());
+    let mut i = 0;
+    while i < pending.len() {
+        let cur = pending[i];
+        if cur.op.is_push() && !cur.const_operand && i + 1 < pending.len() {
+            let next = pending[i + 1];
+            let contiguous = next.frame == cur.frame
+                && next.pc as usize == cur.pc as usize + 1 + cur.op.immediate_len();
+            if contiguous && is_foldable_target(next.op) && !next.const_operand {
+                out.push(MicroOp {
+                    step: next.step,
+                    frame: cur.frame,
+                    pc: cur.pc,
+                    op: next.op,
+                    const_operand: true,
+                    insn_count: 2,
+                    prefetched: next.prefetched,
+                });
+                stats.folded += 1;
+                i += 2;
+                continue;
+            }
+        }
+        out.push(cur);
+        i += 1;
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtpu_evm::trace::{TraceStep, TxTrace};
+
+    fn trace_of(ops: &[(u32, Opcode)]) -> TxTrace {
+        TxTrace {
+            steps: ops
+                .iter()
+                .map(|&(pc, op)| TraceStep {
+                    frame: 0,
+                    pc,
+                    op: op as u8,
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn folds_push_eq_pair() {
+        // PUSH4 sel (pc 0, imm 4) ; EQ (pc 5)
+        let t = trace_of(&[(0, Opcode::Push4), (5, Opcode::Eq)]);
+        let (s, st) = build_stream(&t, true, &StreamTransforms::none());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].op, Opcode::Eq);
+        assert_eq!(s[0].pc, 0);
+        assert!(s[0].const_operand);
+        assert_eq!(s[0].insn_count, 2);
+        assert_eq!(st.folded, 1);
+    }
+
+    #[test]
+    fn no_fold_when_disabled_or_nonadjacent() {
+        let t = trace_of(&[(0, Opcode::Push4), (5, Opcode::Eq)]);
+        let (s, _) = build_stream(&t, false, &StreamTransforms::none());
+        assert_eq!(s.len(), 2);
+
+        // A jump between them (pc mismatch) prevents folding.
+        let t = trace_of(&[(0, Opcode::Push4), (9, Opcode::Eq)]);
+        let (s, _) = build_stream(&t, true, &StreamTransforms::none());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn fold_does_not_chain_pushes() {
+        // PUSH1 a; PUSH1 b; ADD -> only the second PUSH folds.
+        let t = trace_of(&[(0, Opcode::Push1), (2, Opcode::Push1), (4, Opcode::Add)]);
+        let (s, st) = build_stream(&t, true, &StreamTransforms::none());
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].op, Opcode::Push1);
+        assert_eq!(s[1].op, Opcode::Add);
+        assert!(s[1].const_operand);
+        assert_eq!(st.folded, 1);
+    }
+
+    #[test]
+    fn transforms_apply() {
+        let t = trace_of(&[
+            (0, Opcode::Push1),
+            (2, Opcode::Calldataload),
+            (3, Opcode::Push1),
+            (5, Opcode::Sload),
+        ]);
+        let tr = StreamTransforms {
+            skip_steps: [0u32, 1].into_iter().collect(),
+            eliminated_pushes: [2u32].into_iter().collect(),
+            const_operand_steps: [3u32].into_iter().collect(),
+            prefetched_steps: [3u32].into_iter().collect(),
+        };
+        let (s, st) = build_stream(&t, true, &tr);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].op, Opcode::Sload);
+        assert!(s[0].const_operand);
+        assert!(s[0].prefetched);
+        assert_eq!(st.skipped_preexec, 2);
+        assert_eq!(st.eliminated, 1);
+        assert_eq!(st.folded, 0);
+    }
+
+    #[test]
+    fn jumpi_folds() {
+        let t = trace_of(&[(0, Opcode::Push2), (3, Opcode::Jumpi)]);
+        let (s, _) = build_stream(&t, true, &StreamTransforms::none());
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].op, Opcode::Jumpi);
+    }
+}

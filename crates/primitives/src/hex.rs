@@ -1,0 +1,89 @@
+//! Minimal hexadecimal encode/decode helpers (no external dependency).
+
+use core::fmt;
+
+/// Error returned by [`decode`] on malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeHexError {
+    /// The input length is odd.
+    OddLength,
+    /// A character is not a hexadecimal digit; carries its byte offset.
+    InvalidDigit(usize),
+}
+
+impl fmt::Display for DecodeHexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeHexError::OddLength => f.write_str("odd number of hex digits"),
+            DecodeHexError::InvalidDigit(i) => write!(f, "invalid hex digit at offset {i}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeHexError {}
+
+/// Encodes bytes as lowercase hex without a prefix.
+///
+/// ```
+/// assert_eq!(mtpu_primitives::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+/// Decodes a hex string (no prefix, case-insensitive).
+///
+/// # Errors
+///
+/// Returns [`DecodeHexError`] for odd lengths or non-hex characters.
+pub fn decode(s: &str) -> Result<Vec<u8>, DecodeHexError> {
+    let s = s.as_bytes();
+    if !s.len().is_multiple_of(2) {
+        return Err(DecodeHexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for (i, pair) in s.chunks_exact(2).enumerate() {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(DecodeHexError::InvalidDigit(i * 2))?;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(DecodeHexError::InvalidDigit(i * 2 + 1))?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data = vec![0u8, 1, 0x7f, 0x80, 0xff];
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(decode("DeAdBeEf").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(decode("abc"), Err(DecodeHexError::OddLength));
+        assert_eq!(decode("zz"), Err(DecodeHexError::InvalidDigit(0)));
+        assert_eq!(decode("az"), Err(DecodeHexError::InvalidDigit(1)));
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+    }
+}

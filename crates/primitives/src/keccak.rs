@@ -1,0 +1,229 @@
+//! Keccak-256 as used by Ethereum (original Keccak padding `0x01`, *not*
+//! the NIST SHA-3 `0x06` domain byte), implemented from scratch on the
+//! Keccak-f\[1600\] permutation.
+
+/// Keccak-f[1600] round constants.
+const RC: [u64; 24] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets (rho step), indexed `[x][y]`.
+const RHO: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// Sponge rate in bytes for Keccak-256 (1088-bit rate).
+const RATE: usize = 136;
+
+/// Applies the Keccak-f[1600] permutation to a 5×5 lane state.
+#[allow(clippy::needless_range_loop)] // the x/y lane indices mirror the spec
+fn keccak_f(state: &mut [[u64; 5]; 5]) {
+    for &rc in &RC {
+        // Theta.
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                state[x][y] ^= d;
+            }
+        }
+        // Rho and pi.
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(RHO[x][y]);
+            }
+        }
+        // Chi.
+        for x in 0..5 {
+            for y in 0..5 {
+                state[x][y] = b[x][y] ^ (!b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+            }
+        }
+        // Iota.
+        state[0][0] ^= rc;
+    }
+}
+
+/// Incremental Keccak-256 hasher.
+///
+/// ```
+/// use mtpu_primitives::keccak::Keccak256;
+/// let mut h = Keccak256::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), mtpu_primitives::keccak256(b"abc"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Keccak256 {
+    state: [[u64; 5]; 5],
+    buffer: [u8; RATE],
+    buffered: usize,
+}
+
+impl Default for Keccak256 {
+    fn default() -> Self {
+        Keccak256 {
+            state: [[0; 5]; 5],
+            buffer: [0; RATE],
+            buffered: 0,
+        }
+    }
+}
+
+impl Keccak256 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs `data` into the sponge.
+    pub fn update(&mut self, data: &[u8]) {
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = (RATE - self.buffered).min(rest.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
+            self.buffered += take;
+            rest = &rest[take..];
+            if self.buffered == RATE {
+                self.absorb_block();
+            }
+        }
+    }
+
+    fn absorb_block(&mut self) {
+        for i in 0..RATE / 8 {
+            let mut lane = [0u8; 8];
+            lane.copy_from_slice(&self.buffer[i * 8..i * 8 + 8]);
+            let (x, y) = (i % 5, i / 5);
+            self.state[x][y] ^= u64::from_le_bytes(lane);
+        }
+        keccak_f(&mut self.state);
+        self.buffered = 0;
+    }
+
+    /// Finishes the hash and returns the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        // Original Keccak multi-rate padding: 0x01 ... 0x80.
+        self.buffer[self.buffered..].fill(0);
+        self.buffer[self.buffered] ^= 0x01;
+        self.buffer[RATE - 1] ^= 0x80;
+        self.buffered = RATE;
+        self.absorb_block();
+
+        let mut out = [0u8; 32];
+        for i in 0..4 {
+            let (x, y) = (i % 5, i / 5);
+            out[i * 8..i * 8 + 8].copy_from_slice(&self.state[x][y].to_le_bytes());
+        }
+        out
+    }
+}
+
+/// One-shot Keccak-256 digest of `data`.
+///
+/// ```
+/// let d = mtpu_primitives::keccak256(b"");
+/// assert_eq!(d[0], 0xc5);
+/// ```
+pub fn keccak256(data: &[u8]) -> [u8; 32] {
+    let mut h = Keccak256::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{:02x}", b)).collect()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            hex(&keccak256(b"")),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"
+        );
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(
+            hex(&keccak256(b"abc")),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"
+        );
+    }
+
+    #[test]
+    fn erc20_transfer_selector() {
+        // keccak("transfer(address,uint256)")[..4] == a9059cbb — the most
+        // recognizable constant in Ethereum.
+        let d = keccak256(b"transfer(address,uint256)");
+        assert_eq!(&d[..4], &[0xa9, 0x05, 0x9c, 0xbb]);
+    }
+
+    #[test]
+    fn long_input_spanning_blocks() {
+        // 1000 bytes crosses several 136-byte rate blocks.
+        let data: Vec<u8> = (0..1000u32).map(|i| (i % 251) as u8).collect();
+        let whole = keccak256(&data);
+        // Same data absorbed in awkward chunk sizes must agree.
+        let mut h = Keccak256::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), whole);
+    }
+
+    #[test]
+    fn rate_boundary_inputs() {
+        for len in [RATE - 1, RATE, RATE + 1, 2 * RATE] {
+            let data = vec![0xabu8; len];
+            let d1 = keccak256(&data);
+            let mut h = Keccak256::new();
+            h.update(&data[..len / 2]);
+            h.update(&data[len / 2..]);
+            assert_eq!(h.finalize(), d1, "len={len}");
+        }
+    }
+
+    #[test]
+    fn known_vector_helloworld() {
+        assert_eq!(
+            hex(&keccak256(b"hello world")),
+            "47173285a8d7341e5e972fc677286384f802f8ef42a5ec5f03bbfa254cb01fad"
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Core primitive types for the MTPU reproduction: 256-bit machine words,
+//! Keccak-256, RLP, and fixed-size byte newtypes.
+//!
+//! Everything in this crate is implemented from scratch (no external
+//! dependencies): the EVM substrate and the accelerator model sit on top of
+//! exactly these definitions.
+//!
+//! ```
+//! use mtpu_primitives::{keccak256, Address, U256};
+//!
+//! let slot = U256::ZERO;
+//! let holder = Address::from_low_u64(7);
+//! // Solidity mapping slot: keccak256(key . slot)
+//! let mut buf = [0u8; 64];
+//! buf[..32].copy_from_slice(&holder.to_u256().to_be_bytes());
+//! buf[32..].copy_from_slice(&slot.to_be_bytes());
+//! let _mapping_slot = U256::from_be_bytes(keccak256(&buf));
+//! ```
+
+pub mod hex;
+pub mod keccak;
+pub mod rlp;
+mod types;
+mod u256;
+
+pub use keccak::keccak256;
+pub use types::{Address, ParseBytesError, B256};
+pub use u256::{ParseU256Error, U256};
+
+#[cfg(test)]
+mod proptests {
+    use crate::U256;
+    use proptest::prelude::*;
+
+    fn arb_u256() -> impl Strategy<Value = U256> {
+        prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs)
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(a in arb_u256(), b in arb_u256()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn add_associates(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+            prop_assert_eq!((a + b) + c, a + (b + c));
+        }
+
+        #[test]
+        fn sub_inverts_add(a in arb_u256(), b in arb_u256()) {
+            prop_assert_eq!(a + b - b, a);
+        }
+
+        #[test]
+        fn mul_commutes(a in arb_u256(), b in arb_u256()) {
+            prop_assert_eq!(a * b, b * a);
+        }
+
+        #[test]
+        fn mul_distributes(a in arb_u256(), b in arb_u256(), c in arb_u256()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn div_rem_reconstructs(a in arb_u256(), b in arb_u256()) {
+            prop_assume!(!b.is_zero());
+            let (q, r) = a.div_rem(b).unwrap();
+            prop_assert!(r < b);
+            prop_assert_eq!(q * b + r, a);
+        }
+
+        #[test]
+        fn div_matches_u128(a in any::<u128>(), b in 1..=u128::MAX) {
+            let (q, r) = U256::from(a).div_rem(U256::from(b)).unwrap();
+            prop_assert_eq!(q, U256::from(a / b));
+            prop_assert_eq!(r, U256::from(a % b));
+        }
+
+        #[test]
+        fn mulmod_matches_naive_small(a in any::<u64>(), b in any::<u64>(), m in 1..=u64::MAX) {
+            let expect = ((a as u128) * (b as u128) % (m as u128)) as u64;
+            prop_assert_eq!(
+                U256::from(a).mulmod(U256::from(b), U256::from(m)),
+                U256::from(expect)
+            );
+        }
+
+        #[test]
+        fn addmod_result_in_range(a in arb_u256(), b in arb_u256(), m in arb_u256()) {
+            prop_assume!(!m.is_zero());
+            prop_assert!(a.addmod(b, m) < m);
+        }
+
+        #[test]
+        fn addmod_matches_u128(a in any::<u64>(), b in any::<u64>(), m in 1..=u64::MAX) {
+            let expect = ((a as u128 + b as u128) % m as u128) as u64;
+            prop_assert_eq!(
+                U256::from(a).addmod(U256::from(b), U256::from(m)),
+                U256::from(expect)
+            );
+        }
+
+        #[test]
+        fn shifts_compose(a in arb_u256(), s in 0usize..256) {
+            prop_assert_eq!((a >> s) << s, a & (U256::MAX << s));
+            prop_assert_eq!((a << s) >> s, a & (U256::MAX >> s));
+        }
+
+        #[test]
+        fn sar_matches_shr_for_nonnegative(a in arb_u256(), s in 0u64..256) {
+            let a = a & !U256::SIGN_BIT; // clear the sign bit
+            prop_assert_eq!(a.evm_sar(U256::from(s)), a.evm_shr(U256::from(s)));
+        }
+
+        #[test]
+        fn twos_neg_is_involution(a in arb_u256()) {
+            prop_assert_eq!(a.twos_neg().twos_neg(), a);
+        }
+
+        #[test]
+        fn sdiv_smod_reconstruct(a in arb_u256(), b in arb_u256()) {
+            prop_assume!(!b.is_zero());
+            // a == sdiv(a,b) * b + smod(a,b)  (all wrapping)
+            let q = a.evm_sdiv(b);
+            let r = a.evm_smod(b);
+            prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+        }
+
+        #[test]
+        fn be_bytes_round_trip(a in arb_u256()) {
+            prop_assert_eq!(U256::from_be_bytes(a.to_be_bytes()), a);
+        }
+
+        #[test]
+        fn decimal_round_trip(a in arb_u256()) {
+            let s = a.to_string();
+            prop_assert_eq!(U256::from_str_dec(&s).unwrap(), a);
+        }
+
+        #[test]
+        fn hex_round_trip(a in arb_u256()) {
+            let s = format!("{:x}", a);
+            prop_assert_eq!(U256::from_str_hex(&s).unwrap(), a);
+        }
+
+        #[test]
+        fn signextend_idempotent(a in arb_u256(), i in 0u64..32) {
+            let once = a.signextend(U256::from(i));
+            prop_assert_eq!(once.signextend(U256::from(i)), once);
+        }
+
+        #[test]
+        fn rlp_round_trip_bytes(data in prop::collection::vec(any::<u8>(), 0..200)) {
+            let item = crate::rlp::Item::bytes(data);
+            let enc = crate::rlp::encode(&item);
+            prop_assert_eq!(crate::rlp::decode(&enc).unwrap(), item);
+        }
+
+        #[test]
+        fn keccak_incremental_matches_oneshot(
+            data in prop::collection::vec(any::<u8>(), 0..600),
+            split in 0usize..600,
+        ) {
+            let split = split.min(data.len());
+            let mut h = crate::keccak::Keccak256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), crate::keccak256(&data));
+        }
+    }
+}

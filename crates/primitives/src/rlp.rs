@@ -1,0 +1,324 @@
+//! Recursive Length Prefix (RLP) encoding and decoding, the serialization
+//! format Ethereum uses for transactions and blocks (paper §2.1, Fig. 3).
+
+use crate::u256::U256;
+use core::fmt;
+
+/// An RLP item: either a byte string or a list of items.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Item {
+    /// A byte string.
+    Bytes(Vec<u8>),
+    /// A (possibly nested) list.
+    List(Vec<Item>),
+}
+
+impl Item {
+    /// Convenience constructor for a byte-string item.
+    pub fn bytes(b: Vec<u8>) -> Item {
+        Item::Bytes(b)
+    }
+
+    /// Encodes an unsigned integer as a minimal big-endian byte string
+    /// (canonical RLP integer form: no leading zeros, empty for zero).
+    pub fn uint(v: u64) -> Item {
+        Item::Bytes(U256::from(v).to_be_bytes_trimmed())
+    }
+
+    /// Encodes a [`U256`] canonically.
+    pub fn u256(v: U256) -> Item {
+        Item::Bytes(v.to_be_bytes_trimmed())
+    }
+
+    /// Returns the byte string, or `None` for lists.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Item::Bytes(b) => Some(b),
+            Item::List(_) => None,
+        }
+    }
+
+    /// Returns the item list, or `None` for byte strings.
+    pub fn as_list(&self) -> Option<&[Item]> {
+        match self {
+            Item::List(l) => Some(l),
+            Item::Bytes(_) => None,
+        }
+    }
+
+    /// Decodes this item's payload as a canonical unsigned integer.
+    ///
+    /// # Errors
+    ///
+    /// Fails on lists, on payloads longer than 32 bytes, and on
+    /// non-canonical leading zeros.
+    pub fn to_u256(&self) -> Result<U256, DecodeError> {
+        let b = self.as_bytes().ok_or(DecodeError::ExpectedBytes)?;
+        if b.len() > 32 {
+            return Err(DecodeError::IntegerTooLarge);
+        }
+        if b.first() == Some(&0) {
+            return Err(DecodeError::NonCanonicalInteger);
+        }
+        Ok(U256::from_be_slice(b))
+    }
+}
+
+/// Serializes an item to its RLP byte representation.
+pub fn encode(item: &Item) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_into(item, &mut out);
+    out
+}
+
+/// Serializes a sequence of items as an RLP list.
+pub fn encode_list(items: &[Item]) -> Vec<u8> {
+    let mut payload = Vec::new();
+    for it in items {
+        encode_into(it, &mut payload);
+    }
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    write_length(0xc0, payload.len(), &mut out);
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn encode_into(item: &Item, out: &mut Vec<u8>) {
+    match item {
+        Item::Bytes(b) => {
+            if b.len() == 1 && b[0] < 0x80 {
+                out.push(b[0]);
+            } else {
+                write_length(0x80, b.len(), out);
+                out.extend_from_slice(b);
+            }
+        }
+        Item::List(items) => {
+            let mut payload = Vec::new();
+            for it in items {
+                encode_into(it, &mut payload);
+            }
+            write_length(0xc0, payload.len(), out);
+            out.extend_from_slice(&payload);
+        }
+    }
+}
+
+fn write_length(offset: u8, len: usize, out: &mut Vec<u8>) {
+    if len <= 55 {
+        out.push(offset + len as u8);
+    } else {
+        let be = (len as u64).to_be_bytes();
+        let first = be.iter().position(|&b| b != 0).expect("len > 55");
+        out.push(offset + 55 + (8 - first) as u8);
+        out.extend_from_slice(&be[first..]);
+    }
+}
+
+/// Error produced while decoding RLP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the announced payload.
+    UnexpectedEnd,
+    /// A length prefix was not minimally encoded.
+    NonCanonicalLength,
+    /// A single byte < 0x80 was wrapped in a string header.
+    NonCanonicalByte,
+    /// Extra bytes remained after the top-level item.
+    TrailingBytes,
+    /// Expected a byte string but found a list.
+    ExpectedBytes,
+    /// Expected a list but found a byte string.
+    ExpectedList,
+    /// An integer payload had a leading zero byte.
+    NonCanonicalInteger,
+    /// An integer payload exceeded 256 bits.
+    IntegerTooLarge,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            DecodeError::UnexpectedEnd => "input ended before announced payload",
+            DecodeError::NonCanonicalLength => "length prefix not minimal",
+            DecodeError::NonCanonicalByte => "single byte wrapped in string header",
+            DecodeError::TrailingBytes => "trailing bytes after item",
+            DecodeError::ExpectedBytes => "expected byte string, found list",
+            DecodeError::ExpectedList => "expected list, found byte string",
+            DecodeError::NonCanonicalInteger => "integer has leading zero",
+            DecodeError::IntegerTooLarge => "integer exceeds 256 bits",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a complete RLP item, rejecting trailing bytes.
+pub fn decode(data: &[u8]) -> Result<Item, DecodeError> {
+    let (item, rest) = decode_prefix(data)?;
+    if !rest.is_empty() {
+        return Err(DecodeError::TrailingBytes);
+    }
+    Ok(item)
+}
+
+/// Decodes one item from the front of `data`, returning it and the
+/// remaining bytes.
+pub fn decode_prefix(data: &[u8]) -> Result<(Item, &[u8]), DecodeError> {
+    let (&first, rest) = data.split_first().ok_or(DecodeError::UnexpectedEnd)?;
+    match first {
+        0x00..=0x7f => Ok((Item::Bytes(vec![first]), rest)),
+        0x80..=0xb7 => {
+            let len = (first - 0x80) as usize;
+            let (payload, rest) = take(rest, len)?;
+            if len == 1 && payload[0] < 0x80 {
+                return Err(DecodeError::NonCanonicalByte);
+            }
+            Ok((Item::Bytes(payload.to_vec()), rest))
+        }
+        0xb8..=0xbf => {
+            let len_len = (first - 0xb7) as usize;
+            let (len, rest) = read_long_length(rest, len_len)?;
+            let (payload, rest) = take(rest, len)?;
+            Ok((Item::Bytes(payload.to_vec()), rest))
+        }
+        0xc0..=0xf7 => {
+            let len = (first - 0xc0) as usize;
+            let (payload, rest) = take(rest, len)?;
+            Ok((Item::List(decode_list_payload(payload)?), rest))
+        }
+        0xf8..=0xff => {
+            let len_len = (first - 0xf7) as usize;
+            let (len, rest) = read_long_length(rest, len_len)?;
+            let (payload, rest) = take(rest, len)?;
+            Ok((Item::List(decode_list_payload(payload)?), rest))
+        }
+    }
+}
+
+fn take(data: &[u8], n: usize) -> Result<(&[u8], &[u8]), DecodeError> {
+    if data.len() < n {
+        return Err(DecodeError::UnexpectedEnd);
+    }
+    Ok(data.split_at(n))
+}
+
+fn read_long_length(data: &[u8], len_len: usize) -> Result<(usize, &[u8]), DecodeError> {
+    let (len_bytes, rest) = take(data, len_len)?;
+    if len_bytes.first() == Some(&0) {
+        return Err(DecodeError::NonCanonicalLength);
+    }
+    let mut len = 0usize;
+    for &b in len_bytes {
+        len = len
+            .checked_mul(256)
+            .ok_or(DecodeError::NonCanonicalLength)?
+            + b as usize;
+    }
+    if len <= 55 {
+        return Err(DecodeError::NonCanonicalLength);
+    }
+    Ok((len, rest))
+}
+
+fn decode_list_payload(mut payload: &[u8]) -> Result<Vec<Item>, DecodeError> {
+    let mut items = Vec::new();
+    while !payload.is_empty() {
+        let (item, rest) = decode_prefix(payload)?;
+        items.push(item);
+        payload = rest;
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_examples() {
+        // From the Ethereum wiki RLP test set.
+        assert_eq!(
+            encode(&Item::bytes(b"dog".to_vec())),
+            vec![0x83, b'd', b'o', b'g']
+        );
+        assert_eq!(
+            encode_list(&[Item::bytes(b"cat".to_vec()), Item::bytes(b"dog".to_vec())]),
+            vec![0xc8, 0x83, b'c', b'a', b't', 0x83, b'd', b'o', b'g']
+        );
+        assert_eq!(encode(&Item::bytes(vec![])), vec![0x80]);
+        assert_eq!(encode(&Item::uint(0)), vec![0x80]);
+        assert_eq!(encode(&Item::uint(15)), vec![0x0f]);
+        assert_eq!(encode(&Item::uint(1024)), vec![0x82, 0x04, 0x00]);
+        assert_eq!(encode(&Item::List(vec![])), vec![0xc0]);
+    }
+
+    #[test]
+    fn nested_list() {
+        // [ [], [[]], [ [], [[]] ] ] — the "set theoretic" example.
+        let item = Item::List(vec![
+            Item::List(vec![]),
+            Item::List(vec![Item::List(vec![])]),
+            Item::List(vec![
+                Item::List(vec![]),
+                Item::List(vec![Item::List(vec![])]),
+            ]),
+        ]);
+        let enc = encode(&item);
+        assert_eq!(enc, vec![0xc7, 0xc0, 0xc1, 0xc0, 0xc3, 0xc0, 0xc1, 0xc0]);
+        assert_eq!(decode(&enc).unwrap(), item);
+    }
+
+    #[test]
+    fn long_string() {
+        let s = vec![b'a'; 56];
+        let enc = encode(&Item::bytes(s.clone()));
+        assert_eq!(enc[0], 0xb8);
+        assert_eq!(enc[1], 56);
+        assert_eq!(decode(&enc).unwrap(), Item::Bytes(s));
+    }
+
+    #[test]
+    fn long_list() {
+        let items: Vec<Item> = (0..30).map(|i| Item::uint(i + 200)).collect();
+        let enc = encode_list(&items);
+        assert_eq!(decode(&enc).unwrap(), Item::List(items));
+    }
+
+    #[test]
+    fn round_trip_u256() {
+        for v in [U256::ZERO, U256::ONE, U256::from(0x80u64), U256::MAX] {
+            let enc = encode(&Item::u256(v));
+            assert_eq!(decode(&enc).unwrap().to_u256().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn rejects_noncanonical() {
+        // 0x01 wrapped as a one-byte string must be rejected.
+        assert_eq!(decode(&[0x81, 0x01]), Err(DecodeError::NonCanonicalByte));
+        // Long form used for a short payload.
+        assert_eq!(
+            decode(&[0xb8, 0x01, 0xaa]),
+            Err(DecodeError::NonCanonicalLength)
+        );
+        // Length bytes with leading zero.
+        assert_eq!(
+            decode(&[0xb9, 0x00, 0x38]),
+            Err(DecodeError::NonCanonicalLength)
+        );
+        // Truncated payload.
+        assert_eq!(decode(&[0x83, b'd', b'o']), Err(DecodeError::UnexpectedEnd));
+        // Trailing garbage.
+        assert_eq!(decode(&[0x01, 0x02]), Err(DecodeError::TrailingBytes));
+        // Integer with leading zero.
+        let it = decode(&[0x82, 0x00, 0x01]);
+        assert_eq!(it.unwrap().to_u256(), Err(DecodeError::NonCanonicalInteger));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(decode(&[]), Err(DecodeError::UnexpectedEnd));
+    }
+}

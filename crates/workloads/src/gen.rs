@@ -1,0 +1,412 @@
+//! Synthetic block generation with controllable dependency ratio, ERC20
+//! proportion and hotspot skew — the stand-in for the paper's sampled
+//! mainnet blocks (DESIGN.md substitution #1).
+
+use mtpu_contracts::Fixture;
+use mtpu_evm::tx::{Block, BlockHeader, Transaction};
+use mtpu_primitives::U256;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Shape of one generated block.
+#[derive(Debug, Clone)]
+pub struct BlockConfig {
+    /// Number of transactions.
+    pub tx_count: usize,
+    /// Target fraction of transactions that depend on an earlier one
+    /// (the generator aims for it; the realized DAG ratio is measured).
+    pub dependent_ratio: f64,
+    /// When set, fraction of transactions that are ERC20 token calls
+    /// (Table 8's sweep); the rest are non-ERC20 contract calls.
+    pub erc20_ratio: Option<f64>,
+    /// Fraction of smart-contract transactions; the rest are plain value
+    /// transfers (Ethereum 2021: ~68% SCT, Table 1).
+    pub sct_ratio: f64,
+    /// When emitting a dependent transaction, probability of extending
+    /// the most recent dependency chain (long chains shrink the DAG
+    /// width) instead of conflicting with a random earlier transaction.
+    pub chain_bias: f64,
+    /// Hotspot focus: route this fraction of independent SCTs to the
+    /// named contract (models drifting hotspots, paper §2.2.3).
+    pub focus: Option<(&'static str, f64)>,
+}
+
+impl Default for BlockConfig {
+    fn default() -> Self {
+        BlockConfig {
+            tx_count: 128,
+            dependent_ratio: 0.2,
+            erc20_ratio: None,
+            sct_ratio: 0.9,
+            chain_bias: 0.8,
+            focus: None,
+        }
+    }
+}
+
+/// Contract popularity weights approximating the paper's hotspot skew
+/// (TOP5 carry ≳ 37% of SCT invocations).
+const POPULARITY: &[(&str, u32)] = &[
+    ("Tether USD", 28),
+    ("FiatTokenProxy", 14),
+    ("UniswapV2Router02", 14),
+    ("OpenSea", 10),
+    ("LinkToken", 8),
+    ("SwapRouter", 8),
+    ("Dai", 8),
+    ("MainchainGatewayProxy", 6),
+    ("WETH9", 7),
+    ("Ballot", 4),
+    ("CryptoCat", 4),
+];
+
+/// ERC20-transfer-capable contracts (the App-engine class of BPU).
+const ERC20_CONTRACTS: &[&str] = &["Tether USD", "FiatTokenProxy", "LinkToken", "Dai", "WETH9"];
+/// Record of a generated transaction the dependent generator can attach
+/// conflicts to.
+#[derive(Debug, Clone)]
+enum TxSeedKind {
+    Erc20 {
+        contract: &'static str,
+        sender: u64,
+        recipient: u64,
+    },
+    Swap {
+        sender: u64,
+    },
+    Other {
+        sender: u64,
+    },
+}
+
+/// Deterministic block generator over a [`Fixture`].
+#[derive(Debug)]
+pub struct Generator {
+    /// The deployed world (nonces advance as blocks are generated).
+    pub fx: Fixture,
+    rng: StdRng,
+    /// Rotates fresh users for independent transactions.
+    cursor: u64,
+    height: u64,
+}
+
+impl Generator {
+    /// A generator with a fresh fixture and deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Generator {
+            fx: Fixture::new(),
+            rng: StdRng::seed_from_u64(seed),
+            cursor: 0,
+            height: 1,
+        }
+    }
+
+    fn fresh_user(&mut self) -> u64 {
+        let u = self.cursor % mtpu_contracts::fixture::USER_COUNT;
+        self.cursor += 1;
+        u
+    }
+
+    fn pick_weighted(&mut self, pool: &[&'static str]) -> &'static str {
+        let weights: Vec<u32> = pool
+            .iter()
+            .map(|n| {
+                POPULARITY
+                    .iter()
+                    .find(|(p, _)| p == n)
+                    .map(|(_, w)| *w)
+                    .unwrap_or(1)
+            })
+            .collect();
+        let total: u32 = weights.iter().sum();
+        let mut pick = self.rng.random_range(0..total);
+        for (i, w) in weights.iter().enumerate() {
+            if pick < *w {
+                return pool[i];
+            }
+            pick -= w;
+        }
+        pool[pool.len() - 1]
+    }
+
+    /// Generates one block aiming for `cfg`'s shape.
+    pub fn block(&mut self, cfg: &BlockConfig) -> Block {
+        // Fresh users per block so independence is achievable.
+        self.cursor = 0;
+        let mut txs: Vec<Transaction> = Vec::with_capacity(cfg.tx_count);
+        let mut seeds: Vec<TxSeedKind> = Vec::with_capacity(cfg.tx_count);
+        let mut last_dependent: Option<usize> = None;
+
+        for i in 0..cfg.tx_count {
+            let want_dependent = i > 0 && self.rng.random_bool(cfg.dependent_ratio);
+            let (tx, seed) = if want_dependent {
+                // Chain-mode transactions thread one long dependency
+                // chain (they conflict with the chain head and become the
+                // new head); branch-mode ones conflict with a random
+                // earlier transaction without disturbing the chain.
+                match last_dependent {
+                    Some(t) if self.rng.random_bool(cfg.chain_bias) => {
+                        last_dependent = Some(i);
+                        self.dependent_tx(&seeds, t)
+                    }
+                    Some(_) => {
+                        let t = self.rng.random_range(0..seeds.len());
+                        self.dependent_tx(&seeds, t)
+                    }
+                    None => {
+                        last_dependent = Some(i);
+                        let t = self.rng.random_range(0..seeds.len());
+                        self.dependent_tx(&seeds, t)
+                    }
+                }
+            } else if !self.rng.random_bool(cfg.sct_ratio) {
+                self.plain_transfer()
+            } else {
+                self.independent_sct(cfg)
+            };
+            txs.push(tx);
+            seeds.push(seed);
+        }
+        let header = BlockHeader {
+            height: self.height,
+            ..Default::default()
+        };
+        self.height += 1;
+        Block {
+            header,
+            transactions: txs,
+        }
+    }
+
+    fn plain_transfer(&mut self) -> (Transaction, TxSeedKind) {
+        let from = self.fresh_user();
+        let to = self.fresh_user();
+        let nonce = self.fx.next_nonce(from);
+        let tx = Transaction::transfer(
+            Fixture::user_address(from),
+            Fixture::user_address(to),
+            U256::from(self.rng.random_range(1..1000u64)),
+            nonce,
+        );
+        (tx, TxSeedKind::Other { sender: from })
+    }
+
+    fn independent_sct(&mut self, cfg: &BlockConfig) -> (Transaction, TxSeedKind) {
+        if let Some((name, share)) = cfg.focus {
+            if self.rng.random_bool(share) {
+                return self.focused_call(name);
+            }
+        }
+        let contract = match cfg.erc20_ratio {
+            Some(r) => {
+                if self.rng.random_bool(r) {
+                    self.pick_weighted(ERC20_CONTRACTS)
+                } else {
+                    self.pick_weighted(&["UniswapV2Router02", "SwapRouter", "Ballot", "CryptoCat"])
+                }
+            }
+            None => self.pick_weighted(&[
+                "Tether USD",
+                "FiatTokenProxy",
+                "LinkToken",
+                "Dai",
+                "WETH9",
+                "UniswapV2Router02",
+                "SwapRouter",
+                "Ballot",
+                "CryptoCat",
+            ]),
+        };
+        match contract {
+            "UniswapV2Router02" | "SwapRouter" => {
+                // Each fresh sender swaps its dedicated pair, so
+                // independent swaps touch disjoint reserves.
+                let sender = self.fresh_user();
+                self.swap_tx(contract, sender)
+            }
+            "Ballot" => {
+                let voter = self.fresh_user();
+                // Spread votes over the proposal space to limit tally conflicts.
+                let proposal = U256::from(self.rng.random_range(0..256u64));
+                let nonce_tx = self.fx.call_tx(voter, "Ballot", "vote", &[proposal]);
+                (nonce_tx, TxSeedKind::Other { sender: voter })
+            }
+            "CryptoCat" => {
+                let owner = self.fresh_user();
+                let cat = U256::from(owner);
+                let tx = self.fx.call_tx(
+                    owner,
+                    "CryptoCat",
+                    "createSaleAuction",
+                    &[
+                        cat,
+                        U256::from(1000u64),
+                        U256::from(100u64),
+                        U256::from(3600u64),
+                    ],
+                );
+                (tx, TxSeedKind::Other { sender: owner })
+            }
+            token => self.erc20_transfer(token, None, None),
+        }
+    }
+
+    /// An independent call routed to a specific contract (hotspot focus).
+    fn focused_call(&mut self, name: &'static str) -> (Transaction, TxSeedKind) {
+        match name {
+            "UniswapV2Router02" | "SwapRouter" => {
+                let sender = self.fresh_user();
+                self.swap_tx(name, sender)
+            }
+            "CryptoCat" => {
+                let owner = self.fresh_user();
+                let cat = U256::from(owner);
+                let tx = self.fx.call_tx(
+                    owner,
+                    "CryptoCat",
+                    "createSaleAuction",
+                    &[
+                        cat,
+                        U256::from(1000u64),
+                        U256::from(100u64),
+                        U256::from(3600u64),
+                    ],
+                );
+                (tx, TxSeedKind::Other { sender: owner })
+            }
+            token => self.erc20_transfer(token, None, None),
+        }
+    }
+
+    fn erc20_transfer(
+        &mut self,
+        contract: &'static str,
+        forced_sender: Option<u64>,
+        forced_recipient: Option<u64>,
+    ) -> (Transaction, TxSeedKind) {
+        let sender = forced_sender.unwrap_or_else(|| self.fresh_user());
+        let recipient = forced_recipient.unwrap_or_else(|| self.fresh_user());
+        // Values below 1000 keep TetherUSD's fee at zero, avoiding
+        // accidental owner-balance contention on independent transfers.
+        let amount = U256::from(self.rng.random_range(1..999u64));
+        let tx = self.fx.call_tx(
+            sender,
+            contract,
+            "transfer",
+            &[Fixture::user_address(recipient).to_u256(), amount],
+        );
+        (
+            tx,
+            TxSeedKind::Erc20 {
+                contract,
+                sender,
+                recipient,
+            },
+        )
+    }
+
+    fn swap_tx(&mut self, router: &'static str, sender: u64) -> (Transaction, TxSeedKind) {
+        let (tin, tout) = Fixture::user_pair(sender);
+        let tx = self.fx.call_tx(
+            sender,
+            router,
+            "swapExactTokens",
+            &[
+                tin.to_u256(),
+                tout.to_u256(),
+                U256::from(self.rng.random_range(1_000..100_000u64)),
+                U256::ZERO,
+            ],
+        );
+        let _ = router;
+        (tx, TxSeedKind::Swap { sender })
+    }
+
+    /// Emits a transaction conflicting with the chosen earlier one.
+    ///
+    /// The conflicting transaction keeps the block's natural contract mix:
+    /// most conflicts come from reusing the target's *sender* (a nonce
+    /// ordering) on a freshly drawn call; the rest write the same token
+    /// balance or swap the same pair.
+    fn dependent_tx(&mut self, seeds: &[TxSeedKind], target: usize) -> (Transaction, TxSeedKind) {
+        let tseed = seeds[target].clone();
+        // Same-recipient balance conflict, when the target was a token
+        // transfer.
+        if let TxSeedKind::Erc20 {
+            contract,
+            recipient,
+            ..
+        } = tseed
+        {
+            if self.rng.random_bool(0.3) {
+                return self.erc20_transfer(contract, None, Some(recipient));
+            }
+        }
+        let sender = match tseed {
+            TxSeedKind::Erc20 { sender, .. }
+            | TxSeedKind::Swap { sender }
+            | TxSeedKind::Other { sender } => sender,
+        };
+        // Forced-sender call drawn from the natural mix (ballot excluded:
+        // double votes revert).
+        match self.pick_weighted(&[
+            "Tether USD",
+            "FiatTokenProxy",
+            "LinkToken",
+            "Dai",
+            "WETH9",
+            "UniswapV2Router02",
+            "SwapRouter",
+            "OpenSea",
+            "MainchainGatewayProxy",
+            "CryptoCat",
+        ]) {
+            "UniswapV2Router02" => self.swap_tx("UniswapV2Router02", sender),
+            "SwapRouter" => self.swap_tx("SwapRouter", sender),
+            "OpenSea" => {
+                let salt = self.rng.random_range(0..u32::MAX as u64);
+                let tx = self.fx.call_tx(
+                    sender,
+                    "OpenSea",
+                    "atomicMatch",
+                    &[
+                        Fixture::user_address(sender).to_u256(),
+                        mtpu_contracts::addresses::token(1).to_u256(),
+                        U256::from(salt),
+                        U256::from(500u64),
+                        U256::from(salt),
+                    ],
+                );
+                (tx, TxSeedKind::Other { sender })
+            }
+            "MainchainGatewayProxy" => {
+                let tx = self.fx.call_tx(
+                    sender,
+                    "MainchainGatewayProxy",
+                    "deposit",
+                    &[
+                        mtpu_contracts::addresses::token(0).to_u256(),
+                        U256::from(self.rng.random_range(1..1000u64)),
+                    ],
+                );
+                (tx, TxSeedKind::Other { sender })
+            }
+            "CryptoCat" => {
+                let cat = U256::from(sender);
+                let tx = self.fx.call_tx(
+                    sender,
+                    "CryptoCat",
+                    "createSaleAuction",
+                    &[
+                        cat,
+                        U256::from(900u64),
+                        U256::from(90u64),
+                        U256::from(1800u64),
+                    ],
+                );
+                (tx, TxSeedKind::Other { sender })
+            }
+            token => self.erc20_transfer(token, Some(sender), None),
+        }
+    }
+}

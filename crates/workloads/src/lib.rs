@@ -1,0 +1,20 @@
+//! Synthetic Ethereum-like workload generation and block preparation for
+//! the MTPU evaluation.
+
+mod gen;
+mod prepare;
+
+pub use gen::{BlockConfig, Generator};
+pub use prepare::{prepare_block, PreparedBlock};
+
+impl Generator {
+    /// Generates a block, prepares it against the current fixture state,
+    /// and advances the fixture to the post-block state — the way the
+    /// benchmark harness consumes consecutive blocks.
+    pub fn prepared_block(&mut self, cfg: &BlockConfig) -> PreparedBlock {
+        let block = self.block(cfg);
+        let prepared = prepare_block(&self.fx.state, block);
+        self.fx.state = prepared.state_after.clone();
+        prepared
+    }
+}

@@ -1,0 +1,142 @@
+//! Workload-generator validation: generated blocks must execute cleanly
+//! and realize the requested distributional knobs.
+
+use mtpu_workloads::{prepare_block, BlockConfig, Generator};
+
+#[test]
+fn blocks_execute_successfully() {
+    let mut g = Generator::new(42);
+    let block = g.block(&BlockConfig {
+        tx_count: 120,
+        dependent_ratio: 0.3,
+        erc20_ratio: None,
+        sct_ratio: 0.9,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    let prepared = prepare_block(&g.fx.state, block);
+    assert!(
+        prepared.success_ratio() > 0.98,
+        "workload txs must succeed: {}",
+        prepared.success_ratio()
+    );
+    assert_ne!(
+        prepared.state_before.state_root(),
+        prepared.state_after.state_root()
+    );
+}
+
+#[test]
+fn dependent_ratio_tracks_target() {
+    let mut g = Generator::new(7);
+    for &target in &[0.0, 0.4, 0.8] {
+        let prepared = g.prepared_block(&BlockConfig {
+            tx_count: 150,
+            dependent_ratio: target,
+            erc20_ratio: None,
+            sct_ratio: 1.0,
+            chain_bias: 0.8,
+            focus: None,
+        });
+        let realized = prepared.dependent_ratio();
+        assert!(
+            prepared.success_ratio() > 0.97,
+            "{}",
+            prepared.success_ratio()
+        );
+        assert!(
+            (realized - target).abs() < 0.18,
+            "target {target} realized {realized}"
+        );
+    }
+}
+
+#[test]
+fn zero_dependency_blocks_are_fully_parallel() {
+    let mut g = Generator::new(9);
+    let block = g.block(&BlockConfig {
+        tx_count: 100,
+        dependent_ratio: 0.0,
+        erc20_ratio: None,
+        sct_ratio: 1.0,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    let prepared = prepare_block(&g.fx.state, block);
+    assert!(
+        prepared.dependent_ratio() < 0.1,
+        "realized {}",
+        prepared.dependent_ratio()
+    );
+    assert!(prepared.graph.critical_path_len() <= 4);
+}
+
+#[test]
+fn erc20_ratio_controls_token_share() {
+    let mut g = Generator::new(11);
+    let erc20_set = ["Tether USD", "FiatTokenProxy", "LinkToken", "Dai", "WETH9"];
+    let addresses: Vec<_> = erc20_set.iter().map(|n| g.fx.spec(n).address).collect();
+    for &(target, lo, hi) in &[(1.0, 0.95, 1.0), (0.5, 0.3, 0.7), (0.0, 0.0, 0.05)] {
+        let block = g.block(&BlockConfig {
+            tx_count: 200,
+            dependent_ratio: 0.0,
+            erc20_ratio: Some(target),
+            sct_ratio: 1.0,
+            chain_bias: 0.8,
+            focus: None,
+        });
+        let erc20 = block
+            .transactions
+            .iter()
+            .filter(|t| t.to.map(|a| addresses.contains(&a)).unwrap_or(false))
+            .count() as f64
+            / block.transactions.len() as f64;
+        assert!(
+            (lo..=hi).contains(&erc20),
+            "target {target}: measured {erc20}"
+        );
+    }
+}
+
+#[test]
+fn generation_is_deterministic() {
+    let mk = || {
+        let mut g = Generator::new(123);
+        let b = g.block(&BlockConfig::default());
+        b.transactions.iter().map(|t| t.hash()).collect::<Vec<_>>()
+    };
+    assert_eq!(mk(), mk());
+}
+
+#[test]
+fn consecutive_blocks_have_fresh_nonces() {
+    let mut g = Generator::new(5);
+    let b1 = g.block(&BlockConfig::default());
+    let p1 = prepare_block(&g.fx.state, b1);
+    // Execute block 1 into the fixture state, then block 2 must validate.
+    g.fx.state = p1.state_after.clone();
+    let b2 = g.block(&BlockConfig::default());
+    let p2 = prepare_block(&g.fx.state, b2);
+    assert!(p2.success_ratio() > 0.98, "{}", p2.success_ratio());
+}
+
+#[test]
+fn focus_routes_transactions() {
+    let mut g = Generator::new(17);
+    let target = g.fx.spec("Dai").address;
+    let block = g.block(&BlockConfig {
+        tx_count: 200,
+        dependent_ratio: 0.0,
+        erc20_ratio: None,
+        sct_ratio: 1.0,
+        chain_bias: 0.8,
+        focus: Some(("Dai", 0.7)),
+    });
+    let share = block
+        .transactions
+        .iter()
+        .filter(|t| t.to == Some(target))
+        .count() as f64
+        / block.transactions.len() as f64;
+    assert!((0.6..=0.85).contains(&share), "focused share {share}");
+}

@@ -1,0 +1,101 @@
+//! Block replay: generate a synthetic Ethereum-like block, discover its
+//! dependency DAG (the consensus stage), and compare the four execution
+//! pipelines of the paper — sequential, synchronous parallel,
+//! spatial-temporal, and spatial-temporal with all optimizations.
+//!
+//! ```sh
+//! cargo run --release --example block_replay [tx_count] [dependent_ratio]
+//! ```
+
+use mtpu_repro::mtpu::hotspot::ContractTable;
+use mtpu_repro::mtpu::sched::{simulate_sequential, simulate_st, simulate_sync};
+use mtpu_repro::mtpu::MtpuConfig;
+use mtpu_repro::workloads::{BlockConfig, Generator};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let tx_count: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(128);
+    let dependent_ratio: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.3);
+
+    let mut generator = Generator::new(7);
+    // Warm-up block: the hotspot optimizer learns execution paths during
+    // the block interval (three-stage model, paper Fig. 4).
+    let mut table = ContractTable::new();
+    let warm = generator.prepared_block(&BlockConfig::default());
+    warm.learn_hotspots(&mut table, &warm.state_before);
+
+    let block = generator.prepared_block(&BlockConfig {
+        tx_count,
+        dependent_ratio,
+        erc20_ratio: None,
+        sct_ratio: 0.95,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    println!(
+        "block: {} txs, realized dependent ratio {:.0}%, DAG critical path {}",
+        tx_count,
+        100.0 * block.dependent_ratio(),
+        block.graph.critical_path_len()
+    );
+    println!(
+        "sequential reference: {} gas, state root {}",
+        block.receipts.iter().map(|r| r.gas_used).sum::<u64>(),
+        block.state_after.state_root()
+    );
+
+    let base_cfg = MtpuConfig::baseline();
+    let seq = simulate_sequential(&block.jobs(&base_cfg, None), &base_cfg);
+    println!("\n{:<38} {:>10} cycles  speedup", "pipeline", seq.makespan);
+
+    let report = |name: &str, makespan: u64, util: f64| {
+        println!(
+            "{name:<38} {makespan:>10} cycles  {:>5.2}x  (util {:.0}%)",
+            seq.makespan as f64 / makespan as f64,
+            100.0 * util
+        );
+    };
+
+    let sync_cfg = MtpuConfig {
+        redundancy_opt: false,
+        ..MtpuConfig::default()
+    };
+    let sync = simulate_sync(&block.jobs(&sync_cfg, None), &block.graph, &sync_cfg);
+    report("synchronous, 4 PUs", sync.makespan, sync.utilization());
+
+    let st = simulate_st(&block.jobs(&sync_cfg, None), &block.graph, &sync_cfg);
+    report("spatial-temporal, 4 PUs", st.makespan, st.utilization());
+
+    // The ST policy pairs with redundancy reuse (paper §3.1: redundant
+    // transactions are herded onto one PU *so that* contexts can be
+    // reused) — this is its intended configuration.
+    let red_cfg = MtpuConfig {
+        redundancy_opt: true,
+        ..MtpuConfig::default()
+    };
+    let red = simulate_st(&block.jobs(&red_cfg, None), &block.graph, &red_cfg);
+    report(
+        "spatial-temporal + redundancy",
+        red.makespan,
+        red.utilization(),
+    );
+
+    let full_cfg = MtpuConfig {
+        redundancy_opt: true,
+        hotspot_opt: true,
+        ..MtpuConfig::default()
+    };
+    let full = simulate_st(
+        &block.jobs(&full_cfg, Some(&table)),
+        &block.graph,
+        &full_cfg,
+    );
+    report(
+        "spatial-temporal + redundancy + hotspot",
+        full.makespan,
+        full.utilization(),
+    );
+
+    assert!(block.graph.schedule_respects_dag(&full.start, &full.end));
+    println!("\nall schedules respect the dependency DAG (serializable).");
+}

@@ -1,0 +1,93 @@
+//! Hotspot optimization walkthrough (paper §3.4, Figs. 10–11): learn a
+//! contract's execution path, inspect what the optimizer found
+//! (pre-executable chunks, Constants-Table eliminations, prefetchable
+//! storage reads, chunked loading), and measure the cycle effect.
+//!
+//! ```sh
+//! cargo run --example hotspot_tuning
+//! ```
+
+use mtpu_repro::contracts::Fixture;
+use mtpu_repro::evm::{trace_transaction, BlockHeader};
+use mtpu_repro::mtpu::hotspot::ContractTable;
+use mtpu_repro::mtpu::pu::{Pu, StateBuffer, TxJob};
+use mtpu_repro::mtpu::MtpuConfig;
+use mtpu_repro::primitives::U256;
+
+fn main() {
+    let mut fx = Fixture::new();
+    let mut state = fx.state.clone();
+    let header = BlockHeader::default();
+    let to = Fixture::user_address(42).to_u256();
+
+    // 1. Record an execution path of TetherUSD::transfer (the hottest
+    //    function on Ethereum).
+    let tx = fx.call_tx(1, "Tether USD", "transfer", &[to, U256::from(250u64)]);
+    let (receipt, trace) = trace_transaction(&mut state, &header, &tx).expect("valid");
+    assert!(receipt.success);
+    println!(
+        "recorded path: {} instructions, {} storage accesses",
+        trace.instruction_count(),
+        trace.storage.len()
+    );
+
+    // 2. Learn it in the Contract Table (the block-interval offline pass).
+    let mut table = ContractTable::new();
+    let code = state.code(fx.spec("Tether USD").address).to_vec();
+    table.record_invocation(&trace);
+    table.learn(&trace, &code);
+    let key = (
+        fx.spec("Tether USD").address,
+        trace.top_frame().unwrap().selector.unwrap(),
+    );
+    let analysis = table.analysis(&key).expect("learned");
+    println!("\n== Contract Table entry (Tether USD :: transfer) ==");
+    println!("  bytecode                {:>6} bytes", analysis.full_bytes);
+    println!(
+        "  chunked loading         {:>6} bytes ({:.1}% of the code)",
+        analysis.loaded_bytes,
+        100.0 * analysis.loaded_bytes as f64 / analysis.full_bytes as f64
+    );
+    println!(
+        "  pre-executable pcs      {:>6} (Compare/Check chunks)",
+        analysis.preexec_pcs.len()
+    );
+    println!(
+        "  eliminated PUSHes       {:>6} (to the Constants Table)",
+        analysis.eliminated_push_pcs.len()
+    );
+    println!(
+        "  constant instructions   {:>6}",
+        analysis.const_operand_pcs.len()
+    );
+    println!(
+        "  prefetchable SLOADs     {:>6}",
+        analysis.prefetch_pcs.len()
+    );
+
+    // 3. Replay a redundant transaction with and without the hotspot
+    //    optimization.
+    let tx2 = fx.call_tx(2, "Tether USD", "transfer", &[to, U256::from(99u64)]);
+    let (_, trace2) = trace_transaction(&mut state, &header, &tx2).expect("valid");
+    println!("\n== cycle effect on a redundant transaction ==");
+    for (name, hotspot) in [("without hotspot opt", false), ("with hotspot opt", true)] {
+        let cfg = MtpuConfig {
+            pu_count: 1,
+            redundancy_opt: true,
+            hotspot_opt: hotspot,
+            ..MtpuConfig::default()
+        };
+        let (transforms, loaded) = if hotspot {
+            table.transforms_for(&trace2)
+        } else {
+            (mtpu_repro::mtpu::stream::StreamTransforms::none(), None)
+        };
+        let job = TxJob::build_with_override(&trace2, &cfg, &transforms, loaded);
+        let mut pu = Pu::new(0, &cfg);
+        let t = pu.execute(&job, &mut StateBuffer::default(), &cfg);
+        println!(
+            "  {name:<22} {:>6} cycles ({} skipped, {} eliminated, {} prefetch hits)",
+            t.cycles, t.skipped_preexec, t.eliminated, t.prefetch_hits
+        );
+    }
+}

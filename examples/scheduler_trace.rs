@@ -1,0 +1,75 @@
+//! Scheduler visualization: prints the spatial-temporal schedule of a
+//! small block as a per-PU timeline, showing redundancy affinity (same
+//! contract sticking to one PU) and dependency stalls.
+//!
+//! ```sh
+//! cargo run --example scheduler_trace
+//! ```
+
+use mtpu_repro::mtpu::sched::simulate_st;
+use mtpu_repro::mtpu::MtpuConfig;
+use mtpu_repro::workloads::{BlockConfig, Generator};
+
+fn main() {
+    let mut generator = Generator::new(3);
+    let block = generator.prepared_block(&BlockConfig {
+        tx_count: 24,
+        dependent_ratio: 0.35,
+        erc20_ratio: None,
+        sct_ratio: 1.0,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    let cfg = MtpuConfig {
+        redundancy_opt: true,
+        ..MtpuConfig::default()
+    };
+    let jobs = block.jobs(&cfg, None);
+    let result = simulate_st(&jobs, &block.graph, &cfg);
+
+    println!(
+        "24-tx block, dependent ratio {:.0}%, makespan {} cycles, utilization {:.0}%\n",
+        100.0 * block.dependent_ratio(),
+        result.makespan,
+        100.0 * result.utilization()
+    );
+    println!("tx  pu  start     end       parents        contract");
+    println!("----------------------------------------------------------");
+    for i in 0..jobs.len() {
+        let parents: Vec<String> = block
+            .graph
+            .parents(i)
+            .iter()
+            .map(|p| p.to_string())
+            .collect();
+        let contract = block.block.transactions[i]
+            .to
+            .map(|a| format!("{}", a))
+            .unwrap_or_else(|| "create".into());
+        println!(
+            "{i:>2}  {:>2}  {:>8}  {:>8}  {:<13} ..{}",
+            result.pu_of[i],
+            result.start[i],
+            result.end[i],
+            if parents.is_empty() {
+                "-".to_string()
+            } else {
+                parents.join(",")
+            },
+            &contract[contract.len() - 6..],
+        );
+    }
+
+    // A compact per-PU lane view (each cell = one scheduled tx in start
+    // order).
+    println!("\nper-PU lanes (tx ids in dispatch order):");
+    for pu in 0..cfg.pu_count {
+        let mut lane: Vec<usize> = (0..jobs.len()).filter(|&i| result.pu_of[i] == pu).collect();
+        lane.sort_by_key(|&i| result.start[i]);
+        let ids: Vec<String> = lane.iter().map(|i| format!("{i:>2}")).collect();
+        println!("  PU{pu}: {}", ids.join(" -> "));
+    }
+    assert!(block
+        .graph
+        .schedule_respects_dag(&result.start, &result.end));
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the MTPU reproduction workspace.
+//!
+//! Re-exports the individual crates under short names so examples and
+//! integration tests can use a single dependency:
+//!
+//! ```
+//! use mtpu_repro::primitives::U256;
+//! assert_eq!(U256::from(2u64) + U256::from(3u64), U256::from(5u64));
+//! ```
+
+pub use mtpu;
+pub use mtpu_asm as asm;
+pub use mtpu_bpu as bpu;
+pub use mtpu_contracts as contracts;
+pub use mtpu_evm as evm;
+pub use mtpu_primitives as primitives;
+pub use mtpu_workloads as workloads;

@@ -1,0 +1,339 @@
+//! Property-based tests spanning crates: differential interpreter
+//! checking (random expression programs vs direct U256 evaluation),
+//! fill-unit invariants, and scheduler correctness on random DAGs.
+
+use mtpu_repro::asm::Assembler;
+use mtpu_repro::evm::interpreter::{CallParams, Evm};
+use mtpu_repro::evm::opcode::Opcode;
+use mtpu_repro::evm::state::State;
+use mtpu_repro::evm::trace::{CallKind, NoopTracer, TraceRecorder, Tracer};
+use mtpu_repro::evm::tx::BlockHeader;
+use mtpu_repro::mtpu::dbcache::LineBuilder;
+use mtpu_repro::mtpu::sched::{simulate_st, simulate_sync, DepGraph};
+use mtpu_repro::mtpu::stream::{build_stream, MicroOp, StreamTransforms};
+use mtpu_repro::mtpu::MtpuConfig;
+use mtpu_repro::primitives::{Address, B256, U256};
+use proptest::prelude::*;
+
+/// A random binary-op expression tree with U256 leaves.
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(U256),
+    Bin(Opcode, Box<Expr>, Box<Expr>),
+}
+
+fn arb_u256() -> impl Strategy<Value = U256> {
+    prop_oneof![
+        any::<u64>().prop_map(U256::from),
+        any::<u128>().prop_map(U256::from),
+        prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs),
+        Just(U256::ZERO),
+        Just(U256::MAX),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = Opcode> {
+    prop::sample::select(vec![
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Mod,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Lt,
+        Opcode::Gt,
+        Opcode::Eq,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::Byte,
+        Opcode::Sdiv,
+        Opcode::Smod,
+    ])
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = arb_u256().prop_map(Expr::Lit);
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        (arb_binop(), inner.clone(), inner)
+            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
+    })
+}
+
+/// Reference semantics of the expression.
+fn eval_expr(e: &Expr) -> U256 {
+    match e {
+        Expr::Lit(v) => *v,
+        Expr::Bin(op, a, b) => {
+            // EVM binary op on stack [b_val, a_val] (a on top) computes
+            // op(a, b).
+            let a = eval_expr(a);
+            let b = eval_expr(b);
+            match op {
+                Opcode::Add => a.wrapping_add(b),
+                Opcode::Sub => a.wrapping_sub(b),
+                Opcode::Mul => a.wrapping_mul(b),
+                Opcode::Div => a.evm_div(b),
+                Opcode::Mod => a.evm_rem(b),
+                Opcode::And => a & b,
+                Opcode::Or => a | b,
+                Opcode::Xor => a ^ b,
+                Opcode::Lt => U256::from(a < b),
+                Opcode::Gt => U256::from(a > b),
+                Opcode::Eq => U256::from(a == b),
+                Opcode::Shl => b.evm_shl(a),
+                Opcode::Shr => b.evm_shr(a),
+                Opcode::Byte => b.byte_be(a),
+                Opcode::Sdiv => a.evm_sdiv(b),
+                Opcode::Smod => a.evm_smod(b),
+                _ => unreachable!("not a generated binop"),
+            }
+        }
+    }
+}
+
+/// Compiles the expression to stack code leaving the value on top.
+fn compile_expr(e: &Expr, asm: &mut Assembler) {
+    match e {
+        Expr::Lit(v) => {
+            asm.push(*v);
+        }
+        Expr::Bin(op, a, b) => {
+            // Push b first, then a (a ends on top = first operand).
+            compile_expr(b, asm);
+            compile_expr(a, asm);
+            asm.op(*op);
+        }
+    }
+}
+
+fn run_code(code: Vec<u8>) -> (bool, Vec<u8>, mtpu_repro::evm::TxTrace) {
+    let mut state = State::new();
+    let contract = Address::from_low_u64(0xc0de);
+    state.deploy_code(contract, code);
+    let header = BlockHeader::default();
+    let mut recorder = TraceRecorder::new();
+    let mut evm = Evm::new(
+        &mut state,
+        &header,
+        Address::from_low_u64(1),
+        U256::ONE,
+        &mut recorder,
+    );
+    let res = evm.call(CallParams {
+        kind: CallKind::Call,
+        caller: Address::from_low_u64(1),
+        code_address: contract,
+        storage_address: contract,
+        value: U256::ZERO,
+        transfers_value: false,
+        input: vec![],
+        gas: 50_000_000,
+        is_static: false,
+        depth: 0,
+    });
+    (res.success(), res.output, recorder.into_trace())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The interpreter agrees with direct U256 evaluation on random
+    /// expression programs.
+    #[test]
+    fn interpreter_matches_reference(expr in arb_expr()) {
+        let mut asm = Assembler::new();
+        compile_expr(&expr, &mut asm);
+        asm.push(0u64).op(Opcode::Mstore).push(32u64).push(0u64).op(Opcode::Return);
+        let code = asm.assemble().expect("assembles");
+        let (ok, output, _) = run_code(code);
+        prop_assert!(ok);
+        prop_assert_eq!(U256::from_be_slice(&output), eval_expr(&expr));
+    }
+
+    /// Folding never changes the retired-instruction count and always
+    /// shortens (or preserves) the stream.
+    #[test]
+    fn folding_preserves_instruction_accounting(expr in arb_expr()) {
+        let mut asm = Assembler::new();
+        compile_expr(&expr, &mut asm);
+        asm.op(Opcode::Stop);
+        let code = asm.assemble().expect("assembles");
+        let (_, _, trace) = run_code(code);
+        let (plain, _) = build_stream(&trace, false, &StreamTransforms::none());
+        let (folded, stats) = build_stream(&trace, true, &StreamTransforms::none());
+        let retired: u32 = folded.iter().map(|u| u.insn_count).sum();
+        prop_assert_eq!(retired as usize, trace.steps.len());
+        prop_assert_eq!(plain.len(), trace.steps.len());
+        prop_assert!(folded.len() <= plain.len());
+        prop_assert_eq!(plain.len() - folded.len(), stats.folded as usize);
+    }
+
+    /// Fill-unit invariants on arbitrary op sequences: lines never exceed
+    /// the slot budget, never contain two non-stack ops of one category,
+    /// and close at control transfers.
+    #[test]
+    fn fill_unit_invariants(ops in prop::collection::vec(arb_binop(), 1..40)) {
+        let mut builder = LineBuilder::new(B256::ZERO, true);
+        let mut lines: Vec<Vec<Opcode>> = Vec::new();
+        let mut current: Vec<Opcode> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let uop = MicroOp {
+                step: i as u32,
+                frame: 0,
+                pc: (i * 2) as u32,
+                op: *op,
+                const_operand: false,
+                insn_count: 1,
+                prefetched: false,
+            };
+            if builder.try_add(&uop).is_err() {
+                if !current.is_empty() {
+                    lines.push(std::mem::take(&mut current));
+                }
+                builder = LineBuilder::new(B256::ZERO, true);
+                builder.try_add(&uop).expect("fresh line accepts one op");
+            }
+            current.push(*op);
+        }
+        if !current.is_empty() {
+            lines.push(current);
+        }
+        for line in &lines {
+            prop_assert!(line.len() <= mtpu_repro::mtpu::dbcache::MAX_LINE_OPS);
+            let mut unit_seen = [false; 11];
+            for op in line {
+                let cat = op.category();
+                if cat != mtpu_repro::evm::OpCategory::Stack {
+                    let idx = cat.index();
+                    prop_assert!(!unit_seen[idx], "unit conflict within a line: {line:?}");
+                    unit_seen[idx] = true;
+                }
+            }
+            // Control transfers only at line end.
+            for op in &line[..line.len() - 1] {
+                prop_assert!(!op.is_block_end(), "block end inside a line: {line:?}");
+            }
+        }
+    }
+
+    /// On random DAGs with random durations, both schedulers complete
+    /// every transaction exactly once and respect every edge.
+    #[test]
+    fn schedules_respect_random_dags(
+        n in 2usize..24,
+        edges in prop::collection::vec((any::<u16>(), any::<u16>()), 0..40),
+        seed in any::<u64>(),
+    ) {
+        let mut graph = DepGraph::new(n);
+        for (a, b) in edges {
+            let (a, b) = (a as usize % n, b as usize % n);
+            if a < b {
+                graph.add_edge(a, b);
+            }
+        }
+        // Synthetic jobs with varying instruction counts.
+        let cfg = MtpuConfig {
+            pu_count: 3,
+            redundancy_opt: false,
+            enable_db_cache: false,
+            ..MtpuConfig::default()
+        };
+        let jobs: Vec<_> = (0..n)
+            .map(|i| {
+                let len = 20 + ((seed.wrapping_mul(i as u64 + 1)) % 200) as usize;
+                synthetic_job(i as u64 % 4, len, &cfg)
+            })
+            .collect();
+        for result in [simulate_st(&jobs, &graph, &cfg), simulate_sync(&jobs, &graph, &cfg)] {
+            prop_assert!(graph.schedule_respects_dag(&result.start, &result.end));
+            for i in 0..n {
+                prop_assert!(result.end[i] > result.start[i]);
+                prop_assert!(result.pu_of[i] < cfg.pu_count);
+            }
+            prop_assert_eq!(result.makespan, *result.end.iter().max().unwrap());
+            prop_assert!(result.utilization() <= 1.0 + 1e-9);
+        }
+    }
+}
+
+/// A synthetic job on contract `c` with `len` alternating instructions.
+fn synthetic_job(c: u64, len: usize, cfg: &MtpuConfig) -> mtpu_repro::mtpu::TxJob {
+    use mtpu_repro::evm::trace::{FrameInfo, TraceStep, TxTrace};
+    let trace = TxTrace {
+        frames: vec![FrameInfo {
+            depth: 0,
+            kind: CallKind::Call,
+            code_address: Address::from_low_u64(c),
+            storage_address: Address::from_low_u64(c),
+            code_hash: B256::keccak(&c.to_be_bytes()),
+            code_len: 500,
+            input_len: 36,
+            selector: None,
+        }],
+        steps: (0..len)
+            .map(|i| TraceStep {
+                frame: 0,
+                pc: (i * 2) as u32,
+                op: if i % 2 == 0 {
+                    Opcode::Push1
+                } else {
+                    Opcode::Pop
+                } as u8,
+            })
+            .collect(),
+        storage: Vec::new(),
+        gas_used: 21_000,
+        success: true,
+    };
+    mtpu_repro::mtpu::TxJob::build(&trace, cfg, &StreamTransforms::none())
+}
+
+/// Non-proptest regression: tracing and non-tracing execution agree.
+#[test]
+fn tracing_does_not_change_semantics() {
+    let mut asm = Assembler::new();
+    asm.push(0x1234u64)
+        .push(0x10u64)
+        .op(Opcode::Add)
+        .push(0u64)
+        .op(Opcode::Mstore)
+        .push(32u64)
+        .push(0u64)
+        .op(Opcode::Return);
+    let code = asm.assemble().unwrap();
+
+    fn run<T: Tracer>(code: &[u8], tracer: &mut T) -> mtpu_repro::evm::FrameResult {
+        let mut state = State::new();
+        let contract = Address::from_low_u64(2);
+        state.deploy_code(contract, code.to_vec());
+        let header = BlockHeader::default();
+        let mut evm = Evm::new(
+            &mut state,
+            &header,
+            Address::from_low_u64(1),
+            U256::ONE,
+            tracer,
+        );
+        evm.call(CallParams {
+            kind: CallKind::Call,
+            caller: Address::from_low_u64(1),
+            code_address: contract,
+            storage_address: contract,
+            value: U256::ZERO,
+            transfers_value: false,
+            input: vec![],
+            gas: 100_000,
+            is_static: false,
+            depth: 0,
+        })
+    }
+    let mut noop = NoopTracer;
+    let a = run(&code, &mut noop);
+    let mut rec = TraceRecorder::new();
+    let b = run(&code, &mut rec);
+    assert_eq!(a.output, b.output);
+    assert_eq!(a.gas_left, b.gas_left);
+    assert_eq!(rec.into_trace().steps.len(), 8);
+}
