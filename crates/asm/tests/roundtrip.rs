@@ -1,26 +1,31 @@
-//! Round-trip properties of the assembler and disassembler.
+//! Round-trip properties of the assembler and disassembler, exercised on
+//! randomized programs from the in-repo deterministic [`SplitMix64`]
+//! generator (offline, no external crates).
 
 use mtpu_asm::{decode, parse_asm, Assembler};
 use mtpu_evm::opcode::Opcode;
-use mtpu_primitives::U256;
-use proptest::prelude::*;
+use mtpu_primitives::{SplitMix64, U256};
 
-fn arb_simple_op() -> impl Strategy<Value = Opcode> {
-    prop::sample::select(
-        (0u16..=255)
-            .filter_map(|b| Opcode::from_u8(b as u8))
-            .filter(|o| !o.is_push())
-            .collect::<Vec<_>>(),
-    )
+fn simple_ops() -> Vec<Opcode> {
+    (0u16..=255)
+        .filter_map(|b| Opcode::from_u8(b as u8))
+        .filter(|o| !o.is_push())
+        .collect()
 }
 
-proptest! {
-    /// decode(assemble(program)) reproduces the instruction sequence.
-    #[test]
-    fn assemble_decode_round_trip(
-        ops in prop::collection::vec(arb_simple_op(), 0..64),
-        imms in prop::collection::vec(any::<u64>(), 0..32),
-    ) {
+/// decode(assemble(program)) reproduces the instruction sequence.
+#[test]
+fn assemble_decode_round_trip() {
+    let pool = simple_ops();
+    let mut rng = SplitMix64::new(0xA5B1);
+    for _ in 0..256 {
+        let ops: Vec<Opcode> = (0..rng.random_range(0..64))
+            .map(|_| pool[rng.random_index(pool.len())])
+            .collect();
+        let imms: Vec<u64> = (0..rng.random_range(0..32))
+            .map(|_| rng.next_u64())
+            .collect();
+
         let mut asm = Assembler::new();
         // Interleave pushes and plain ops deterministically.
         let mut expect: Vec<(Opcode, Option<U256>)> = Vec::new();
@@ -36,18 +41,24 @@ proptest! {
         }
         let code = asm.assemble().expect("no labels, always assembles");
         let insns = decode(&code);
-        prop_assert_eq!(insns.len(), expect.len());
+        assert_eq!(insns.len(), expect.len());
         for (insn, (op, imm)) in insns.iter().zip(&expect) {
-            prop_assert_eq!(insn.op, Some(*op));
+            assert_eq!(insn.op, Some(*op));
             if let Some(v) = imm {
-                prop_assert_eq!(insn.imm_value(), *v);
+                assert_eq!(insn.imm_value(), *v);
             }
         }
     }
+}
 
-    /// The text assembler agrees with the builder for PUSH programs.
-    #[test]
-    fn text_matches_builder(vals in prop::collection::vec(any::<u32>(), 1..16)) {
+/// The text assembler agrees with the builder for PUSH programs.
+#[test]
+fn text_matches_builder() {
+    let mut rng = SplitMix64::new(0xA5B2);
+    for _ in 0..128 {
+        let vals: Vec<u32> = (0..rng.random_range(1..16))
+            .map(|_| rng.next_u64() as u32)
+            .collect();
         let mut asm = Assembler::new();
         let mut src = String::new();
         for v in &vals {
@@ -56,12 +67,14 @@ proptest! {
         }
         asm.op(Opcode::Stop);
         src.push_str("STOP\n");
-        prop_assert_eq!(parse_asm(&src).unwrap(), asm.assemble().unwrap());
+        assert_eq!(parse_asm(&src).unwrap(), asm.assemble().unwrap());
     }
+}
 
-    /// Labels always land on JUMPDEST bytes.
-    #[test]
-    fn labels_resolve_to_jumpdests(n_blocks in 1usize..12) {
+/// Labels always land on JUMPDEST bytes.
+#[test]
+fn labels_resolve_to_jumpdests() {
+    for n_blocks in 1usize..12 {
         let mut asm = Assembler::new();
         for i in 0..n_blocks {
             asm.jump(&format!("l{}", (i + 1) % n_blocks));
@@ -74,8 +87,8 @@ proptest! {
         for insn in decode(&code) {
             if insn.op == Some(Opcode::Push2) {
                 let target = insn.imm_value().low_u64() as usize;
-                prop_assert!(target < code.len());
-                prop_assert!(map[target], "label target must be a JUMPDEST");
+                assert!(target < code.len());
+                assert!(map[target], "label target must be a JUMPDEST");
             }
         }
     }

@@ -1,74 +1,97 @@
 //! Microbenchmarks of the substrate primitives: Keccak, U256, RLP and the
-//! functional EVM.
+//! functional EVM. Plain `Instant`-based timing harness (`harness = false`)
+//! so no external bench framework is needed; run with
+//! `cargo bench --bench micro`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mtpu_contracts::Fixture;
 use mtpu_evm::{execute_transaction, BlockHeader, NoopTracer};
 use mtpu_primitives::{keccak256, rlp, U256};
+use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_keccak(c: &mut Criterion) {
-    let mut g = c.benchmark_group("keccak256");
-    for size in [32usize, 136, 1024] {
-        let data = vec![0xabu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("{size}B"), |b| {
-            b.iter(|| keccak256(black_box(&data)))
-        });
+/// Times `f` over enough iterations for a stable estimate and prints
+/// mean ns/iter (plus derived throughput when `bytes` is given).
+fn bench(name: &str, bytes: Option<u64>, mut f: impl FnMut()) {
+    // Warm up, then scale the iteration count to ~50ms of work.
+    let t0 = Instant::now();
+    let mut warm = 0u64;
+    while t0.elapsed().as_millis() < 5 {
+        f();
+        warm += 1;
     }
-    g.finish();
+    let per_iter = t0.elapsed().as_nanos() as u64 / warm.max(1);
+    let iters = (50_000_000 / per_iter.max(1)).clamp(10, 5_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    match bytes {
+        Some(b) => {
+            let gbps = b as f64 / ns;
+            println!("{name:<28} {ns:>12.1} ns/iter   {gbps:>8.3} GB/s");
+        }
+        None => println!("{name:<28} {ns:>12.1} ns/iter"),
+    }
 }
 
-fn bench_u256(c: &mut Criterion) {
+fn bench_keccak() {
+    for size in [32usize, 136, 1024] {
+        let data = vec![0xabu8; size];
+        bench(&format!("keccak256/{size}B"), Some(size as u64), || {
+            black_box(keccak256(black_box(&data)));
+        });
+    }
+}
+
+fn bench_u256() {
     let a = U256::from_str_hex("deadbeefcafebabe0123456789abcdef00ff00ff00ff00ff1122334455667788")
         .unwrap();
     let b = U256::from_str_hex("0123456789abcdef0123456789abcdef").unwrap();
-    let mut g = c.benchmark_group("u256");
-    g.bench_function("add", |bch| bch.iter(|| black_box(a) + black_box(b)));
-    g.bench_function("mul", |bch| bch.iter(|| black_box(a) * black_box(b)));
-    g.bench_function("div_rem", |bch| {
-        bch.iter(|| black_box(a).div_rem(black_box(b)))
+    bench("u256/add", None, || {
+        black_box(black_box(a) + black_box(b));
     });
-    g.bench_function("mulmod", |bch| {
-        bch.iter(|| black_box(a).mulmod(black_box(b), black_box(a ^ b)))
+    bench("u256/mul", None, || {
+        black_box(black_box(a) * black_box(b));
     });
-    g.bench_function("exp", |bch| {
-        bch.iter(|| black_box(b).wrapping_pow(U256::from(65537u64)))
+    bench("u256/div_rem", None, || {
+        black_box(black_box(a).div_rem(black_box(b)));
     });
-    g.finish();
+    bench("u256/mulmod", None, || {
+        black_box(black_box(a).mulmod(black_box(b), black_box(a ^ b)));
+    });
+    bench("u256/exp", None, || {
+        black_box(black_box(b).wrapping_pow(U256::from(65537u64)));
+    });
 }
 
-fn bench_rlp(c: &mut Criterion) {
+fn bench_rlp() {
     let item = rlp::Item::List((0..32u64).map(|i| rlp::Item::uint(i * 1_000_003)).collect());
     let enc = rlp::encode(&item);
-    let mut g = c.benchmark_group("rlp");
-    g.bench_function("encode_32_items", |b| {
-        b.iter(|| rlp::encode(black_box(&item)))
+    bench("rlp/encode_32_items", None, || {
+        black_box(rlp::encode(black_box(&item)));
     });
-    g.bench_function("decode_32_items", |b| {
-        b.iter(|| rlp::decode(black_box(&enc)))
+    bench("rlp/decode_32_items", None, || {
+        black_box(rlp::decode(black_box(&enc)).unwrap());
     });
-    g.finish();
 }
 
-fn bench_evm(c: &mut Criterion) {
+fn bench_evm() {
     let mut fx = Fixture::new();
     let header = BlockHeader::default();
     let to = Fixture::user_address(9).to_u256();
-    let mut g = c.benchmark_group("evm");
-    g.bench_function("tether_transfer", |b| {
-        b.iter_batched(
-            || {
-                let tx = fx.call_tx(1, "Tether USD", "transfer", &[to, U256::from(5u64)]);
-                let mut tx = tx;
-                tx.nonce = 0; // replay against a fresh state clone
-                (fx.state.clone(), tx)
-            },
-            |(mut st, tx)| execute_transaction(&mut st, &header, &tx, &mut NoopTracer).unwrap(),
-            criterion::BatchSize::SmallInput,
-        )
+    let mut tx = fx.call_tx(1, "Tether USD", "transfer", &[to, U256::from(5u64)]);
+    tx.nonce = 0; // replay against a fresh state clone each iteration
+    let base = fx.state.clone();
+    bench("evm/tether_transfer", None, || {
+        let mut st = base.clone();
+        black_box(execute_transaction(&mut st, &header, &tx, &mut NoopTracer).unwrap());
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_keccak, bench_u256, bench_rlp, bench_evm);
-criterion_main!(benches);
+fn main() {
+    bench_keccak();
+    bench_u256();
+    bench_rlp();
+    bench_evm();
+}

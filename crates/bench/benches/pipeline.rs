@@ -1,7 +1,8 @@
 //! Benchmarks of the accelerator model itself: stream building, fill-unit
-//! line construction, PU replay and whole-block scheduling.
+//! line construction, PU replay and whole-block scheduling. Plain
+//! `Instant`-based timing harness (`harness = false`); run with
+//! `cargo bench --bench pipeline`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use mtpu::pu::{Pu, StateBuffer, TxJob};
 use mtpu::sched::{simulate_st, simulate_sync};
 use mtpu::stream::{build_stream, StreamTransforms};
@@ -11,6 +12,26 @@ use mtpu_evm::trace_transaction;
 use mtpu_evm::tx::BlockHeader;
 use mtpu_primitives::U256;
 use mtpu_workloads::{BlockConfig, Generator};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn bench(name: &str, elements: u64, mut f: impl FnMut()) {
+    let t0 = Instant::now();
+    let mut warm = 0u64;
+    while t0.elapsed().as_millis() < 5 {
+        f();
+        warm += 1;
+    }
+    let per_iter = t0.elapsed().as_nanos() as u64 / warm.max(1);
+    let iters = (50_000_000 / per_iter.max(1)).clamp(10, 5_000_000);
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = t1.elapsed().as_nanos() as f64 / iters as f64;
+    let meps = elements as f64 * 1e3 / ns;
+    println!("{name:<28} {ns:>12.1} ns/iter   {meps:>10.3} Melem/s");
+}
 
 fn transfer_trace() -> mtpu_evm::TxTrace {
     let mut fx = Fixture::new();
@@ -21,35 +42,31 @@ fn transfer_trace() -> mtpu_evm::TxTrace {
     trace
 }
 
-fn bench_stream(c: &mut Criterion) {
-    let trace = transfer_trace();
-    let mut g = c.benchmark_group("stream");
-    g.throughput(Throughput::Elements(trace.steps.len() as u64));
-    g.bench_function("build_folded", |b| {
-        b.iter(|| build_stream(black_box(&trace), true, &StreamTransforms::none()))
+fn bench_stream(trace: &mtpu_evm::TxTrace) {
+    bench("stream/build_folded", trace.steps.len() as u64, || {
+        black_box(build_stream(
+            black_box(trace),
+            true,
+            &StreamTransforms::none(),
+        ));
     });
-    g.finish();
 }
 
-fn bench_pu(c: &mut Criterion) {
-    let trace = transfer_trace();
+fn bench_pu(trace: &mtpu_evm::TxTrace) {
     let cfg = MtpuConfig {
         pu_count: 1,
         redundancy_opt: true,
         ..MtpuConfig::default()
     };
-    let job = TxJob::build(&trace, &cfg, &StreamTransforms::none());
-    let mut g = c.benchmark_group("pu");
-    g.throughput(Throughput::Elements(trace.steps.len() as u64));
-    g.bench_function("execute_transfer", |b| {
-        let mut pu = Pu::new(0, &cfg);
-        let mut buf = StateBuffer::default();
-        b.iter(|| pu.execute(black_box(&job), &mut buf, &cfg))
+    let job = TxJob::build(trace, &cfg, &StreamTransforms::none());
+    let mut pu = Pu::new(0, &cfg);
+    let mut buf = StateBuffer::default();
+    bench("pu/execute_transfer", trace.steps.len() as u64, || {
+        black_box(pu.execute(black_box(&job), &mut buf, &cfg));
     });
-    g.finish();
 }
 
-fn bench_schedule(c: &mut Criterion) {
+fn bench_schedule() {
     let mut gen = Generator::new(4242);
     let block = gen.prepared_block(&BlockConfig {
         tx_count: 64,
@@ -61,16 +78,17 @@ fn bench_schedule(c: &mut Criterion) {
     });
     let cfg = MtpuConfig::default();
     let jobs = block.jobs(&cfg, None);
-    let mut g = c.benchmark_group("schedule");
-    g.throughput(Throughput::Elements(64));
-    g.bench_function("st_64tx_4pu", |b| {
-        b.iter(|| simulate_st(black_box(&jobs), &block.graph, &cfg))
+    bench("schedule/st_64tx_4pu", 64, || {
+        black_box(simulate_st(black_box(&jobs), &block.graph, &cfg));
     });
-    g.bench_function("sync_64tx_4pu", |b| {
-        b.iter(|| simulate_sync(black_box(&jobs), &block.graph, &cfg))
+    bench("schedule/sync_64tx_4pu", 64, || {
+        black_box(simulate_sync(black_box(&jobs), &block.graph, &cfg));
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_stream, bench_pu, bench_schedule);
-criterion_main!(benches);
+fn main() {
+    let trace = transfer_trace();
+    bench_stream(&trace);
+    bench_pu(&trace);
+    bench_schedule();
+}

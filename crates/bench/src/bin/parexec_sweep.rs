@@ -1,0 +1,5 @@
+//! Wall-clock parallel-execution sweep over dependent ratio × threads
+//! (the Fig. 14 axes on host cores; see DESIGN.md).
+fn main() {
+    println!("{}", mtpu_bench::experiments::parexec::sweep());
+}

@@ -5,5 +5,6 @@ pub mod ablation;
 pub mod compare;
 pub mod drift;
 pub mod ilp;
+pub mod parexec;
 pub mod sched;
 pub mod stat;

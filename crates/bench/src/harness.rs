@@ -8,9 +8,8 @@ use mtpu_contracts::{addresses, Fixture};
 use mtpu_evm::trace::TxTrace;
 use mtpu_evm::trace_transaction;
 use mtpu_evm::tx::{BlockHeader, Transaction};
+use mtpu_primitives::SplitMix64;
 use mtpu_primitives::U256;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// The paper's TOP8 contract names, Table 6 order.
 pub const TOP8: [&str; 8] = [
@@ -58,13 +57,13 @@ fn call_args(
     function: &str,
     user: u64,
     salt: &mut u64,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) -> Option<Transaction> {
     let me = Fixture::user_address(user).to_u256();
     let other = Fixture::user_address((user + 7) % mtpu_contracts::fixture::USER_COUNT).to_u256();
     let approver =
         (user + mtpu_contracts::fixture::USER_COUNT - 1) % mtpu_contracts::fixture::USER_COUNT;
-    let amount = U256::from(rng.random_range(1..900u64));
+    let amount = U256::from(rng.random_range(1..900));
     *salt += 1;
     let args: Vec<U256> = match function {
         "totalSupply" | "winningProposal" => vec![],
@@ -180,7 +179,7 @@ fn call_args(
 pub fn contract_batch(contract: &'static str, count: usize, seed: u64) -> ContractBatch {
     let mut fx = Fixture::new();
     let mut state = fx.state.clone();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let header = BlockHeader::default();
     let code = {
         let spec = fx.spec(contract);
@@ -198,7 +197,7 @@ pub fn contract_batch(contract: &'static str, count: usize, seed: u64) -> Contra
     let mut salt = 0u64;
     let mut user = 1u64;
     while traces.len() < count {
-        let mut pick = rng.random_range(0..total_w);
+        let mut pick = rng.random_range(0..total_w as u64) as u32;
         let mut fname = functions[0].0.clone();
         for (name, w) in &functions {
             if pick < *w {

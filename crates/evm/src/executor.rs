@@ -6,7 +6,7 @@
 
 use crate::gas;
 use crate::interpreter::{CallParams, Evm, FrameResult, Halt};
-use crate::state::State;
+use crate::state::{State, StateOps};
 use crate::trace::{CallKind, NoopTracer, TraceRecorder, Tracer, TxTrace};
 use crate::tx::{Block, BlockHeader, Receipt, Transaction};
 use mtpu_primitives::{Address, U256};
@@ -50,8 +50,8 @@ impl std::error::Error for TxError {}
 ///
 /// Returns [`TxError`] when the transaction is invalid (such transactions
 /// would never be packed into a block).
-pub fn execute_transaction<T: Tracer>(
-    state: &mut State,
+pub fn execute_transaction<S: StateOps, T: Tracer>(
+    state: &mut S,
     header: &BlockHeader,
     tx: &Transaction,
     tracer: &mut T,
@@ -119,9 +119,12 @@ pub fn execute_transaction<T: Tracer>(
     }
     let gas_left = tx.gas_limit - gas_used;
 
-    // Return unused gas, pay the miner.
+    // Return unused gas, then pay the miner *commutatively*: the coinbase
+    // fee must not enter the read set of an overlay, or every transaction
+    // in a block would appear to conflict on the miner's balance
+    // (Block-STM's commutative-deposit rule).
     state.credit(tx.from, U256::from(gas_left) * tx.gas_price);
-    state.credit(header.coinbase, U256::from(gas_used) * tx.gas_price);
+    state.accrue(header.coinbase, U256::from(gas_used) * tx.gas_price);
     state.finalize_tx();
 
     Ok(Receipt {
@@ -141,8 +144,8 @@ pub fn execute_transaction<T: Tracer>(
 /// # Errors
 ///
 /// Propagates [`TxError`] from [`execute_transaction`].
-pub fn trace_transaction(
-    state: &mut State,
+pub fn trace_transaction<S: StateOps>(
+    state: &mut S,
     header: &BlockHeader,
     tx: &Transaction,
 ) -> Result<(Receipt, TxTrace), TxError> {

@@ -9,7 +9,7 @@ use crate::gas;
 use crate::memory::Memory;
 use crate::opcode::Opcode;
 use crate::stack::{Stack, StackError};
-use crate::state::State;
+use crate::state::StateOps;
 use crate::trace::{CallKind, FrameInfo, Tracer};
 use crate::tx::{BlockHeader, Log};
 use mtpu_primitives::{keccak256, Address, B256, U256};
@@ -139,11 +139,13 @@ pub struct CallParams {
     pub depth: usize,
 }
 
-/// The execution engine for one transaction: borrows the world state, the
-/// block context, and a tracer.
-pub struct Evm<'a, T: Tracer> {
+/// The execution engine for one transaction: borrows the world state (any
+/// [`StateOps`] implementation — the journaled [`crate::state::State`]
+/// directly, or a [`crate::overlay::StateOverlay`] for speculative
+/// parallel execution), the block context, and a tracer.
+pub struct Evm<'a, S: StateOps, T: Tracer> {
     /// The journaled world state.
-    pub state: &'a mut State,
+    pub state: &'a mut S,
     /// Block-level context for `NUMBER`, `COINBASE`, `BLOCKHASH`, ...
     pub header: &'a BlockHeader,
     /// Transaction-level context (`ORIGIN`, `GASPRICE`).
@@ -176,10 +178,10 @@ pub fn jumpdest_map(code: &[u8]) -> Vec<bool> {
     map
 }
 
-impl<'a, T: Tracer> Evm<'a, T> {
+impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
     /// Creates an engine for one transaction.
     pub fn new(
-        state: &'a mut State,
+        state: &'a mut S,
         header: &'a BlockHeader,
         origin: Address,
         gas_price: U256,
@@ -221,7 +223,7 @@ impl<'a, T: Tracer> Evm<'a, T> {
             };
         }
 
-        let code = self.state.code(params.code_address).to_vec();
+        let code = self.state.load_code(params.code_address);
         let selector = if params.input.len() >= 4 {
             let mut s = [0u8; 4];
             s.copy_from_slice(&params.input[..4]);
@@ -267,7 +269,7 @@ impl<'a, T: Tracer> Evm<'a, T> {
             return (FrameResult::exception(VmError::CallDepthExceeded), None);
         }
         // Collision: an account with code or nonce already lives there.
-        if !self.state.code(new_address).is_empty() || self.state.nonce(new_address) != 0 {
+        if self.state.code_size(new_address) != 0 || self.state.nonce(new_address) != 0 {
             return (FrameResult::exception(VmError::CreateError), None);
         }
         let cp = self.state.checkpoint();
@@ -569,7 +571,7 @@ impl<'a, T: Tracer> Evm<'a, T> {
                 Gasprice => vm_try!(stack.push(self.gas_price)),
                 Extcodesize => {
                     let a = mtpu_primitives::Address::from_u256(vm_try!(stack.pop()));
-                    vm_try!(stack.push(U256::from(self.state.code(a).len() as u64)));
+                    vm_try!(stack.push(U256::from(self.state.code_size(a) as u64)));
                 }
                 Extcodecopy => {
                     let a = mtpu_primitives::Address::from_u256(vm_try!(stack.pop()));
@@ -578,7 +580,7 @@ impl<'a, T: Tracer> Evm<'a, T> {
                     let len = vm_try!(stack.pop()).saturating_to_usize();
                     charge!(gas::COPY_WORD * gas::words_for(len as u64));
                     mem_charge!(memory, dst, len);
-                    let ext = self.state.code(a).to_vec();
+                    let ext = self.state.load_code(a);
                     let tail = if src < ext.len() { &ext[src..] } else { &[] };
                     memory.copy_from(dst, tail, len);
                 }
@@ -895,6 +897,7 @@ impl<'a, T: Tracer> Evm<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::state::State;
     use crate::trace::NoopTracer;
 
     fn run_code(code: Vec<u8>, gas: u64) -> (FrameResult, State) {

@@ -34,6 +34,7 @@ pub mod gas;
 pub mod interpreter;
 pub mod memory;
 pub mod opcode;
+pub mod overlay;
 pub mod stack;
 pub mod state;
 pub mod trace;
@@ -42,6 +43,9 @@ pub mod tx;
 pub use executor::{execute_block, execute_transaction, trace_transaction, TxError};
 pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};
 pub use opcode::{OpCategory, Opcode};
-pub use state::{Account, State};
+pub use overlay::{
+    AccountDelta, BlockDelta, OverlayedView, ReadSet, StateOverlay, StateRead, TxDelta,
+};
+pub use state::{Account, State, StateOps};
 pub use trace::{CallKind, FrameInfo, NoopTracer, TraceRecorder, Tracer, TxTrace};
 pub use tx::{Block, BlockHeader, Log, Receipt, Transaction};

@@ -69,6 +69,19 @@ enum JournalEntry {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Checkpoint(usize);
 
+impl Checkpoint {
+    /// Journal position wrapped by this checkpoint (crate-internal: the
+    /// overlay keeps its own journal and reuses the same handle type).
+    pub(crate) fn position(self) -> usize {
+        self.0
+    }
+
+    /// Wraps a raw journal position (crate-internal, see [`Self::position`]).
+    pub(crate) fn from_position(pos: usize) -> Self {
+        Checkpoint(pos)
+    }
+}
+
 /// The journaled world state.
 ///
 /// All mutations go through methods that record undo entries; a failed call
@@ -329,6 +342,124 @@ impl State {
             }
         }
         B256::new(h.finalize())
+    }
+}
+
+/// The state interface the interpreter and transaction executor run
+/// against.
+///
+/// [`State`] implements it directly (single-threaded, in-place mutation);
+/// [`crate::overlay::StateOverlay`] implements it on top of an immutable
+/// snapshot for speculative parallel execution, recording read and write
+/// sets instead of mutating shared data. All methods mirror the inherent
+/// methods of [`State`]; `load_code`/`code_size` return owned/scalar data
+/// (rather than `&[u8]`) so overlay implementations can synthesize values
+/// without holding borrows.
+pub trait StateOps {
+    /// `true` if the account exists.
+    fn exists(&self, addr: Address) -> bool;
+    /// Account balance (zero for absent accounts).
+    fn balance(&self, addr: Address) -> U256;
+    /// Account nonce (zero for absent accounts).
+    fn nonce(&self, addr: Address) -> u64;
+    /// Contract code (empty for absent accounts and EOAs).
+    fn load_code(&self, addr: Address) -> Vec<u8>;
+    /// Length of the contract code in bytes.
+    fn code_size(&self, addr: Address) -> usize;
+    /// Hash of the contract code; zero for absent accounts.
+    fn code_hash(&self, addr: Address) -> B256;
+    /// Storage slot value (zero for absent slots).
+    fn storage(&self, addr: Address, key: U256) -> U256;
+    /// Adds to a balance (journaled).
+    fn credit(&mut self, addr: Address, amount: U256);
+    /// Subtracts from a balance; `false` on insufficient funds.
+    fn debit(&mut self, addr: Address, amount: U256) -> bool;
+    /// Moves value between accounts (journaled).
+    fn transfer(&mut self, from: Address, to: Address, amount: U256) -> bool;
+    /// Increments a nonce (journaled).
+    fn bump_nonce(&mut self, addr: Address);
+    /// Writes a storage slot (journaled). Returns the previous value.
+    fn set_storage(&mut self, addr: Address, key: U256, value: U256) -> U256;
+    /// Sets contract code (journaled).
+    fn set_code(&mut self, addr: Address, code: Vec<u8>);
+    /// Marks an account self-destructed (removed at `finalize_tx`).
+    fn mark_destructed(&mut self, addr: Address);
+    /// Credits a balance *commutatively*: the deposit is recorded without
+    /// observing the prior balance, so concurrent transactions that only
+    /// `accrue` to the same account (the coinbase fee case) do not
+    /// conflict. On plain [`State`] this is just [`State::credit`].
+    fn accrue(&mut self, addr: Address, amount: U256);
+    /// Opens a checkpoint for a call frame.
+    fn checkpoint(&self) -> Checkpoint;
+    /// Rolls back every mutation after `cp`, in reverse order.
+    fn revert_to(&mut self, cp: Checkpoint);
+    /// Commits the current transaction (journal cleared, destructed
+    /// accounts removed).
+    fn finalize_tx(&mut self);
+}
+
+impl StateOps for State {
+    fn exists(&self, addr: Address) -> bool {
+        State::exists(self, addr)
+    }
+    fn balance(&self, addr: Address) -> U256 {
+        State::balance(self, addr)
+    }
+    fn nonce(&self, addr: Address) -> u64 {
+        State::nonce(self, addr)
+    }
+    fn load_code(&self, addr: Address) -> Vec<u8> {
+        State::code(self, addr).to_vec()
+    }
+    fn code_size(&self, addr: Address) -> usize {
+        State::code(self, addr).len()
+    }
+    fn code_hash(&self, addr: Address) -> B256 {
+        State::code_hash(self, addr)
+    }
+    fn storage(&self, addr: Address, key: U256) -> U256 {
+        State::storage(self, addr, key)
+    }
+    fn credit(&mut self, addr: Address, amount: U256) {
+        State::credit(self, addr, amount)
+    }
+    fn debit(&mut self, addr: Address, amount: U256) -> bool {
+        State::debit(self, addr, amount)
+    }
+    fn transfer(&mut self, from: Address, to: Address, amount: U256) -> bool {
+        State::transfer(self, from, to, amount)
+    }
+    fn bump_nonce(&mut self, addr: Address) {
+        State::bump_nonce(self, addr)
+    }
+    fn set_storage(&mut self, addr: Address, key: U256, value: U256) -> U256 {
+        State::set_storage(self, addr, key, value)
+    }
+    fn set_code(&mut self, addr: Address, code: Vec<u8>) {
+        State::set_code(self, addr, code)
+    }
+    fn mark_destructed(&mut self, addr: Address) {
+        State::mark_destructed(self, addr)
+    }
+    fn accrue(&mut self, addr: Address, amount: U256) {
+        State::credit(self, addr, amount)
+    }
+    fn checkpoint(&self) -> Checkpoint {
+        State::checkpoint(self)
+    }
+    fn revert_to(&mut self, cp: Checkpoint) {
+        State::revert_to(self, cp)
+    }
+    fn finalize_tx(&mut self) {
+        State::finalize_tx(self)
+    }
+}
+
+impl State {
+    /// Mutable access to the account table for delta application by the
+    /// parallel-execution overlay machinery. Bypasses the journal.
+    pub(crate) fn accounts_mut(&mut self) -> &mut HashMap<Address, Account> {
+        &mut self.accounts
     }
 }
 

@@ -216,6 +216,60 @@ pub struct Receipt {
     pub created: Option<Address>,
 }
 
+impl Receipt {
+    /// RLP encoding of the receipt (status, gas, logs), as persisted in
+    /// the receipt trie / the paper's Receipt Buffer.
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        let logs: Vec<rlp::Item> = self
+            .logs
+            .iter()
+            .map(|l| {
+                rlp::Item::List(vec![
+                    rlp::Item::bytes(l.address.as_bytes().to_vec()),
+                    rlp::Item::List(
+                        l.topics
+                            .iter()
+                            .map(|t| rlp::Item::bytes(t.as_bytes().to_vec()))
+                            .collect(),
+                    ),
+                    rlp::Item::bytes(l.data.clone()),
+                ])
+            })
+            .collect();
+        rlp::encode_list(&[
+            rlp::Item::uint(self.success as u64),
+            rlp::Item::uint(self.gas_used),
+            rlp::Item::List(logs),
+        ])
+    }
+}
+
+impl Block {
+    /// RLP encoding of the whole block (header fields + transactions) —
+    /// the network/persistence format of the paper's Fig. 3.
+    pub fn rlp_encode(&self) -> Vec<u8> {
+        let header = rlp::Item::List(vec![
+            rlp::Item::uint(self.header.height),
+            rlp::Item::uint(self.header.timestamp),
+            rlp::Item::bytes(self.header.coinbase.as_bytes().to_vec()),
+            rlp::Item::u256(self.header.difficulty),
+            rlp::Item::uint(self.header.gas_limit),
+        ]);
+        let txs = rlp::Item::List(
+            self.transactions
+                .iter()
+                .map(|t| rlp::Item::bytes(t.rlp_encode()))
+                .collect(),
+        );
+        rlp::encode_list(&[header, txs])
+    }
+
+    /// Block hash: keccak of the RLP encoding.
+    pub fn hash(&self) -> B256 {
+        B256::keccak(&self.rlp_encode())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,59 +388,5 @@ mod tests {
         assert_eq!(h.block_hash(5), B256::keccak(&[4]));
         assert_eq!(h.block_hash(4), B256::ZERO); // out of recorded window
         assert_eq!(h.block_hash(10), B256::ZERO); // future
-    }
-}
-
-impl Receipt {
-    /// RLP encoding of the receipt (status, gas, logs), as persisted in
-    /// the receipt trie / the paper's Receipt Buffer.
-    pub fn rlp_encode(&self) -> Vec<u8> {
-        let logs: Vec<rlp::Item> = self
-            .logs
-            .iter()
-            .map(|l| {
-                rlp::Item::List(vec![
-                    rlp::Item::bytes(l.address.as_bytes().to_vec()),
-                    rlp::Item::List(
-                        l.topics
-                            .iter()
-                            .map(|t| rlp::Item::bytes(t.as_bytes().to_vec()))
-                            .collect(),
-                    ),
-                    rlp::Item::bytes(l.data.clone()),
-                ])
-            })
-            .collect();
-        rlp::encode_list(&[
-            rlp::Item::uint(self.success as u64),
-            rlp::Item::uint(self.gas_used),
-            rlp::Item::List(logs),
-        ])
-    }
-}
-
-impl Block {
-    /// RLP encoding of the whole block (header fields + transactions) —
-    /// the network/persistence format of the paper's Fig. 3.
-    pub fn rlp_encode(&self) -> Vec<u8> {
-        let header = rlp::Item::List(vec![
-            rlp::Item::uint(self.header.height),
-            rlp::Item::uint(self.header.timestamp),
-            rlp::Item::bytes(self.header.coinbase.as_bytes().to_vec()),
-            rlp::Item::u256(self.header.difficulty),
-            rlp::Item::uint(self.header.gas_limit),
-        ]);
-        let txs = rlp::Item::List(
-            self.transactions
-                .iter()
-                .map(|t| rlp::Item::bytes(t.rlp_encode()))
-                .collect(),
-        );
-        rlp::encode_list(&[header, txs])
-    }
-
-    /// Block hash: keccak of the RLP encoding.
-    pub fn hash(&self) -> B256 {
-        B256::keccak(&self.rlp_encode())
     }
 }

@@ -1,11 +1,13 @@
-//! Property tests of the state journal: arbitrary mutation sequences with
+//! Randomized tests of the state journal: arbitrary mutation sequences with
 //! nested checkpoints must revert to exactly the checkpointed state —
 //! the mechanism every failed call frame and the State Buffer's
 //! "discarded on exception" behaviour (paper §3.3.6) rely on.
+//!
+//! Driven by the in-repo deterministic [`SplitMix64`] generator so the
+//! suite runs offline with no external crates.
 
 use mtpu_evm::state::{Account, State};
-use mtpu_primitives::{Address, U256};
-use proptest::prelude::*;
+use mtpu_primitives::{Address, SplitMix64, U256};
 
 /// One randomly generated state mutation.
 #[derive(Debug, Clone)]
@@ -19,17 +21,27 @@ enum Op {
     Destruct(u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| Op::Credit(a, v % 1000)),
-        (any::<u8>(), any::<u64>()).prop_map(|(a, v)| Op::Debit(a, v % 1000)),
-        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(a, b, v)| Op::Transfer(a, b, v % 1000)),
-        any::<u8>().prop_map(Op::BumpNonce),
-        (any::<u8>(), any::<u8>(), any::<u64>()).prop_map(|(a, k, v)| Op::SetStorage(a, k, v % 5)),
-        (any::<u8>(), prop::collection::vec(any::<u8>(), 0..8))
-            .prop_map(|(a, c)| Op::SetCode(a, c)),
-        any::<u8>().prop_map(Op::Destruct),
-    ]
+fn arb_op(rng: &mut SplitMix64) -> Op {
+    let a = rng.next_u64() as u8;
+    match rng.random_range(0..7) {
+        0 => Op::Credit(a, rng.random_range(0..1000)),
+        1 => Op::Debit(a, rng.random_range(0..1000)),
+        2 => Op::Transfer(a, rng.next_u64() as u8, rng.random_range(0..1000)),
+        3 => Op::BumpNonce(a),
+        4 => Op::SetStorage(a, rng.next_u64() as u8, rng.random_range(0..5)),
+        5 => {
+            let mut code = vec![0u8; rng.random_range(0..8) as usize];
+            rng.fill_bytes(&mut code);
+            Op::SetCode(a, code)
+        }
+        _ => Op::Destruct(a),
+    }
+}
+
+fn arb_ops(rng: &mut SplitMix64, max: u64) -> Vec<Op> {
+    (0..rng.random_range(0..max + 1))
+        .map(|_| arb_op(rng))
+        .collect()
 }
 
 fn apply(st: &mut State, op: &Op) {
@@ -61,81 +73,80 @@ fn seeded_state() -> State {
     st
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Reverting to a checkpoint undoes everything after it.
-    #[test]
-    fn revert_is_exact(before in prop::collection::vec(arb_op(), 0..20),
-                       after in prop::collection::vec(arb_op(), 0..40)) {
+/// Reverting to a checkpoint undoes everything after it.
+#[test]
+fn revert_is_exact() {
+    let mut rng = SplitMix64::new(0x10A1);
+    for _ in 0..128 {
         let mut st = seeded_state();
-        for op in &before {
-            apply(&mut st, op);
+        for op in arb_ops(&mut rng, 20) {
+            apply(&mut st, &op);
         }
         let root = st.state_root();
         let cp = st.checkpoint();
-        for op in &after {
-            apply(&mut st, op);
+        for op in arb_ops(&mut rng, 40) {
+            apply(&mut st, &op);
         }
         st.revert_to(cp);
-        prop_assert_eq!(st.state_root(), root);
+        assert_eq!(st.state_root(), root);
     }
+}
 
-    /// Nested checkpoints unwind independently (inner first).
-    #[test]
-    fn nested_reverts(a in prop::collection::vec(arb_op(), 0..15),
-                      b in prop::collection::vec(arb_op(), 0..15),
-                      c in prop::collection::vec(arb_op(), 0..15)) {
+/// Nested checkpoints unwind independently (inner first).
+#[test]
+fn nested_reverts() {
+    let mut rng = SplitMix64::new(0x10A2);
+    for _ in 0..128 {
         let mut st = seeded_state();
-        for op in &a {
-            apply(&mut st, op);
+        for op in arb_ops(&mut rng, 15) {
+            apply(&mut st, &op);
         }
         let outer_root = st.state_root();
         let outer = st.checkpoint();
-        for op in &b {
-            apply(&mut st, op);
+        for op in arb_ops(&mut rng, 15) {
+            apply(&mut st, &op);
         }
         let inner_root = st.state_root();
         let inner = st.checkpoint();
-        for op in &c {
-            apply(&mut st, op);
+        for op in arb_ops(&mut rng, 15) {
+            apply(&mut st, &op);
         }
         st.revert_to(inner);
-        prop_assert_eq!(st.state_root(), inner_root);
+        assert_eq!(st.state_root(), inner_root);
         st.revert_to(outer);
-        prop_assert_eq!(st.state_root(), outer_root);
+        assert_eq!(st.state_root(), outer_root);
     }
+}
 
-    /// finalize_tx after commit keeps mutations; destructed accounts go.
-    #[test]
-    fn finalize_keeps_committed_state(ops in prop::collection::vec(arb_op(), 0..30)) {
+/// finalize_tx after commit keeps mutations and is idempotent.
+#[test]
+fn finalize_keeps_committed_state() {
+    let mut rng = SplitMix64::new(0x10A3);
+    for _ in 0..128 {
         let mut st = seeded_state();
-        for op in &ops {
-            apply(&mut st, op);
+        for op in arb_ops(&mut rng, 30) {
+            apply(&mut st, &op);
         }
-        let destructed: Vec<Address> = (0..16u64)
-            .map(Address::from_low_u64)
-            .filter(|_| false)
-            .collect();
         st.finalize_tx();
         let root = st.state_root();
-        // finalize is idempotent.
         st.finalize_tx();
-        prop_assert_eq!(st.state_root(), root);
-        let _ = destructed;
+        assert_eq!(st.state_root(), root);
     }
+}
 
-    /// Balances never go negative: debit fails instead.
-    #[test]
-    fn debit_never_underflows(ops in prop::collection::vec(arb_op(), 0..60)) {
+/// Balances never go negative: debit fails instead of wrapping.
+#[test]
+fn debit_never_underflows() {
+    let mut rng = SplitMix64::new(0x10A4);
+    for _ in 0..128 {
         let mut st = seeded_state();
-        for op in &ops {
-            apply(&mut st, op);
+        for op in arb_ops(&mut rng, 60) {
+            apply(&mut st, &op);
         }
         for i in 0..16u64 {
             // Every balance is representable and the debit guard held
             // (no wrap-around to a huge value given small credits).
-            prop_assert!(st.balance(Address::from_low_u64(i)) < U256::from(u64::MAX));
+            assert!(st.balance(Address::from_low_u64(i)) < U256::from(u64::MAX));
         }
     }
 }

@@ -6,17 +6,11 @@
 //! reproduce that: the DAG is computed from the read/write sets of the
 //! recorded traces (storage slots plus value-transfer balances).
 
+use super::rwset::{tx_rw_set, RwSet, SlotKey};
 use mtpu_evm::trace::TxTrace;
 use mtpu_evm::tx::Transaction;
-use mtpu_primitives::{Address, U256};
-use std::collections::{HashMap, HashSet};
-
-/// A conflict key: a storage slot or an account balance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum Slot {
-    Storage(Address, U256),
-    Balance(Address),
-}
+use mtpu_primitives::Address;
+use std::collections::HashMap;
 
 /// Directed acyclic dependency graph over the transactions of one block
 /// (edge `i -> j` means `j` must observe `i`'s effects).
@@ -103,10 +97,23 @@ impl DepGraph {
     /// (e.g. Block-STM) order on.
     pub fn from_conflicts(txs: &[Transaction], traces: &[TxTrace]) -> DepGraph {
         assert_eq!(txs.len(), traces.len());
+        let sets: Vec<RwSet> = txs
+            .iter()
+            .zip(traces)
+            .map(|(tx, trace)| tx_rw_set(tx, trace))
+            .collect();
+        DepGraph::from_rw_sets(txs, &sets)
+    }
+
+    /// Builds the DAG from precomputed read/write sets (the form the
+    /// parallel execution engine already holds). Sender nonce-order edges
+    /// are always included.
+    pub fn from_rw_sets(txs: &[Transaction], sets: &[RwSet]) -> DepGraph {
+        assert_eq!(txs.len(), sets.len());
         let n = txs.len();
         let mut g = DepGraph::new(n);
-        let mut last_writer: HashMap<Slot, usize> = HashMap::new();
-        let mut readers_since: HashMap<Slot, Vec<usize>> = HashMap::new();
+        let mut last_writer: HashMap<SlotKey, usize> = HashMap::new();
+        let mut readers_since: HashMap<SlotKey, Vec<usize>> = HashMap::new();
         let mut last_of_sender: HashMap<Address, usize> = HashMap::new();
 
         for i in 0..n {
@@ -115,8 +122,8 @@ impl DepGraph {
                 g.add_edge(prev, i);
             }
             last_of_sender.insert(txs[i].from, i);
-            let (reads, writes) = rw_sets(&txs[i], &traces[i]);
-            for r in &reads {
+            let RwSet { reads, writes } = &sets[i];
+            for r in reads {
                 if let Some(&w) = last_writer.get(r) {
                     if w != i {
                         g.add_edge(w, i);
@@ -124,7 +131,7 @@ impl DepGraph {
                 }
                 readers_since.entry(*r).or_default().push(i);
             }
-            for w in &writes {
+            for w in writes {
                 if let Some(&pw) = last_writer.get(w) {
                     if pw != i {
                         g.add_edge(pw, i);
@@ -144,6 +151,20 @@ impl DepGraph {
         g
     }
 
+    /// The trivial DAG with only sender nonce-order edges — the fallback
+    /// when a block ships without a consensus-computed dependency graph.
+    pub fn sender_order(txs: &[Transaction]) -> DepGraph {
+        let mut g = DepGraph::new(txs.len());
+        let mut last_of_sender: HashMap<Address, usize> = HashMap::new();
+        for (i, tx) in txs.iter().enumerate() {
+            if let Some(&prev) = last_of_sender.get(&tx.from) {
+                g.add_edge(prev, i);
+            }
+            last_of_sender.insert(tx.from, i);
+        }
+        g
+    }
+
     /// Checks that `start[j] >= end[i]` for every edge `i -> j` — the
     /// serializability oracle used by the scheduler tests.
     #[allow(clippy::needless_range_loop)] // j indexes parents and start
@@ -159,31 +180,11 @@ impl DepGraph {
     }
 }
 
-fn rw_sets(tx: &Transaction, trace: &TxTrace) -> (HashSet<Slot>, HashSet<Slot>) {
-    let mut reads = HashSet::new();
-    let mut writes = HashSet::new();
-    for acc in &trace.storage {
-        let slot = Slot::Storage(acc.address, acc.key);
-        if acc.write {
-            writes.insert(slot);
-        } else {
-            reads.insert(slot);
-        }
-    }
-    // Value movement touches balances.
-    if !tx.value.is_zero() {
-        writes.insert(Slot::Balance(tx.from));
-        if let Some(to) = tx.to {
-            writes.insert(Slot::Balance(to));
-        }
-    }
-    (reads, writes)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use mtpu_evm::trace::StorageAccess;
+    use mtpu_primitives::U256;
 
     fn tx(from: u64, to: u64, value: u64) -> Transaction {
         Transaction::transfer(
@@ -275,5 +276,74 @@ mod tests {
     fn backward_edge_rejected() {
         let mut g = DepGraph::new(2);
         g.add_edge(1, 0);
+    }
+
+    #[test]
+    fn recipient_balance_conflict() {
+        // Different senders paying the same recipient conflict on
+        // Balance(recipient) (write-write).
+        let txs = vec![tx(1, 9, 5), tx(2, 9, 7)];
+        let traces = vec![TxTrace::default(), TxTrace::default()];
+        let g = DepGraph::from_conflicts(&txs, &traces);
+        assert_eq!(g.parents(1), &[0]);
+        assert_eq!(g.children(0), &[1]);
+    }
+
+    #[test]
+    fn storage_and_balance_edges_are_disjoint_keys() {
+        // T0 writes slot (9,1); T1 transfers value to address 9. A
+        // storage slot and a balance on the same address must NOT alias.
+        let txs = vec![tx(1, 2, 0), tx(3, 9, 5)];
+        let traces = vec![trace_with(&[(9, 1, true)]), TxTrace::default()];
+        let g = DepGraph::from_conflicts(&txs, &traces);
+        assert_eq!(g.dependent_ratio(), 0.0);
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let txs = vec![tx(1, 2, 5), tx(3, 4, 0), tx(1, 4, 2), tx(5, 2, 9)];
+        let traces = vec![
+            trace_with(&[(7, 1, true), (7, 2, false)]),
+            trace_with(&[(7, 1, false), (8, 3, true)]),
+            trace_with(&[(8, 3, true)]),
+            trace_with(&[(7, 2, true)]),
+        ];
+        let a = DepGraph::from_conflicts(&txs, &traces);
+        for _ in 0..10 {
+            let b = DepGraph::from_conflicts(&txs, &traces);
+            for i in 0..a.len() {
+                assert_eq!(a.parents(i), b.parents(i));
+                assert_eq!(a.children(i), b.children(i));
+            }
+        }
+    }
+
+    #[test]
+    fn sender_order_fallback() {
+        let txs = vec![tx(1, 2, 0), tx(3, 4, 0), tx(1, 5, 0)];
+        let g = DepGraph::sender_order(&txs);
+        assert_eq!(g.parents(0), &[] as &[u32]);
+        assert_eq!(g.parents(1), &[] as &[u32]);
+        assert_eq!(g.parents(2), &[0]);
+    }
+
+    #[test]
+    fn from_rw_sets_matches_from_conflicts() {
+        let txs = vec![tx(1, 2, 5), tx(3, 4, 0), tx(5, 2, 1)];
+        let traces = vec![
+            trace_with(&[(7, 1, true)]),
+            trace_with(&[(7, 1, false)]),
+            TxTrace::default(),
+        ];
+        let sets: Vec<RwSet> = txs
+            .iter()
+            .zip(&traces)
+            .map(|(tx, tr)| tx_rw_set(tx, tr))
+            .collect();
+        let a = DepGraph::from_conflicts(&txs, &traces);
+        let b = DepGraph::from_rw_sets(&txs, &sets);
+        for i in 0..a.len() {
+            assert_eq!(a.parents(i), b.parents(i));
+        }
     }
 }

@@ -2,9 +2,11 @@
 //! comparison baselines.
 
 mod depgraph;
+mod rwset;
 mod sim;
 mod tables;
 
 pub use depgraph::DepGraph;
+pub use rwset::{tx_rw_set, RwSet, SlotKey};
 pub use sim::{simulate_sequential, simulate_st, simulate_sync, ScheduleResult};
 pub use tables::{PuRow, SchedulingTable, TransactionTable, MAX_CANDIDATES};

@@ -1,0 +1,67 @@
+//! Read/write-set extraction from recorded transaction traces.
+//!
+//! Shared between the consensus-stage DAG construction
+//! ([`super::DepGraph::from_conflicts`]) and the wall-clock parallel
+//! execution engine (`mtpu-parexec`), which drives its worker pool off the
+//! same conflict keys.
+
+use mtpu_evm::trace::TxTrace;
+use mtpu_evm::tx::Transaction;
+use mtpu_primitives::{Address, U256};
+use std::collections::HashSet;
+
+/// A conflict key: a storage slot or an account balance.
+///
+/// Gas-fee bookkeeping (sender gas debit, coinbase credit) is deliberately
+/// *not* a key: fee accrual commutes and would otherwise serialize every
+/// block, which neither the paper nor production parallel executors (e.g.
+/// Block-STM) order on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKey {
+    /// A contract storage slot.
+    Storage(Address, U256),
+    /// An account balance touched by value transfer.
+    Balance(Address),
+}
+
+/// The conflict footprint of one transaction.
+#[derive(Debug, Clone, Default)]
+pub struct RwSet {
+    /// Keys the transaction observes.
+    pub reads: HashSet<SlotKey>,
+    /// Keys the transaction mutates.
+    pub writes: HashSet<SlotKey>,
+}
+
+impl RwSet {
+    /// `true` when `self` writes something `other` reads or writes, or
+    /// vice versa — i.e. the two transactions cannot run concurrently.
+    pub fn conflicts_with(&self, other: &RwSet) -> bool {
+        self.writes
+            .iter()
+            .any(|k| other.reads.contains(k) || other.writes.contains(k))
+            || other.writes.iter().any(|k| self.reads.contains(k))
+    }
+}
+
+/// Extracts the read/write sets of a recorded execution: storage accesses
+/// from the trace plus the balances moved by the value transfer.
+pub fn tx_rw_set(tx: &Transaction, trace: &TxTrace) -> RwSet {
+    let mut set = RwSet::default();
+    for acc in &trace.storage {
+        let slot = SlotKey::Storage(acc.address, acc.key);
+        if acc.write {
+            set.writes.insert(slot);
+        } else {
+            set.reads.insert(slot);
+        }
+    }
+    // Value movement touches balances.
+    if !tx.value.is_zero() {
+        set.writes.insert(SlotKey::Balance(tx.from));
+        if let Some(to) = tx.to {
+            set.writes.insert(SlotKey::Balance(to));
+        }
+    }
+    set
+}

@@ -1,0 +1,639 @@
+//! Wall-clock parallel block execution engine.
+//!
+//! This crate turns the paper's spatial-temporal DAG schedule (§3.4) into
+//! *real* multi-threaded execution on host cores: a pool of worker threads
+//! claims transactions whose DAG parents have committed, executes each one
+//! speculatively on a [`StateOverlay`] over the immutable pre-block
+//! snapshot plus the committed prefix, and commits strictly in canonical
+//! block order after re-validating the recorded read set — re-executing on
+//! conflict (the Block-STM recipe with a consensus-provided DAG instead of
+//! blind speculation).
+//!
+//! Because commits happen in block order, the committed view at
+//! transaction *i*'s commit point is exactly the sequential prefix state,
+//! so the final state and receipts are bit-identical to
+//! [`mtpu_evm::execute_block`] — the serializability oracle the
+//! integration tests enforce.
+//!
+//! ```
+//! use mtpu_evm::{Block, BlockHeader, State, StateOps, Transaction};
+//! use mtpu_parexec::ParExecutor;
+//! use mtpu_primitives::{Address, U256};
+//!
+//! let mut base = State::new();
+//! base.credit(Address::from_low_u64(1), U256::from(1_000_000_000u64));
+//! base.finalize_tx();
+//! let block = Block {
+//!     header: BlockHeader::default(),
+//!     transactions: vec![Transaction::transfer(
+//!         Address::from_low_u64(1),
+//!         Address::from_low_u64(2),
+//!         U256::from(7u64),
+//!         0,
+//!     )],
+//! };
+//! let result = ParExecutor::new(4).execute_block(&base, &block);
+//! assert!(result.receipts[0].success);
+//! assert_eq!(result.state.balance(Address::from_low_u64(2)), U256::from(7u64));
+//! ```
+
+use mtpu::sched::DepGraph;
+use mtpu_evm::executor::execute_transaction;
+use mtpu_evm::overlay::{BlockDelta, OverlayedView, ReadSet, StateOverlay, StateRead, TxDelta};
+use mtpu_evm::state::State;
+use mtpu_evm::trace::NoopTracer;
+use mtpu_evm::tx::{Block, BlockHeader, Receipt, Transaction};
+use mtpu_primitives::{Address, B256, U256};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Per-worker execution counters.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Speculative executions (including re-executions) this worker ran.
+    pub executed: u64,
+    /// Transactions this worker committed while holding the commit gate.
+    pub committed: u64,
+    /// Time spent executing and committing (excludes idle waits on the
+    /// ready queue).
+    pub busy: Duration,
+}
+
+/// What happened while executing one block in parallel.
+#[derive(Debug, Clone)]
+pub struct BlockStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Transactions in the block.
+    pub txs: usize,
+    /// Total speculative executions (>= `txs`; the excess is re-execution
+    /// work caused by conflicts).
+    pub executions: u64,
+    /// Executions repeated because read-set validation failed at commit.
+    pub reexecutions: u64,
+    /// Read-set validation failures observed at the commit gate.
+    pub conflicts: u64,
+    /// Wall-clock time for the whole block.
+    pub wall: Duration,
+    /// Per-worker breakdown, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl BlockStats {
+    /// Committed transactions per wall-clock second.
+    pub fn tx_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.txs as f64 / secs
+    }
+
+    /// Fraction of `threads * wall` the workers spent busy (1.0 = every
+    /// core executing for the whole block).
+    pub fn utilization(&self) -> f64 {
+        let denom = self.wall.as_secs_f64() * self.threads as f64;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.workers.iter().map(|w| w.busy.as_secs_f64()).sum();
+        (busy / denom).min(1.0)
+    }
+}
+
+/// The outcome of one parallel block execution.
+#[derive(Debug)]
+pub struct BlockResult {
+    /// Receipts in canonical block order — identical to the sequential
+    /// executor's, including failed pseudo-receipts for invalid
+    /// transactions.
+    pub receipts: Vec<Receipt>,
+    /// The post-block state: `base.clone()` plus every committed delta.
+    pub state: State,
+    /// The merged block delta (useful to apply to a different copy of the
+    /// base without cloning the whole state).
+    pub delta: BlockDelta,
+    /// Execution statistics.
+    pub stats: BlockStats,
+}
+
+/// A multi-threaded optimistic block executor.
+///
+/// Construction is cheap; threads are spawned per block via
+/// [`std::thread::scope`], so the executor borrows the base state and
+/// block for the duration of the call only.
+#[derive(Debug, Clone, Copy)]
+pub struct ParExecutor {
+    threads: usize,
+}
+
+impl ParExecutor {
+    /// An executor with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        ParExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes `block` against `base` using the sender-nonce-order DAG —
+    /// the weakest dependency information a node can always derive without
+    /// consensus-stage traces. Conflicts the DAG misses are caught by
+    /// read-set validation and repaired by re-execution.
+    pub fn execute_block(&self, base: &State, block: &Block) -> BlockResult {
+        let dag = DepGraph::sender_order(&block.transactions);
+        self.execute_block_with_dag(base, block, &dag)
+    }
+
+    /// Executes `block` with an explicit dependency DAG (normally
+    /// [`DepGraph::from_conflicts`] built from consensus-stage traces, per
+    /// the paper's §2.2.2). A more precise DAG means fewer validation
+    /// failures, not different results.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dag.len() != block.transactions.len()`.
+    pub fn execute_block_with_dag(
+        &self,
+        base: &State,
+        block: &Block,
+        dag: &DepGraph,
+    ) -> BlockResult {
+        assert_eq!(
+            dag.len(),
+            block.transactions.len(),
+            "DAG must cover every transaction of the block"
+        );
+        let n = block.transactions.len();
+        let started = Instant::now();
+        if n == 0 {
+            return BlockResult {
+                receipts: Vec::new(),
+                state: base.clone(),
+                delta: BlockDelta::new(),
+                stats: BlockStats {
+                    threads: self.threads,
+                    txs: 0,
+                    executions: 0,
+                    reexecutions: 0,
+                    conflicts: 0,
+                    wall: started.elapsed(),
+                    workers: vec![WorkerStats::default(); self.threads],
+                },
+            };
+        }
+
+        let shared = Shared::new(base, &block.header, &block.transactions, dag);
+        let workers: Vec<WorkerSlot> = (0..self.threads).map(|_| WorkerSlot::default()).collect();
+
+        std::thread::scope(|scope| {
+            for slot in &workers {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(shared, slot));
+            }
+        });
+
+        let wall = started.elapsed();
+        let delta = shared.committed.into_inner().expect("no worker panicked");
+        let cursor = shared.gate.into_inner().expect("no worker panicked");
+        debug_assert_eq!(cursor.next, n, "every transaction must commit");
+        let receipts: Vec<Receipt> = cursor
+            .receipts
+            .into_iter()
+            .map(|r| r.expect("committed transactions have receipts"))
+            .collect();
+        let mut state = base.clone();
+        delta.apply_to(&mut state);
+
+        BlockResult {
+            receipts,
+            state,
+            delta,
+            stats: BlockStats {
+                threads: self.threads,
+                txs: n,
+                executions: shared.executions.load(Ordering::Relaxed),
+                reexecutions: shared.reexecutions.load(Ordering::Relaxed),
+                conflicts: shared.conflicts.load(Ordering::Relaxed),
+                wall,
+                workers: workers.iter().map(WorkerSlot::snapshot).collect(),
+            },
+        }
+    }
+}
+
+/// Atomic per-worker counters, snapshotted into [`WorkerStats`] at the end.
+#[derive(Debug, Default)]
+struct WorkerSlot {
+    executed: AtomicU64,
+    committed: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl WorkerSlot {
+    fn snapshot(&self) -> WorkerStats {
+        WorkerStats {
+            executed: self.executed.load(Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Relaxed),
+            busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// One speculative execution's result, parked until the commit gate
+/// reaches it.
+struct TxOutcome {
+    delta: TxDelta,
+    reads: ReadSet,
+    receipt: Receipt,
+}
+
+/// Commit-order bookkeeping, protected by the gate mutex: the index of the
+/// next transaction to commit and the receipts committed so far.
+struct CommitCursor {
+    next: usize,
+    receipts: Vec<Option<Receipt>>,
+}
+
+/// Everything the workers share for one block.
+struct Shared<'a> {
+    base: &'a State,
+    header: &'a BlockHeader,
+    txs: &'a [Transaction],
+    dag: &'a DepGraph,
+    /// Deltas of the committed transaction prefix. Read-locked per access
+    /// during speculation; write-locked only by the gate holder to merge.
+    committed: RwLock<BlockDelta>,
+    /// The commit gate: whoever holds it advances the canonical commit
+    /// order (validate → maybe re-execute → merge) as far as outcomes are
+    /// available.
+    gate: Mutex<CommitCursor>,
+    /// Parked speculative outcomes, one slot per transaction.
+    outcomes: Vec<Mutex<Option<TxOutcome>>>,
+    /// Uncommitted-parent counts; a transaction becomes ready at zero.
+    parents_left: Vec<AtomicUsize>,
+    ready: Mutex<VecDeque<usize>>,
+    wake: Condvar,
+    done: AtomicBool,
+    executions: AtomicU64,
+    reexecutions: AtomicU64,
+    conflicts: AtomicU64,
+}
+
+impl<'a> Shared<'a> {
+    fn new(
+        base: &'a State,
+        header: &'a BlockHeader,
+        txs: &'a [Transaction],
+        dag: &'a DepGraph,
+    ) -> Self {
+        let n = txs.len();
+        let parents_left: Vec<AtomicUsize> = (0..n)
+            .map(|i| AtomicUsize::new(dag.parents(i).len()))
+            .collect();
+        let ready: VecDeque<usize> = (0..n).filter(|&i| dag.parents(i).is_empty()).collect();
+        Shared {
+            base,
+            header,
+            txs,
+            dag,
+            committed: RwLock::new(BlockDelta::new()),
+            gate: Mutex::new(CommitCursor {
+                next: 0,
+                receipts: vec![None; n],
+            }),
+            outcomes: (0..n).map(|_| Mutex::new(None)).collect(),
+            parents_left,
+            ready: Mutex::new(ready),
+            wake: Condvar::new(),
+            done: AtomicBool::new(false),
+            executions: AtomicU64::new(0),
+            reexecutions: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until a transaction is ready or the block is fully
+    /// committed. `None` means "no more work, exit".
+    fn next_ready(&self) -> Option<usize> {
+        let mut queue = self.ready.lock().expect("ready queue poisoned");
+        loop {
+            if let Some(i) = queue.pop_front() {
+                return Some(i);
+            }
+            if self.done.load(Ordering::SeqCst) {
+                return None;
+            }
+            queue = self.wake.wait(queue).expect("ready queue poisoned");
+        }
+    }
+
+    /// Enqueues newly-ready transactions and wakes waiters. Holding the
+    /// queue lock across the notify closes the race with a worker that
+    /// just found the queue empty but has not yet parked.
+    fn enqueue(&self, indices: &[usize]) {
+        let mut queue = self.ready.lock().expect("ready queue poisoned");
+        queue.extend(indices.iter().copied());
+        self.wake.notify_all();
+    }
+
+    fn finish(&self) {
+        self.done.store(true, Ordering::SeqCst);
+        let _queue = self.ready.lock().expect("ready queue poisoned");
+        self.wake.notify_all();
+    }
+}
+
+/// The committed-prefix view used during speculation: every read takes a
+/// short read-lock on the committed [`BlockDelta`]. The prefix may advance
+/// *between* reads — [`ReadSet`] poisoning catches executions that
+/// observed an inconsistent cut, and commit-time validation catches the
+/// rest.
+struct LockingView<'a> {
+    base: &'a State,
+    committed: &'a RwLock<BlockDelta>,
+}
+
+impl LockingView<'_> {
+    fn with_view<R>(&self, f: impl FnOnce(&OverlayedView<'_>) -> R) -> R {
+        let guard = self.committed.read().expect("committed delta poisoned");
+        f(&OverlayedView {
+            base: self.base,
+            delta: &guard,
+        })
+    }
+}
+
+impl StateRead for LockingView<'_> {
+    fn read_exists(&self, addr: Address) -> bool {
+        self.with_view(|v| v.read_exists(addr))
+    }
+    fn read_balance(&self, addr: Address) -> U256 {
+        self.with_view(|v| v.read_balance(addr))
+    }
+    fn read_nonce(&self, addr: Address) -> u64 {
+        self.with_view(|v| v.read_nonce(addr))
+    }
+    fn read_code(&self, addr: Address) -> Vec<u8> {
+        self.with_view(|v| v.read_code(addr))
+    }
+    fn read_code_hash(&self, addr: Address) -> B256 {
+        self.with_view(|v| v.read_code_hash(addr))
+    }
+    fn read_storage(&self, addr: Address, key: U256) -> U256 {
+        self.with_view(|v| v.read_storage(addr, key))
+    }
+}
+
+/// Runs one transaction on a fresh overlay over `view`. Invalid
+/// transactions yield the same failed pseudo-receipt as the sequential
+/// executor; their (empty) delta still merges cleanly and their read set
+/// still validates, because the *decision* to reject depends on the reads.
+fn run_tx<B: StateRead>(view: &B, header: &BlockHeader, tx: &Transaction) -> TxOutcome {
+    let mut overlay = StateOverlay::new(view);
+    let receipt = match execute_transaction(&mut overlay, header, tx, &mut NoopTracer) {
+        Ok(r) => r,
+        Err(_) => Receipt {
+            success: false,
+            gas_used: 0,
+            logs: Vec::new(),
+            output: Vec::new(),
+            created: None,
+        },
+    };
+    let (delta, reads) = overlay.into_parts();
+    TxOutcome {
+        delta,
+        reads,
+        receipt,
+    }
+}
+
+fn worker_loop(shared: &Shared<'_>, slot: &WorkerSlot) {
+    while let Some(i) = shared.next_ready() {
+        let busy_started = Instant::now();
+        let view = LockingView {
+            base: shared.base,
+            committed: &shared.committed,
+        };
+        let outcome = run_tx(&view, shared.header, &shared.txs[i]);
+        shared.executions.fetch_add(1, Ordering::Relaxed);
+        slot.executed.fetch_add(1, Ordering::Relaxed);
+        *shared.outcomes[i].lock().expect("outcome slot poisoned") = Some(outcome);
+        drain_commits(shared, slot);
+        slot.busy_ns
+            .fetch_add(busy_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Takes the commit gate and commits as many transactions as have parked
+/// outcomes, in canonical order. Validation failures re-execute under the
+/// gate against the frozen prefix view, which is exactly the sequential
+/// prefix state — so the repaired outcome is definitively correct.
+fn drain_commits(shared: &Shared<'_>, slot: &WorkerSlot) {
+    let mut cursor = shared.gate.lock().expect("commit gate poisoned");
+    loop {
+        let i = cursor.next;
+        if i >= shared.txs.len() {
+            shared.finish();
+            return;
+        }
+        let Some(mut outcome) = shared.outcomes[i]
+            .lock()
+            .expect("outcome slot poisoned")
+            .take()
+        else {
+            // Not executed yet; whoever parks it will re-take the gate.
+            return;
+        };
+
+        let valid = {
+            let committed = shared.committed.read().expect("committed delta poisoned");
+            let view = OverlayedView {
+                base: shared.base,
+                delta: &committed,
+            };
+            outcome.reads.validate(&view)
+        };
+        if !valid {
+            shared.conflicts.fetch_add(1, Ordering::Relaxed);
+            shared.reexecutions.fetch_add(1, Ordering::Relaxed);
+            shared.executions.fetch_add(1, Ordering::Relaxed);
+            slot.executed.fetch_add(1, Ordering::Relaxed);
+            // While we hold the gate no one else can merge, so the
+            // committed view is frozen — this re-execution cannot race.
+            let committed = shared.committed.read().expect("committed delta poisoned");
+            let view = OverlayedView {
+                base: shared.base,
+                delta: &committed,
+            };
+            outcome = run_tx(&view, shared.header, &shared.txs[i]);
+        }
+
+        {
+            let mut committed = shared.committed.write().expect("committed delta poisoned");
+            committed.merge(&outcome.delta, shared.base);
+        }
+        cursor.receipts[i] = Some(outcome.receipt);
+        cursor.next = i + 1;
+        slot.committed.fetch_add(1, Ordering::Relaxed);
+
+        let mut newly_ready = Vec::new();
+        for &child in shared.dag.children(i) {
+            if shared.parents_left[child as usize].fetch_sub(1, Ordering::SeqCst) == 1 {
+                newly_ready.push(child as usize);
+            }
+        }
+        if !newly_ready.is_empty() {
+            shared.enqueue(&newly_ready);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtpu_evm::execute_block as sequential;
+    use mtpu_workloads::{BlockConfig, Generator};
+
+    fn funded(addrs: &[Address]) -> State {
+        let mut st = State::new();
+        for &a in addrs {
+            st.credit(a, U256::from(10_000_000_000u64));
+        }
+        st.finalize_tx();
+        st
+    }
+
+    fn assert_matches_sequential(base: &State, block: &Block, threads: usize) -> BlockStats {
+        let mut seq_state = base.clone();
+        let seq_receipts = sequential(&mut seq_state, block);
+        let result = ParExecutor::new(threads).execute_block(base, block);
+        assert_eq!(result.receipts, seq_receipts);
+        assert_eq!(result.state.state_root(), seq_state.state_root());
+        result.stats
+    }
+
+    #[test]
+    fn empty_block() {
+        let base = State::new();
+        let block = Block {
+            header: BlockHeader::default(),
+            transactions: Vec::new(),
+        };
+        let result = ParExecutor::new(4).execute_block(&base, &block);
+        assert!(result.receipts.is_empty());
+        assert_eq!(result.state.state_root(), base.state_root());
+        assert_eq!(result.stats.executions, 0);
+    }
+
+    #[test]
+    fn independent_transfers_match_sequential() {
+        let users: Vec<Address> = (1..=8).map(Address::from_low_u64).collect();
+        let base = funded(&users);
+        let block = Block {
+            header: BlockHeader::default(),
+            transactions: (0..4)
+                .map(|i| Transaction::transfer(users[i], users[i + 4], U256::from(i as u64 + 1), 0))
+                .collect(),
+        };
+        for threads in [1, 2, 4] {
+            let stats = assert_matches_sequential(&base, &block, threads);
+            assert_eq!(stats.txs, 4);
+            assert!(stats.executions >= 4);
+        }
+    }
+
+    #[test]
+    fn dependent_chain_matches_sequential() {
+        // A -> B -> C -> D hot-potato: every tx spends money it received
+        // in the previous tx, the worst case for speculation.
+        let users: Vec<Address> = (1..=5).map(Address::from_low_u64).collect();
+        let base = funded(&[users[0]]);
+        let amount = U256::from(1_000_000u64);
+        let block = Block {
+            header: BlockHeader::default(),
+            transactions: (0..4)
+                .map(|i| Transaction::transfer(users[i], users[i + 1], amount, 0))
+                .collect(),
+        };
+        for threads in [1, 2, 4] {
+            assert_matches_sequential(&base, &block, threads);
+        }
+    }
+
+    #[test]
+    fn invalid_transactions_get_pseudo_receipts() {
+        let a = Address::from_low_u64(1);
+        let b = Address::from_low_u64(2);
+        let base = funded(&[a]);
+        let block = Block {
+            header: BlockHeader::default(),
+            transactions: vec![
+                Transaction::transfer(a, b, U256::ONE, 0),
+                // Wrong nonce: rejected by the sequential executor too.
+                Transaction::transfer(a, b, U256::ONE, 7),
+                // Unfunded sender.
+                Transaction::transfer(b, a, U256::from(1u64 << 40), 0),
+            ],
+        };
+        let stats = assert_matches_sequential(&base, &block, 4);
+        assert_eq!(stats.txs, 3);
+    }
+
+    #[test]
+    fn generated_blocks_match_sequential_with_both_dags() {
+        for (seed, ratio) in [(11u64, 0.0), (12, 0.5), (13, 1.0)] {
+            let mut generator = Generator::new(seed);
+            let prepared = generator.prepared_block(&BlockConfig {
+                tx_count: 32,
+                dependent_ratio: ratio,
+                erc20_ratio: None,
+                sct_ratio: 0.9,
+                chain_bias: 0.5,
+                focus: None,
+            });
+            let base = prepared.state_before.clone();
+            let mut seq_state = base.clone();
+            let seq_receipts = sequential(&mut seq_state, &prepared.block);
+
+            for threads in [1, 4] {
+                let exec = ParExecutor::new(threads);
+                let with_sender = exec.execute_block(&base, &prepared.block);
+                assert_eq!(with_sender.receipts, seq_receipts);
+                assert_eq!(with_sender.state.state_root(), seq_state.state_root());
+
+                let with_dag = exec.execute_block_with_dag(&base, &prepared.block, &prepared.graph);
+                assert_eq!(with_dag.receipts, seq_receipts);
+                assert_eq!(with_dag.state.state_root(), seq_state.state_root());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_commit() {
+        let users: Vec<Address> = (1..=6).map(Address::from_low_u64).collect();
+        let base = funded(&users);
+        let block = Block {
+            header: BlockHeader::default(),
+            transactions: (0..3)
+                .map(|i| Transaction::transfer(users[i], users[i + 3], U256::from(5u64), 0))
+                .collect(),
+        };
+        let result = ParExecutor::new(2).execute_block(&base, &block);
+        let stats = &result.stats;
+        let committed: u64 = stats.workers.iter().map(|w| w.committed).sum();
+        let executed: u64 = stats.workers.iter().map(|w| w.executed).sum();
+        assert_eq!(committed, 3);
+        assert_eq!(executed, stats.executions);
+        assert_eq!(stats.executions, stats.txs as u64 + stats.reexecutions);
+        assert!(stats.tx_per_sec() > 0.0);
+        assert!(stats.utilization() <= 1.0);
+    }
+}

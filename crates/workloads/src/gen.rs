@@ -4,9 +4,8 @@
 
 use mtpu_contracts::Fixture;
 use mtpu_evm::tx::{Block, BlockHeader, Transaction};
+use mtpu_primitives::SplitMix64;
 use mtpu_primitives::U256;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 /// Shape of one generated block.
 #[derive(Debug, Clone)]
@@ -84,7 +83,7 @@ enum TxSeedKind {
 pub struct Generator {
     /// The deployed world (nonces advance as blocks are generated).
     pub fx: Fixture,
-    rng: StdRng,
+    rng: SplitMix64,
     /// Rotates fresh users for independent transactions.
     cursor: u64,
     height: u64,
@@ -95,7 +94,7 @@ impl Generator {
     pub fn new(seed: u64) -> Self {
         Generator {
             fx: Fixture::new(),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::seed_from_u64(seed),
             cursor: 0,
             height: 1,
         }
@@ -119,7 +118,7 @@ impl Generator {
             })
             .collect();
         let total: u32 = weights.iter().sum();
-        let mut pick = self.rng.random_range(0..total);
+        let mut pick = self.rng.random_range(0..total as u64) as u32;
         for (i, w) in weights.iter().enumerate() {
             if pick < *w {
                 return pool[i];
@@ -150,12 +149,12 @@ impl Generator {
                         self.dependent_tx(&seeds, t)
                     }
                     Some(_) => {
-                        let t = self.rng.random_range(0..seeds.len());
+                        let t = self.rng.random_index(seeds.len());
                         self.dependent_tx(&seeds, t)
                     }
                     None => {
                         last_dependent = Some(i);
-                        let t = self.rng.random_range(0..seeds.len());
+                        let t = self.rng.random_index(seeds.len());
                         self.dependent_tx(&seeds, t)
                     }
                 }
@@ -185,7 +184,7 @@ impl Generator {
         let tx = Transaction::transfer(
             Fixture::user_address(from),
             Fixture::user_address(to),
-            U256::from(self.rng.random_range(1..1000u64)),
+            U256::from(self.rng.random_range(1..1000)),
             nonce,
         );
         (tx, TxSeedKind::Other { sender: from })
@@ -227,7 +226,7 @@ impl Generator {
             "Ballot" => {
                 let voter = self.fresh_user();
                 // Spread votes over the proposal space to limit tally conflicts.
-                let proposal = U256::from(self.rng.random_range(0..256u64));
+                let proposal = U256::from(self.rng.random_range(0..256));
                 let nonce_tx = self.fx.call_tx(voter, "Ballot", "vote", &[proposal]);
                 (nonce_tx, TxSeedKind::Other { sender: voter })
             }
@@ -288,7 +287,7 @@ impl Generator {
         let recipient = forced_recipient.unwrap_or_else(|| self.fresh_user());
         // Values below 1000 keep TetherUSD's fee at zero, avoiding
         // accidental owner-balance contention on independent transfers.
-        let amount = U256::from(self.rng.random_range(1..999u64));
+        let amount = U256::from(self.rng.random_range(1..999));
         let tx = self.fx.call_tx(
             sender,
             contract,
@@ -314,7 +313,7 @@ impl Generator {
             &[
                 tin.to_u256(),
                 tout.to_u256(),
-                U256::from(self.rng.random_range(1_000..100_000u64)),
+                U256::from(self.rng.random_range(1_000..100_000)),
                 U256::ZERO,
             ],
         );
@@ -386,7 +385,7 @@ impl Generator {
                     "deposit",
                     &[
                         mtpu_contracts::addresses::token(0).to_u256(),
-                        U256::from(self.rng.random_range(1..1000u64)),
+                        U256::from(self.rng.random_range(1..1000)),
                     ],
                 );
                 (tx, TxSeedKind::Other { sender })

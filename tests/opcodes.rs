@@ -544,10 +544,8 @@ fn delegatecall_preserves_caller_and_storage() {
     let proxy = Address::from_low_u64(0xc0de);
     state.deploy_code(
         proxy,
-        parse_asm(
-            "PUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH2 0x0111\nGAS\nDELEGATECALL\nSTOP",
-        )
-        .unwrap(),
+        parse_asm("PUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH2 0x0111\nGAS\nDELEGATECALL\nSTOP")
+            .unwrap(),
     );
     let header = BlockHeader::default();
     let origin = Address::from_low_u64(0xabc);
@@ -580,10 +578,8 @@ fn callcode_uses_caller_storage_with_own_sender() {
     let host = Address::from_low_u64(0xc0de);
     state.deploy_code(
         host,
-        parse_asm(
-            "PUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH2 0x0222\nGAS\nCALLCODE\nSTOP",
-        )
-        .unwrap(),
+        parse_asm("PUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH1 0\nPUSH2 0x0222\nGAS\nCALLCODE\nSTOP")
+            .unwrap(),
     );
     let header = BlockHeader::default();
     let origin = Address::from_low_u64(0xabc);

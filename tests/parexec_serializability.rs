@@ -1,0 +1,118 @@
+//! The serializability oracle for the parallel execution engine:
+//! across the dependent-ratio × thread-count grid, `ParExecutor` must
+//! produce receipts and a final state **bit-identical** to the sequential
+//! reference executor — with both the weak sender-order DAG and the
+//! precise consensus-stage conflict DAG.
+
+use mtpu_repro::evm::execute_block as sequential;
+use mtpu_repro::parexec::ParExecutor;
+use mtpu_repro::workloads::{BlockConfig, Generator};
+
+const RATIOS: [f64; 4] = [0.0, 0.2, 0.5, 1.0];
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(tx_count: usize, dependent_ratio: f64) -> BlockConfig {
+    BlockConfig {
+        tx_count,
+        dependent_ratio,
+        erc20_ratio: None,
+        sct_ratio: 0.9,
+        chain_bias: 0.5,
+        focus: None,
+    }
+}
+
+/// The full grid with the sender-order DAG (no consensus traces): every
+/// conflict the DAG misses must be repaired by validation + re-execution.
+#[test]
+fn parallel_equals_sequential_with_sender_order_dag() {
+    for (r, &ratio) in RATIOS.iter().enumerate() {
+        let mut generator = Generator::new(0x5EED + r as u64);
+        let prepared = generator.prepared_block(&config(48, ratio));
+        let base = &prepared.state_before;
+        let mut seq_state = base.clone();
+        let seq_receipts = sequential(&mut seq_state, &prepared.block);
+
+        for &threads in &THREADS {
+            let result = ParExecutor::new(threads).execute_block(base, &prepared.block);
+            assert_eq!(
+                result.receipts, seq_receipts,
+                "receipts diverged at ratio {ratio} threads {threads}"
+            );
+            assert_eq!(
+                result.state.state_root(),
+                seq_state.state_root(),
+                "state root diverged at ratio {ratio} threads {threads}"
+            );
+            assert_eq!(result.stats.txs, 48);
+            assert_eq!(
+                result.stats.executions,
+                48 + result.stats.reexecutions,
+                "every tx executes once plus its conflict repairs"
+            );
+        }
+    }
+}
+
+/// The full grid with the consensus-stage conflict DAG the generator
+/// recorded (the paper's §2.2.2 flow).
+#[test]
+fn parallel_equals_sequential_with_conflict_dag() {
+    for (r, &ratio) in RATIOS.iter().enumerate() {
+        let mut generator = Generator::new(0xDA6 + r as u64);
+        let prepared = generator.prepared_block(&config(48, ratio));
+        let base = &prepared.state_before;
+
+        for &threads in &THREADS {
+            let result = ParExecutor::new(threads).execute_block_with_dag(
+                base,
+                &prepared.block,
+                &prepared.graph,
+            );
+            // The generator already ran the block sequentially while
+            // preparing it — its recorded receipts and post-state are the
+            // oracle here.
+            assert_eq!(
+                result.receipts, prepared.receipts,
+                "receipts diverged at ratio {ratio} threads {threads}"
+            );
+            assert_eq!(
+                result.state.state_root(),
+                prepared.state_after.state_root(),
+                "state root diverged at ratio {ratio} threads {threads}"
+            );
+        }
+    }
+}
+
+/// Applying the returned `BlockDelta` to a fresh copy of the base yields
+/// the same state as the `state` field — the delta is a faithful,
+/// standalone representation of the block's effects.
+#[test]
+fn block_delta_reproduces_final_state() {
+    let mut generator = Generator::new(0xD317A);
+    let prepared = generator.prepared_block(&config(32, 0.5));
+    let base = &prepared.state_before;
+    let result = ParExecutor::new(4).execute_block(base, &prepared.block);
+
+    let mut replayed = base.clone();
+    result.delta.apply_to(&mut replayed);
+    assert_eq!(replayed.state_root(), result.state.state_root());
+    assert_eq!(replayed.state_root(), prepared.state_after.state_root());
+}
+
+/// Determinism across repeated parallel runs: same block, same threads,
+/// same results — scheduling noise must never leak into outputs.
+#[test]
+fn repeated_runs_are_deterministic() {
+    let mut generator = Generator::new(0x4E9EA7);
+    let prepared = generator.prepared_block(&config(40, 0.3));
+    let base = &prepared.state_before;
+    let exec = ParExecutor::new(4);
+    let first = exec.execute_block(base, &prepared.block);
+    for _ in 0..3 {
+        let again = exec.execute_block(base, &prepared.block);
+        assert_eq!(again.receipts, first.receipts);
+        assert_eq!(again.state.state_root(), first.state.state_root());
+    }
+}

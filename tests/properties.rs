@@ -1,6 +1,8 @@
-//! Property-based tests spanning crates: differential interpreter
-//! checking (random expression programs vs direct U256 evaluation),
-//! fill-unit invariants, and scheduler correctness on random DAGs.
+//! Randomized tests spanning crates: differential interpreter checking
+//! (random expression programs vs direct U256 evaluation), fill-unit
+//! invariants, and scheduler correctness on random DAGs. Driven by the
+//! in-repo deterministic [`SplitMix64`] generator so the suite runs
+//! offline with no external crates.
 
 use mtpu_repro::asm::Assembler;
 use mtpu_repro::evm::interpreter::{CallParams, Evm};
@@ -12,8 +14,7 @@ use mtpu_repro::mtpu::dbcache::LineBuilder;
 use mtpu_repro::mtpu::sched::{simulate_st, simulate_sync, DepGraph};
 use mtpu_repro::mtpu::stream::{build_stream, MicroOp, StreamTransforms};
 use mtpu_repro::mtpu::MtpuConfig;
-use mtpu_repro::primitives::{Address, B256, U256};
-use proptest::prelude::*;
+use mtpu_repro::primitives::{Address, SplitMix64, B256, U256};
 
 /// A random binary-op expression tree with U256 leaves.
 #[derive(Debug, Clone)]
@@ -22,43 +23,55 @@ enum Expr {
     Bin(Opcode, Box<Expr>, Box<Expr>),
 }
 
-fn arb_u256() -> impl Strategy<Value = U256> {
-    prop_oneof![
-        any::<u64>().prop_map(U256::from),
-        any::<u128>().prop_map(U256::from),
-        prop::array::uniform4(any::<u64>()).prop_map(U256::from_limbs),
-        Just(U256::ZERO),
-        Just(U256::MAX),
-    ]
+fn arb_u256(rng: &mut SplitMix64) -> U256 {
+    match rng.random_range(0..5) {
+        0 => U256::from(rng.next_u64()),
+        1 => U256::from(rng.next_u64() as u128 | ((rng.next_u64() as u128) << 64)),
+        2 => U256::ZERO,
+        3 => U256::MAX,
+        _ => U256::from_limbs([
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ]),
+    }
 }
 
-fn arb_binop() -> impl Strategy<Value = Opcode> {
-    prop::sample::select(vec![
-        Opcode::Add,
-        Opcode::Sub,
-        Opcode::Mul,
-        Opcode::Div,
-        Opcode::Mod,
-        Opcode::And,
-        Opcode::Or,
-        Opcode::Xor,
-        Opcode::Lt,
-        Opcode::Gt,
-        Opcode::Eq,
-        Opcode::Shl,
-        Opcode::Shr,
-        Opcode::Byte,
-        Opcode::Sdiv,
-        Opcode::Smod,
-    ])
+const BINOPS: &[Opcode] = &[
+    Opcode::Add,
+    Opcode::Sub,
+    Opcode::Mul,
+    Opcode::Div,
+    Opcode::Mod,
+    Opcode::And,
+    Opcode::Or,
+    Opcode::Xor,
+    Opcode::Lt,
+    Opcode::Gt,
+    Opcode::Eq,
+    Opcode::Shl,
+    Opcode::Shr,
+    Opcode::Byte,
+    Opcode::Sdiv,
+    Opcode::Smod,
+];
+
+fn arb_binop(rng: &mut SplitMix64) -> Opcode {
+    BINOPS[rng.random_index(BINOPS.len())]
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = arb_u256().prop_map(Expr::Lit);
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        (arb_binop(), inner.clone(), inner)
-            .prop_map(|(op, a, b)| Expr::Bin(op, Box::new(a), Box::new(b)))
-    })
+/// A random expression tree of bounded depth.
+fn arb_expr(rng: &mut SplitMix64, depth: u32) -> Expr {
+    if depth == 0 || rng.random_bool(0.3) {
+        Expr::Lit(arb_u256(rng))
+    } else {
+        Expr::Bin(
+            arb_binop(rng),
+            Box::new(arb_expr(rng, depth - 1)),
+            Box::new(arb_expr(rng, depth - 1)),
+        )
+    }
 }
 
 /// Reference semantics of the expression.
@@ -136,26 +149,34 @@ fn run_code(code: Vec<u8>) -> (bool, Vec<u8>, mtpu_repro::evm::TxTrace) {
     (res.success(), res.output, recorder.into_trace())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The interpreter agrees with direct U256 evaluation on random
-    /// expression programs.
-    #[test]
-    fn interpreter_matches_reference(expr in arb_expr()) {
+/// The interpreter agrees with direct U256 evaluation on random
+/// expression programs.
+#[test]
+fn interpreter_matches_reference() {
+    let mut rng = SplitMix64::new(0xE44);
+    for _ in 0..64 {
+        let expr = arb_expr(&mut rng, 4);
         let mut asm = Assembler::new();
         compile_expr(&expr, &mut asm);
-        asm.push(0u64).op(Opcode::Mstore).push(32u64).push(0u64).op(Opcode::Return);
+        asm.push(0u64)
+            .op(Opcode::Mstore)
+            .push(32u64)
+            .push(0u64)
+            .op(Opcode::Return);
         let code = asm.assemble().expect("assembles");
         let (ok, output, _) = run_code(code);
-        prop_assert!(ok);
-        prop_assert_eq!(U256::from_be_slice(&output), eval_expr(&expr));
+        assert!(ok);
+        assert_eq!(U256::from_be_slice(&output), eval_expr(&expr));
     }
+}
 
-    /// Folding never changes the retired-instruction count and always
-    /// shortens (or preserves) the stream.
-    #[test]
-    fn folding_preserves_instruction_accounting(expr in arb_expr()) {
+/// Folding never changes the retired-instruction count and always
+/// shortens (or preserves) the stream.
+#[test]
+fn folding_preserves_instruction_accounting() {
+    let mut rng = SplitMix64::new(0xF01D);
+    for _ in 0..64 {
+        let expr = arb_expr(&mut rng, 4);
         let mut asm = Assembler::new();
         compile_expr(&expr, &mut asm);
         asm.op(Opcode::Stop);
@@ -164,17 +185,23 @@ proptest! {
         let (plain, _) = build_stream(&trace, false, &StreamTransforms::none());
         let (folded, stats) = build_stream(&trace, true, &StreamTransforms::none());
         let retired: u32 = folded.iter().map(|u| u.insn_count).sum();
-        prop_assert_eq!(retired as usize, trace.steps.len());
-        prop_assert_eq!(plain.len(), trace.steps.len());
-        prop_assert!(folded.len() <= plain.len());
-        prop_assert_eq!(plain.len() - folded.len(), stats.folded as usize);
+        assert_eq!(retired as usize, trace.steps.len());
+        assert_eq!(plain.len(), trace.steps.len());
+        assert!(folded.len() <= plain.len());
+        assert_eq!(plain.len() - folded.len(), stats.folded as usize);
     }
+}
 
-    /// Fill-unit invariants on arbitrary op sequences: lines never exceed
-    /// the slot budget, never contain two non-stack ops of one category,
-    /// and close at control transfers.
-    #[test]
-    fn fill_unit_invariants(ops in prop::collection::vec(arb_binop(), 1..40)) {
+/// Fill-unit invariants on arbitrary op sequences: lines never exceed
+/// the slot budget, never contain two non-stack ops of one category,
+/// and close at control transfers.
+#[test]
+fn fill_unit_invariants() {
+    let mut rng = SplitMix64::new(0xF111);
+    for _ in 0..64 {
+        let ops: Vec<Opcode> = (0..rng.random_range(1..40))
+            .map(|_| arb_binop(&mut rng))
+            .collect();
         let mut builder = LineBuilder::new(B256::ZERO, true);
         let mut lines: Vec<Vec<Opcode>> = Vec::new();
         let mut current: Vec<Opcode> = Vec::new();
@@ -201,38 +228,40 @@ proptest! {
             lines.push(current);
         }
         for line in &lines {
-            prop_assert!(line.len() <= mtpu_repro::mtpu::dbcache::MAX_LINE_OPS);
+            assert!(line.len() <= mtpu_repro::mtpu::dbcache::MAX_LINE_OPS);
             let mut unit_seen = [false; 11];
             for op in line {
                 let cat = op.category();
                 if cat != mtpu_repro::evm::OpCategory::Stack {
                     let idx = cat.index();
-                    prop_assert!(!unit_seen[idx], "unit conflict within a line: {line:?}");
+                    assert!(!unit_seen[idx], "unit conflict within a line: {line:?}");
                     unit_seen[idx] = true;
                 }
             }
             // Control transfers only at line end.
             for op in &line[..line.len() - 1] {
-                prop_assert!(!op.is_block_end(), "block end inside a line: {line:?}");
+                assert!(!op.is_block_end(), "block end inside a line: {line:?}");
             }
         }
     }
+}
 
-    /// On random DAGs with random durations, both schedulers complete
-    /// every transaction exactly once and respect every edge.
-    #[test]
-    fn schedules_respect_random_dags(
-        n in 2usize..24,
-        edges in prop::collection::vec((any::<u16>(), any::<u16>()), 0..40),
-        seed in any::<u64>(),
-    ) {
+/// On random DAGs with random durations, both schedulers complete
+/// every transaction exactly once and respect every edge.
+#[test]
+fn schedules_respect_random_dags() {
+    let mut rng = SplitMix64::new(0xDA6);
+    for _ in 0..64 {
+        let n = rng.random_range(2..24) as usize;
         let mut graph = DepGraph::new(n);
-        for (a, b) in edges {
-            let (a, b) = (a as usize % n, b as usize % n);
+        for _ in 0..rng.random_range(0..40) {
+            let a = rng.random_index(n);
+            let b = rng.random_index(n);
             if a < b {
                 graph.add_edge(a, b);
             }
         }
+        let seed = rng.next_u64();
         // Synthetic jobs with varying instruction counts.
         let cfg = MtpuConfig {
             pu_count: 3,
@@ -246,14 +275,17 @@ proptest! {
                 synthetic_job(i as u64 % 4, len, &cfg)
             })
             .collect();
-        for result in [simulate_st(&jobs, &graph, &cfg), simulate_sync(&jobs, &graph, &cfg)] {
-            prop_assert!(graph.schedule_respects_dag(&result.start, &result.end));
+        for result in [
+            simulate_st(&jobs, &graph, &cfg),
+            simulate_sync(&jobs, &graph, &cfg),
+        ] {
+            assert!(graph.schedule_respects_dag(&result.start, &result.end));
             for i in 0..n {
-                prop_assert!(result.end[i] > result.start[i]);
-                prop_assert!(result.pu_of[i] < cfg.pu_count);
+                assert!(result.end[i] > result.start[i]);
+                assert!(result.pu_of[i] < cfg.pu_count);
             }
-            prop_assert_eq!(result.makespan, *result.end.iter().max().unwrap());
-            prop_assert!(result.utilization() <= 1.0 + 1e-9);
+            assert_eq!(result.makespan, *result.end.iter().max().unwrap());
+            assert!(result.utilization() <= 1.0 + 1e-9);
         }
     }
 }
@@ -290,7 +322,7 @@ fn synthetic_job(c: u64, len: usize, cfg: &MtpuConfig) -> mtpu_repro::mtpu::TxJo
     mtpu_repro::mtpu::TxJob::build(&trace, cfg, &StreamTransforms::none())
 }
 
-/// Non-proptest regression: tracing and non-tracing execution agree.
+/// Regression: tracing and non-tracing execution agree.
 #[test]
 fn tracing_does_not_change_semantics() {
     let mut asm = Assembler::new();
