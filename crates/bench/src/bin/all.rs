@@ -1,27 +1,108 @@
-//! Runs every experiment in sequence — regenerates all tables and figures.
+//! Runs every experiment in sequence — regenerates all tables and figures
+//! and writes a consolidated `BENCH_RESULTS.json` snapshot.
+//!
+//! Flags:
+//!   --only NAME[,NAME..]   run only the named experiments
+//!   --telemetry            enable the telemetry registry and embed its
+//!                          snapshot in the results file
+//!   --json PATH            results file path (default BENCH_RESULTS.json)
+//!   --no-json              skip writing the results file
 use mtpu_bench::experiments::*;
+use mtpu_bench::results::BenchResults;
+use std::time::Instant;
+
+type Experiment = (&'static str, fn() -> String);
+
+const EXPERIMENTS: &[Experiment] = &[
+    ("table1", stat::table1),
+    ("table2", stat::table2),
+    ("table3", stat::table3),
+    ("table5", stat::table5),
+    ("table6", stat::table6),
+    ("fig12", ilp::fig12),
+    ("fig13", ilp::fig13),
+    ("fig13-single", ilp::fig13_single_tx),
+    ("table7", ilp::table7),
+    ("fig14", sched::fig14),
+    ("fig15", sched::fig15),
+    ("fig16", sched::fig16),
+    ("table8", compare::table8),
+    ("table9", compare::table9),
+    ("hotspot", stat::hotspot_loading),
+    ("hotspot-drift", drift::hotspot_drift),
+    ("ablations", ablation::all),
+];
 
 fn main() {
-    for (name, f) in [
-        ("table1", stat::table1 as fn() -> String),
-        ("table2", stat::table2),
-        ("table3", stat::table3),
-        ("table5", stat::table5),
-        ("table6", stat::table6),
-        ("fig12", ilp::fig12),
-        ("fig13", ilp::fig13),
-        ("fig13-single", ilp::fig13_single_tx),
-        ("table7", ilp::table7),
-        ("fig14", sched::fig14),
-        ("fig15", sched::fig15),
-        ("fig16", sched::fig16),
-        ("table8", compare::table8),
-        ("table9", compare::table9),
-        ("hotspot", stat::hotspot_loading),
-        ("hotspot-drift", drift::hotspot_drift),
-        ("ablations", ablation::all),
-    ] {
+    let mut only: Option<Vec<String>> = None;
+    let mut telemetry = false;
+    let mut json_path: Option<String> = Some("BENCH_RESULTS.json".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--only" => {
+                let list = args.next().unwrap_or_else(|| {
+                    eprintln!("--only requires a comma-separated experiment list");
+                    std::process::exit(2);
+                });
+                only = Some(list.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--telemetry" => telemetry = true,
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--json requires a path");
+                    std::process::exit(2);
+                }));
+            }
+            "--no-json" => json_path = None,
+            other => {
+                eprintln!("unknown flag {other}");
+                eprintln!(
+                    "usage: all [--only NAME[,NAME..]] [--telemetry] [--json PATH | --no-json]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(names) = &only {
+        for n in names {
+            if !EXPERIMENTS.iter().any(|(name, _)| name == n) {
+                eprintln!("unknown experiment {n:?}; available:");
+                for (name, _) in EXPERIMENTS {
+                    eprintln!("  {name}");
+                }
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if telemetry {
+        mtpu_telemetry::set_enabled(true);
+        mtpu_telemetry::name_thread("main");
+    }
+
+    let mut results = BenchResults::new();
+    for (name, f) in EXPERIMENTS {
+        if let Some(names) = &only {
+            if !names.iter().any(|n| n == name) {
+                continue;
+            }
+        }
         eprintln!("[running {name}]");
-        println!("{}", f());
+        let started = Instant::now();
+        let text = f();
+        let wall_ns = started.elapsed().as_nanos() as u64;
+        println!("{text}");
+        results.record(name, &text, wall_ns);
+    }
+
+    if let Some(path) = json_path {
+        match results.write(&path, telemetry) {
+            Ok(()) => eprintln!("[wrote {path}: {} experiments]", results.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

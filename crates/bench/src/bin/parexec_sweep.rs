@@ -1,5 +1,55 @@
 //! Wall-clock parallel-execution sweep over dependent ratio × threads
 //! (the Fig. 14 axes on host cores; see DESIGN.md).
+//!
+//! With `--telemetry`, the run also prints a metrics digest (DB-cache
+//! hit ratio, parexec commit/abort counts, worker idle %) and writes a
+//! Chrome `trace_event` file (`parexec_trace.json`, loadable in
+//! Perfetto / `chrome://tracing`). A short MTPU simulation pass runs
+//! first so the `mtpu.*` counters are populated alongside the
+//! `parexec.*` ones.
+use mtpu::sched::simulate_st;
+use mtpu::MtpuConfig;
+use mtpu_bench::experiments::parexec;
+use mtpu_workloads::{BlockConfig, Generator};
+
+/// Chrome-trace output path used by `--telemetry`.
+const TRACE_PATH: &str = "parexec_trace.json";
+
+/// Populates the `mtpu.*` counters with one simulated block, so the
+/// digest's DB-cache and State-Buffer rows have data even though the
+/// host-thread sweep itself never touches the accelerator model.
+fn warm_mtpu_metrics() {
+    let cfg = MtpuConfig::default();
+    let mut g = Generator::new(0x7e1e);
+    let prepared = g.prepared_block(&BlockConfig {
+        tx_count: 64,
+        dependent_ratio: 0.3,
+        erc20_ratio: None,
+        sct_ratio: 0.95,
+        chain_bias: 0.8,
+        focus: None,
+    });
+    let jobs = prepared.jobs(&cfg, None);
+    simulate_st(&jobs, &prepared.graph, &cfg);
+}
+
 fn main() {
-    println!("{}", mtpu_bench::experiments::parexec::sweep());
+    let telemetry = std::env::args().skip(1).any(|a| a == "--telemetry");
+    if telemetry {
+        mtpu_telemetry::set_enabled(true);
+        mtpu_telemetry::name_thread("main");
+        warm_mtpu_metrics();
+    }
+    println!("{}", parexec::sweep());
+    if telemetry {
+        println!("{}", parexec::metrics_summary());
+        let trace = mtpu_telemetry::global().chrome_trace_json();
+        match std::fs::write(TRACE_PATH, &trace) {
+            Ok(()) => println!("[wrote {TRACE_PATH}: {} bytes]", trace.len()),
+            Err(e) => {
+                eprintln!("failed to write {TRACE_PATH}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

@@ -97,3 +97,71 @@ pub fn sweep() -> String {
          the core count only add coordination overhead.\n"
     )
 }
+
+/// A digest of the global telemetry registry after a run: the headline
+/// ratios the acceptance checks look for (DB-cache hit ratio, parexec
+/// commit/abort counts, worker idle %) followed by the full registry
+/// table.
+pub fn metrics_summary() -> String {
+    let reg = mtpu_telemetry::global();
+    let ratio = |hit: u64, miss: u64| -> String {
+        let total = hit + miss;
+        if total == 0 {
+            "n/a".into()
+        } else {
+            format!("{:.1}%", 100.0 * hit as f64 / total as f64)
+        }
+    };
+    let c = |name: &str| reg.counter(name).get();
+
+    let db_hit = c("mtpu.db.hit");
+    let db_miss = c("mtpu.db.miss");
+    let sb_hit = c("mtpu.sb.hit");
+    let sb_miss = c("mtpu.sb.miss");
+    let commits = c("parexec.commit");
+    let aborts = c("parexec.abort");
+    let spec = c("parexec.reexec.speculative");
+    let fallback = c("parexec.reexec.fallback");
+    let idle = c("parexec.worker.idle_ns");
+    let busy = c("parexec.worker.busy_ns");
+    let q = reg.histogram("parexec.queue_depth").snapshot();
+
+    let mut rows = vec![
+        vec![
+            "DB-cache hit ratio".into(),
+            ratio(db_hit, db_miss),
+            format!("{} hits / {} misses", db_hit, db_miss),
+        ],
+        vec![
+            "State-Buffer hit ratio".into(),
+            ratio(sb_hit, sb_miss),
+            format!("{} hits / {} misses", sb_hit, sb_miss),
+        ],
+        vec![
+            "parexec commits".into(),
+            format!("{commits}"),
+            String::new(),
+        ],
+        vec![
+            "parexec aborts".into(),
+            format!("{aborts}"),
+            format!("{spec} speculative retries, {fallback} fallbacks"),
+        ],
+        vec![
+            "worker idle".into(),
+            ratio(idle, busy),
+            format!("{idle} ns idle / {busy} ns busy"),
+        ],
+    ];
+    if q.count > 0 {
+        rows.push(vec![
+            "ready-queue depth".into(),
+            format!("p50 {}", q.percentile(50.0)),
+            format!("p95 {} / max {}", q.percentile(95.0), q.max),
+        ]);
+    }
+    let mut out = render_table("Telemetry summary", &["metric", "value", "detail"], &rows);
+    out.push('\n');
+    out.push_str(&reg.render_table());
+    out
+}

@@ -1,7 +1,7 @@
 //! Shared experiment plumbing: per-contract transaction batches covering
 //! every entry function, timing helpers, and table formatting.
 
-use mtpu::pu::{Pu, StateBuffer, TxJob, TxTiming};
+use mtpu::pu::{Pu, PuStats, StateBuffer, StateBufferStats, TxJob, TxTiming};
 use mtpu::stream::StreamTransforms;
 use mtpu::MtpuConfig;
 use mtpu_contracts::{addresses, Fixture};
@@ -228,6 +228,17 @@ pub fn contract_batch(contract: &'static str, count: usize, seed: u64) -> Contra
 /// aggregate timing (the shared State Buffer persists across the batch
 /// when the redundancy optimization is on).
 pub fn run_batch(traces: &[TxTrace], cfg: &MtpuConfig) -> TxTiming {
+    run_batch_with_stats(traces, cfg).0
+}
+
+/// Like [`run_batch`], but also returns the PU's end-of-batch stats
+/// (DB-cache hit/miss/insert/eviction counts) and the shared State
+/// Buffer's stats, so experiments read hit ratios straight from the
+/// model instead of re-deriving them.
+pub fn run_batch_with_stats(
+    traces: &[TxTrace],
+    cfg: &MtpuConfig,
+) -> (TxTiming, PuStats, StateBufferStats) {
     let mut pu = Pu::new(0, cfg);
     let mut buffer = StateBuffer::default();
     let mut total = TxTiming::default();
@@ -235,7 +246,8 @@ pub fn run_batch(traces: &[TxTrace], cfg: &MtpuConfig) -> TxTiming {
         let job = TxJob::build(t, cfg, &StreamTransforms::none());
         total.accumulate(&pu.execute(&job, &mut buffer, cfg));
     }
-    total
+    let stats = pu.stats();
+    (total, stats, buffer.stats())
 }
 
 /// Execution-only cycles (context loads excluded): the denominator the

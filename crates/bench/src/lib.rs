@@ -3,3 +3,4 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod results;

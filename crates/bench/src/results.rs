@@ -1,0 +1,124 @@
+//! Consolidated machine-readable results: every experiment's rendered
+//! output, per-experiment wall time, and an optional telemetry snapshot
+//! in a single `BENCH_RESULTS.json` file (schema documented in
+//! DESIGN.md).
+
+use mtpu_telemetry::json::escape;
+use std::fmt::Write as _;
+
+/// Schema identifier written into every snapshot; bump when the layout
+/// changes.
+pub const SCHEMA: &str = "mtpu-bench-results/v1";
+
+/// Collects experiment outputs for one runner invocation.
+#[derive(Debug, Default)]
+pub struct BenchResults {
+    experiments: Vec<(String, String, u64)>,
+}
+
+impl BenchResults {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one experiment's rendered text and wall time.
+    pub fn record(&mut self, name: &str, text: &str, wall_ns: u64) {
+        self.experiments
+            .push((name.to_string(), text.to_string(), wall_ns));
+    }
+
+    /// Number of recorded experiments.
+    pub fn len(&self) -> usize {
+        self.experiments.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.experiments.is_empty()
+    }
+
+    /// Serializes the snapshot. Top-level keys: `schema`, `experiments`
+    /// (name → rendered text), `wall_ns` (name → nanoseconds), and
+    /// `telemetry` (the registry snapshot, or `null` when telemetry was
+    /// off).
+    pub fn to_json(&self, include_telemetry: bool) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"schema\":{}", escape(SCHEMA));
+        out.push_str(",\"experiments\":{");
+        for (i, (name, text, _)) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", escape(name), escape(text));
+        }
+        out.push_str("},\"wall_ns\":{");
+        for (i, (name, _, wall)) in self.experiments.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{wall}", escape(name));
+        }
+        out.push_str("},\"telemetry\":");
+        if include_telemetry {
+            out.push_str(&mtpu_telemetry::global().to_json());
+        } else {
+            out.push_str("null");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Writes the snapshot to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write(&self, path: &str, include_telemetry: bool) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json(include_telemetry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtpu_telemetry::json::{parse, Value};
+
+    #[test]
+    fn snapshot_parses_with_expected_keys() {
+        let mut r = BenchResults::new();
+        r.record("table1", "== Table 1 ==\nrows\n", 1234);
+        r.record("fig12", "== Fig 12 ==\n", 5678);
+        assert_eq!(r.len(), 2);
+        let v = parse(&r.to_json(false)).expect("valid JSON");
+        assert_eq!(
+            v.get("schema").and_then(Value::as_str),
+            Some(SCHEMA),
+            "schema key"
+        );
+        let exps = v.get("experiments").expect("experiments key");
+        assert_eq!(
+            exps.get("table1").and_then(Value::as_str),
+            Some("== Table 1 ==\nrows\n")
+        );
+        assert_eq!(
+            v.get("wall_ns")
+                .and_then(|w| w.get("fig12"))
+                .and_then(Value::as_num),
+            Some(5678.0)
+        );
+        assert!(
+            matches!(v.get("telemetry"), Some(Value::Null)),
+            "telemetry is null when disabled"
+        );
+    }
+
+    #[test]
+    fn telemetry_snapshot_embeds_registry() {
+        let r = BenchResults::new();
+        assert!(r.is_empty());
+        let v = parse(&r.to_json(true)).expect("valid JSON");
+        let tel = v.get("telemetry").expect("telemetry key");
+        assert!(tel.get("counters").is_some(), "registry sections embedded");
+    }
+}

@@ -127,6 +127,15 @@ pub fn execute_transaction<S: StateOps, T: Tracer>(
     state.accrue(header.coinbase, U256::from(gas_used) * tx.gas_price);
     state.finalize_tx();
 
+    if mtpu_telemetry::enabled() {
+        let m = crate::obs::metrics();
+        m.tx_executed.inc();
+        m.gas_used.add(gas_used);
+        if !success {
+            m.tx_failed.inc();
+        }
+    }
+
     Ok(Receipt {
         success,
         gas_used,

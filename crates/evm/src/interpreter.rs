@@ -242,8 +242,12 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
             selector,
         });
 
+        if mtpu_telemetry::enabled() {
+            crate::obs::metrics().call_depth.record(params.depth as u64);
+        }
         let result = self.run_frame(&code, &params);
         self.tracer.frame_end();
+        crate::obs::frame_halt(&result.halt);
 
         match result.halt {
             Halt::Stop | Halt::Return | Halt::SelfDestruct => result,
@@ -309,8 +313,12 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
             is_static: false,
             depth,
         };
+        if mtpu_telemetry::enabled() {
+            crate::obs::metrics().call_depth.record(depth as u64);
+        }
         let mut result = self.run_frame_code(&init_code, &params);
         self.tracer.frame_end();
+        crate::obs::frame_halt(&result.halt);
 
         if result.success() {
             let deposit = gas::CODE_DEPOSIT * result.output.len() as u64;
@@ -374,6 +382,9 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     };
                     let new_words = gas::words_for(end as u64);
                     let cost = gas::memory_expansion_cost($memory.words(), new_words);
+                    if cost > 0 {
+                        crate::obs::metrics().mem_expansions.inc();
+                    }
                     charge!(cost);
                     $memory.expand(off, len);
                 }
@@ -392,6 +403,9 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                 return FrameResult::exception(VmError::InvalidOpcode);
             };
             self.tracer.step(pc, op);
+            if mtpu_telemetry::enabled() {
+                crate::obs::metrics().ops_by_category[op.category().index()].inc();
+            }
             charge!(gas::static_cost(op));
 
             use Opcode::*;

@@ -33,6 +33,7 @@ pub mod executor;
 pub mod gas;
 pub mod interpreter;
 pub mod memory;
+pub mod obs;
 pub mod opcode;
 pub mod overlay;
 pub mod stack;
@@ -44,7 +45,7 @@ pub use executor::{execute_block, execute_transaction, trace_transaction, TxErro
 pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};
 pub use opcode::{OpCategory, Opcode};
 pub use overlay::{
-    AccountDelta, BlockDelta, OverlayedView, ReadSet, StateOverlay, StateRead, TxDelta,
+    AccountDelta, BlockDelta, OverlayedView, ReadSet, StaleRead, StateOverlay, StateRead, TxDelta,
 };
 pub use state::{Account, State, StateOps};
 pub use trace::{CallKind, FrameInfo, NoopTracer, TraceRecorder, Tracer, TxTrace};

@@ -146,23 +146,80 @@ impl ReadSet {
     /// `true` when every recorded observation still matches `view` — the
     /// commit-time validation of optimistic concurrency control.
     pub fn validate<B: StateRead>(&self, view: &B) -> bool {
+        self.validate_detailed(view).is_ok()
+    }
+
+    /// Like [`ReadSet::validate`], but reports *which kind of key* went
+    /// stale — the label parallel executors use to classify conflicts.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatching key kind (check order: poisoning,
+    /// existence, balance, nonce, code, storage).
+    pub fn validate_detailed<B: StateRead>(&self, view: &B) -> Result<(), StaleRead> {
         if self.poisoned {
-            return false;
+            return Err(StaleRead::Poisoned);
         }
-        self.exists.iter().all(|(a, v)| view.read_exists(*a) == *v)
-            && self
-                .balances
-                .iter()
-                .all(|(a, v)| view.read_balance(*a) == *v)
-            && self.nonces.iter().all(|(a, v)| view.read_nonce(*a) == *v)
-            && self
-                .code_hashes
-                .iter()
-                .all(|(a, v)| view.read_code_hash(*a) == *v)
-            && self
-                .storage
-                .iter()
-                .all(|((a, k), v)| view.read_storage(*a, *k) == *v)
+        if !self.exists.iter().all(|(a, v)| view.read_exists(*a) == *v) {
+            return Err(StaleRead::Exists);
+        }
+        if !self
+            .balances
+            .iter()
+            .all(|(a, v)| view.read_balance(*a) == *v)
+        {
+            return Err(StaleRead::Balance);
+        }
+        if !self.nonces.iter().all(|(a, v)| view.read_nonce(*a) == *v) {
+            return Err(StaleRead::Nonce);
+        }
+        if !self
+            .code_hashes
+            .iter()
+            .all(|(a, v)| view.read_code_hash(*a) == *v)
+        {
+            return Err(StaleRead::Code);
+        }
+        if !self
+            .storage
+            .iter()
+            .all(|((a, k), v)| view.read_storage(*a, *k) == *v)
+        {
+            return Err(StaleRead::Storage);
+        }
+        Ok(())
+    }
+}
+
+/// Which kind of recorded read went stale during validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaleRead {
+    /// The read set observed two different values for one location
+    /// mid-execution (inconsistent cut).
+    Poisoned,
+    /// Account existence changed.
+    Exists,
+    /// An account balance changed.
+    Balance,
+    /// An account nonce changed.
+    Nonce,
+    /// An account's code changed.
+    Code,
+    /// A storage slot changed.
+    Storage,
+}
+
+impl StaleRead {
+    /// Stable label for metrics (`parexec.validation_fail.<label>`).
+    pub fn label(self) -> &'static str {
+        match self {
+            StaleRead::Poisoned => "poisoned",
+            StaleRead::Exists => "exists",
+            StaleRead::Balance => "balance",
+            StaleRead::Nonce => "nonce",
+            StaleRead::Code => "code",
+            StaleRead::Storage => "storage",
+        }
     }
 }
 

@@ -223,6 +223,37 @@ struct Entry {
     lru: u64,
 }
 
+/// Cumulative DB-cache statistics (satellite of the Table 7 metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DbCacheStats {
+    /// Lookups that found a resident line.
+    pub hits: u64,
+    /// Total lookups.
+    pub lookups: u64,
+    /// Lines stored by the fill unit.
+    pub inserts: u64,
+    /// Lines displaced by LRU replacement.
+    pub evictions: u64,
+    /// Lines currently resident.
+    pub resident: usize,
+}
+
+impl DbCacheStats {
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.lookups - self.hits
+    }
+
+    /// Hit ratio in `[0, 1]` (0 when no lookups happened).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
 /// Set-associative, LRU-replaced DB cache.
 #[derive(Debug, Clone)]
 pub struct DbCache {
@@ -232,6 +263,7 @@ pub struct DbCache {
     hits: u64,
     lookups: u64,
     inserts: u64,
+    evictions: u64,
 }
 
 impl DbCache {
@@ -246,6 +278,7 @@ impl DbCache {
             hits: 0,
             lookups: 0,
             inserts: 0,
+            evictions: 0,
         }
     }
 
@@ -292,6 +325,7 @@ impl DbCache {
                 .map(|(i, _)| i)
                 .expect("nonempty set");
             set.swap_remove(victim);
+            self.evictions += 1;
         }
         set.push(Entry { line, lru: tick });
     }
@@ -309,15 +343,23 @@ impl DbCache {
         self.sets.iter().map(|s| s.len()).sum()
     }
 
-    /// `(hits, lookups)` since construction.
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.lookups)
+    /// Cumulative statistics since construction.
+    pub fn stats(&self) -> DbCacheStats {
+        DbCacheStats {
+            hits: self.hits,
+            lookups: self.lookups,
+            inserts: self.inserts,
+            evictions: self.evictions,
+            resident: self.resident(),
+        }
     }
 
-    /// Resets the hit/lookup counters (not the contents).
+    /// Resets the counters (not the contents).
     pub fn reset_stats(&mut self) {
         self.hits = 0;
         self.lookups = 0;
+        self.inserts = 0;
+        self.evictions = 0;
     }
 }
 
@@ -492,8 +534,13 @@ mod tests {
         // assuming single-set geometry.
         c.insert(mk(20));
         assert_eq!(c.resident(), 2);
-        let (hits, lookups) = c.stats();
-        assert_eq!((hits, lookups), (1, 1));
+        let s = c.stats();
+        assert_eq!((s.hits, s.lookups), (1, 1));
+        assert_eq!(s.misses(), 0);
+        assert_eq!(s.inserts, 3);
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident, 2);
+        assert!((s.hit_ratio() - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -7,12 +7,14 @@ pub mod dbcache;
 pub mod funit;
 pub mod hotspot;
 pub mod node;
+pub mod obs;
 pub mod pu;
 pub mod sched;
 pub mod stream;
 
 pub use config::{DbCacheConfig, LatencyModel, MtpuConfig};
+pub use dbcache::DbCacheStats;
 pub use hotspot::ContractTable;
 pub use node::{BlockReport, Node};
-pub use pu::{Pu, StateBuffer, TxJob, TxTiming};
+pub use pu::{Pu, PuStats, StateBuffer, StateBufferStats, TxJob, TxTiming};
 pub use sched::{simulate_sequential, simulate_st, simulate_sync, DepGraph, ScheduleResult};

@@ -3,7 +3,7 @@
 //! hierarchy, and the context-load model.
 
 use crate::config::{MtpuConfig, CONTRACT_STACK_SLOTS, STATE_BUFFER_SLOTS};
-use crate::dbcache::{DbCache, Line, LineBuilder, LineKey};
+use crate::dbcache::{DbCache, DbCacheStats, Line, LineBuilder, LineKey};
 use crate::funit::{lat_class, LatClass};
 use crate::stream::{build_stream, MicroOp, StreamStats, StreamTransforms};
 use mtpu_evm::opcode::Opcode;
@@ -82,6 +82,33 @@ impl TxJob {
     }
 }
 
+/// Cumulative State-Buffer statistics (slot-reuse accounting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StateBufferStats {
+    /// Probes that found the slot resident (reuse).
+    pub hits: u64,
+    /// Probes that missed (slot loaded from state).
+    pub misses: u64,
+    /// Slots inserted (probe misses plus direct inserts).
+    pub inserts: u64,
+    /// Slots displaced by FIFO replacement.
+    pub evictions: u64,
+    /// Slots currently resident.
+    pub resident: usize,
+}
+
+impl StateBufferStats {
+    /// Reuse ratio in `[0, 1]` (0 when nothing was probed).
+    pub fn hit_ratio(&self) -> f64 {
+        let probes = self.hits + self.misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
 /// The shared State Buffer (execution-environment buffer): an
 /// approximately-LRU set of recently touched (address, key) state slots.
 #[derive(Debug, Clone)]
@@ -89,6 +116,10 @@ pub struct StateBuffer {
     present: HashSet<(Address, U256)>,
     order: VecDeque<(Address, U256)>,
     capacity: usize,
+    hits: u64,
+    misses: u64,
+    inserts: u64,
+    evictions: u64,
 }
 
 impl Default for StateBuffer {
@@ -104,6 +135,10 @@ impl StateBuffer {
             present: HashSet::new(),
             order: VecDeque::new(),
             capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+            inserts: 0,
+            evictions: 0,
         }
     }
 
@@ -112,15 +147,48 @@ impl StateBuffer {
         self.present.contains(&(addr, key))
     }
 
+    /// Looks a slot up, counting reuse; on a miss the slot is loaded
+    /// (inserted). Returns `true` on a hit.
+    pub fn probe(&mut self, addr: Address, key: U256) -> bool {
+        if self.present.contains(&(addr, key)) {
+            self.hits += 1;
+            if mtpu_telemetry::enabled() {
+                crate::obs::metrics().sb_hit.inc();
+            }
+            true
+        } else {
+            self.misses += 1;
+            if mtpu_telemetry::enabled() {
+                crate::obs::metrics().sb_miss.inc();
+            }
+            self.insert(addr, key);
+            false
+        }
+    }
+
     /// Inserts a slot, evicting FIFO when full.
     pub fn insert(&mut self, addr: Address, key: U256) {
         if self.present.insert((addr, key)) {
+            self.inserts += 1;
             self.order.push_back((addr, key));
             while self.order.len() > self.capacity {
                 if let Some(victim) = self.order.pop_front() {
                     self.present.remove(&victim);
+                    self.evictions += 1;
                 }
             }
+        }
+    }
+
+    /// Cumulative statistics since construction ([`StateBuffer::clear`]
+    /// drops the contents, not the counters).
+    pub fn stats(&self) -> StateBufferStats {
+        StateBufferStats {
+            hits: self.hits,
+            misses: self.misses,
+            inserts: self.inserts,
+            evictions: self.evictions,
+            resident: self.present.len(),
         }
     }
 
@@ -201,6 +269,15 @@ impl TxTiming {
     }
 }
 
+/// Cumulative per-PU statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PuStats {
+    /// DB-cache statistics since construction.
+    pub db: DbCacheStats,
+    /// Contract code identities resident in the Call_Contract Stack.
+    pub contract_stack_resident: usize,
+}
+
 /// One processing unit with its private DB cache and Call_Contract Stack.
 #[derive(Debug, Clone)]
 pub struct Pu {
@@ -224,9 +301,12 @@ impl Pu {
         }
     }
 
-    /// Cumulative DB-cache `(hits, lookups)`.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache.stats()
+    /// Cumulative statistics (DB cache and Call_Contract Stack).
+    pub fn stats(&self) -> PuStats {
+        PuStats {
+            db: self.cache.stats(),
+            contract_stack_resident: self.contract_stack.len(),
+        }
     }
 
     /// Executes one transaction, returning its timing.
@@ -246,6 +326,10 @@ impl Pu {
             self.contract_stack.clear();
             state_buffer.clear();
         }
+        // Hit/lookup counts are owned by the cache; the per-transaction
+        // numbers are the deltas accrued during this call (force-hit mode
+        // bypasses the cache and counts manually).
+        let db0 = self.cache.stats();
         let mut t = TxTiming {
             instructions: job.instructions,
             skipped_preexec: job.stream_stats.skipped_preexec,
@@ -260,6 +344,7 @@ impl Pu {
             t.cycles += 2 * cfg.lat.state_miss;
             t.issue_events += 1;
             self.last_code = None;
+            self.finish_timing(&mut t, db0);
             return t;
         }
 
@@ -307,7 +392,6 @@ impl Pu {
                 .cache
                 .lookup(&key)
                 .and_then(|line| match_line(line, &job.stream[i..]));
-            t.db_lookups += 1;
             if let Some(n) = hit_len {
                 self.finish_builder(&mut builder);
                 let mut worst = 0;
@@ -316,7 +400,6 @@ impl Pu {
                 }
                 t.cycles += worst;
                 t.issue_events += 1;
-                t.db_hits += 1;
                 i += n;
                 continue;
             }
@@ -324,10 +407,13 @@ impl Pu {
             t.cycles += self.dyn_lat(&u, job, state_buffer, cfg, &mut t);
             t.issue_events += 1;
             let b = builder.get_or_insert_with(|| LineBuilder::new(code, cfg.enable_forwarding));
-            if b.try_add(&u).is_err() {
+            if let Err(stop) = b.try_add(&u) {
+                if mtpu_telemetry::enabled() {
+                    crate::obs::fill_stop(stop);
+                }
                 let full = std::mem::replace(b, LineBuilder::new(code, cfg.enable_forwarding));
                 if let Some(line) = full.finish() {
-                    self.cache.insert(line);
+                    self.store_line(line);
                 }
                 // The rejected op opens the new line.
                 let _ = b.try_add(&u);
@@ -336,7 +422,36 @@ impl Pu {
         }
         self.finish_builder(&mut builder);
         self.last_code = Some(job.top_code());
+        self.finish_timing(&mut t, db0);
         t
+    }
+
+    /// Folds the call's DB-cache delta into `t` and publishes telemetry.
+    fn finish_timing(&self, t: &mut TxTiming, db0: DbCacheStats) {
+        let db1 = self.cache.stats();
+        t.db_hits += db1.hits - db0.hits;
+        t.db_lookups += db1.lookups - db0.lookups;
+        if mtpu_telemetry::enabled() {
+            let m = crate::obs::metrics();
+            m.db_hit.add(t.db_hits);
+            m.db_miss.add(t.db_lookups - t.db_hits);
+            m.ctx_bytes.add(t.bytes_loaded);
+            m.ctx_cycles.add(t.ctx_load_cycles);
+            m.instructions.add(t.instructions);
+            m.issue_events.add(t.issue_events);
+            m.cycles.add(t.cycles);
+            m.prefetch_hits.add(t.prefetch_hits);
+        }
+    }
+
+    /// Stores a finalized line, recording fill-unit telemetry.
+    fn store_line(&mut self, line: Line) {
+        if mtpu_telemetry::enabled() {
+            let m = crate::obs::metrics();
+            m.db_insert.inc();
+            m.db_line_ops.record(line.len() as u64);
+        }
+        self.cache.insert(line);
     }
 
     /// Greedy line partition used in force-hit mode.
@@ -355,7 +470,7 @@ impl Pu {
     fn finish_builder(&mut self, builder: &mut Option<LineBuilder>) {
         if let Some(b) = builder.take() {
             if let Some(line) = b.finish() {
-                self.cache.insert(line);
+                self.store_line(line);
             }
         }
     }
@@ -415,10 +530,9 @@ impl Pu {
                     }
                     match acc {
                         Some((a, k, _)) => {
-                            if state_buffer.contains(a, k) {
+                            if state_buffer.probe(a, k) {
                                 cfg.lat.state_buffer_hit
                             } else {
-                                state_buffer.insert(a, k);
                                 cfg.lat.state_miss
                             }
                         }

@@ -296,6 +296,14 @@ pub fn simulate_st(jobs: &[TxJob], graph: &DepGraph, cfg: &MtpuConfig) -> Schedu
                 );
                 update_rows(&mut table, &window, &running, &pus);
                 dispatched = true;
+            } else if mtpu_telemetry::enabled() {
+                // Classify why the idle PU could not dispatch.
+                let m = crate::obs::metrics();
+                if window.iter().all(|w| w.is_none()) {
+                    m.stall_window_empty.inc();
+                } else {
+                    m.stall_deps.inc();
+                }
             }
         }
 
@@ -313,6 +321,9 @@ pub fn simulate_st(jobs: &[TxJob], graph: &DepGraph, cfg: &MtpuConfig) -> Schedu
                 for q in 0..cfg.pu_count {
                     if running[q].is_none() && free_at[q] < free_at[p] {
                         free_at[q] = free_at[p];
+                        if mtpu_telemetry::enabled() {
+                            crate::obs::metrics().stall_starved.inc();
+                        }
                     }
                 }
             }

@@ -37,6 +37,8 @@
 //! assert_eq!(result.state.balance(Address::from_low_u64(2)), U256::from(7u64));
 //! ```
 
+pub mod obs;
+
 use mtpu::sched::DepGraph;
 use mtpu_evm::executor::execute_transaction;
 use mtpu_evm::overlay::{BlockDelta, OverlayedView, ReadSet, StateOverlay, StateRead, TxDelta};
@@ -49,6 +51,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
+/// How many times a worker re-executes a transaction speculatively after
+/// a failed pre-validation before parking it for the commit gate's
+/// canonical-order (blocking) re-execution.
+pub const DEFAULT_RETRY_CAP: usize = 3;
+
 /// Per-worker execution counters.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
@@ -56,9 +63,14 @@ pub struct WorkerStats {
     pub executed: u64,
     /// Transactions this worker committed while holding the commit gate.
     pub committed: u64,
+    /// Read-set validation failures this worker observed (speculative
+    /// pre-validation and gate validation).
+    pub aborted: u64,
     /// Time spent executing and committing (excludes idle waits on the
     /// ready queue).
     pub busy: Duration,
+    /// Time spent parked on the ready queue waiting for work.
+    pub idle: Duration,
 }
 
 /// What happened while executing one block in parallel.
@@ -71,10 +83,19 @@ pub struct BlockStats {
     /// Total speculative executions (>= `txs`; the excess is re-execution
     /// work caused by conflicts).
     pub executions: u64,
-    /// Executions repeated because read-set validation failed at commit.
+    /// Executions repeated because read-set validation failed — always
+    /// `spec_retries + fallbacks`.
     pub reexecutions: u64,
-    /// Read-set validation failures observed at the commit gate.
+    /// Read-set validation failures observed (speculative pre-validation
+    /// plus the commit gate).
     pub conflicts: u64,
+    /// Bounded speculative re-executions: a worker re-ran the transaction
+    /// because its pre-validation found stale reads, up to the retry cap.
+    pub spec_retries: u64,
+    /// Canonical-order blocking re-executions: the gate holder re-ran the
+    /// transaction against the frozen committed prefix after the
+    /// speculative retries were exhausted or raced.
+    pub fallbacks: u64,
     /// Wall-clock time for the whole block.
     pub wall: Duration,
     /// Per-worker breakdown, indexed by worker id.
@@ -127,19 +148,36 @@ pub struct BlockResult {
 #[derive(Debug, Clone, Copy)]
 pub struct ParExecutor {
     threads: usize,
+    retry_cap: usize,
 }
 
 impl ParExecutor {
-    /// An executor with `threads` workers (clamped to at least 1).
+    /// An executor with `threads` workers (clamped to at least 1) and the
+    /// default speculative retry cap.
     pub fn new(threads: usize) -> Self {
         ParExecutor {
             threads: threads.max(1),
+            retry_cap: DEFAULT_RETRY_CAP,
         }
+    }
+
+    /// Sets how many speculative re-executions a worker attempts after a
+    /// failed pre-validation before parking the transaction for the commit
+    /// gate's canonical-order blocking re-execution. `0` disables
+    /// speculative repair entirely (every conflict falls back).
+    pub fn with_retry_cap(mut self, cap: usize) -> Self {
+        self.retry_cap = cap;
+        self
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Speculative re-execution retry cap.
+    pub fn retry_cap(&self) -> usize {
+        self.retry_cap
     }
 
     /// Executes `block` against `base` using the sender-nonce-order DAG —
@@ -183,19 +221,27 @@ impl ParExecutor {
                     executions: 0,
                     reexecutions: 0,
                     conflicts: 0,
+                    spec_retries: 0,
+                    fallbacks: 0,
                     wall: started.elapsed(),
                     workers: vec![WorkerStats::default(); self.threads],
                 },
             };
         }
 
-        let shared = Shared::new(base, &block.header, &block.transactions, dag);
+        let shared = Shared::new(
+            base,
+            &block.header,
+            &block.transactions,
+            dag,
+            self.retry_cap,
+        );
         let workers: Vec<WorkerSlot> = (0..self.threads).map(|_| WorkerSlot::default()).collect();
 
         std::thread::scope(|scope| {
-            for slot in &workers {
+            for (w, slot) in workers.iter().enumerate() {
                 let shared = &shared;
-                scope.spawn(move || worker_loop(shared, slot));
+                scope.spawn(move || worker_loop(shared, slot, w));
             }
         });
 
@@ -221,6 +267,8 @@ impl ParExecutor {
                 executions: shared.executions.load(Ordering::Relaxed),
                 reexecutions: shared.reexecutions.load(Ordering::Relaxed),
                 conflicts: shared.conflicts.load(Ordering::Relaxed),
+                spec_retries: shared.spec_retries.load(Ordering::Relaxed),
+                fallbacks: shared.fallbacks.load(Ordering::Relaxed),
                 wall,
                 workers: workers.iter().map(WorkerSlot::snapshot).collect(),
             },
@@ -233,7 +281,9 @@ impl ParExecutor {
 struct WorkerSlot {
     executed: AtomicU64,
     committed: AtomicU64,
+    aborted: AtomicU64,
     busy_ns: AtomicU64,
+    idle_ns: AtomicU64,
 }
 
 impl WorkerSlot {
@@ -241,7 +291,9 @@ impl WorkerSlot {
         WorkerStats {
             executed: self.executed.load(Ordering::Relaxed),
             committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
             busy: Duration::from_nanos(self.busy_ns.load(Ordering::Relaxed)),
+            idle: Duration::from_nanos(self.idle_ns.load(Ordering::Relaxed)),
         }
     }
 }
@@ -281,9 +333,12 @@ struct Shared<'a> {
     ready: Mutex<VecDeque<usize>>,
     wake: Condvar,
     done: AtomicBool,
+    retry_cap: usize,
     executions: AtomicU64,
     reexecutions: AtomicU64,
     conflicts: AtomicU64,
+    spec_retries: AtomicU64,
+    fallbacks: AtomicU64,
 }
 
 impl<'a> Shared<'a> {
@@ -292,6 +347,7 @@ impl<'a> Shared<'a> {
         header: &'a BlockHeader,
         txs: &'a [Transaction],
         dag: &'a DepGraph,
+        retry_cap: usize,
     ) -> Self {
         let n = txs.len();
         let parents_left: Vec<AtomicUsize> = (0..n)
@@ -313,9 +369,12 @@ impl<'a> Shared<'a> {
             ready: Mutex::new(ready),
             wake: Condvar::new(),
             done: AtomicBool::new(false),
+            retry_cap,
             executions: AtomicU64::new(0),
             reexecutions: AtomicU64::new(0),
             conflicts: AtomicU64::new(0),
+            spec_retries: AtomicU64::new(0),
+            fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -325,6 +384,9 @@ impl<'a> Shared<'a> {
         let mut queue = self.ready.lock().expect("ready queue poisoned");
         loop {
             if let Some(i) = queue.pop_front() {
+                if mtpu_telemetry::enabled() {
+                    obs::metrics().queue_depth.record(queue.len() as u64);
+                }
                 return Some(i);
             }
             if self.done.load(Ordering::SeqCst) {
@@ -415,20 +477,75 @@ fn run_tx<B: StateRead>(view: &B, header: &BlockHeader, tx: &Transaction) -> TxO
     }
 }
 
-fn worker_loop(shared: &Shared<'_>, slot: &WorkerSlot) {
-    while let Some(i) = shared.next_ready() {
+fn worker_loop(shared: &Shared<'_>, slot: &WorkerSlot, worker: usize) {
+    if mtpu_telemetry::enabled() {
+        mtpu_telemetry::name_thread(&format!("worker{worker}"));
+    }
+    loop {
+        let idle_started = Instant::now();
+        let claimed = shared.next_ready();
+        let idle = idle_started.elapsed().as_nanos() as u64;
+        slot.idle_ns.fetch_add(idle, Ordering::Relaxed);
+        if mtpu_telemetry::enabled() {
+            obs::metrics().idle_ns.add(idle);
+        }
+        let Some(i) = claimed else {
+            return;
+        };
+
         let busy_started = Instant::now();
+        let span = mtpu_telemetry::span("exec", "parexec").arg("tx", i);
         let view = LockingView {
             base: shared.base,
             committed: &shared.committed,
         };
-        let outcome = run_tx(&view, shared.header, &shared.txs[i]);
+        let mut outcome = run_tx(&view, shared.header, &shared.txs[i]);
         shared.executions.fetch_add(1, Ordering::Relaxed);
         slot.executed.fetch_add(1, Ordering::Relaxed);
+
+        // Bounded speculative repair: pre-validate against the (moving)
+        // committed prefix and re-execute while it finds stale reads, up
+        // to the cap. A transaction that keeps losing this race parks its
+        // last outcome anyway — the commit gate re-executes it against the
+        // frozen prefix (the canonical-order blocking fallback), so the
+        // cap bounds wasted work without risking livelock or divergence.
+        let mut retries = 0;
+        while retries < shared.retry_cap {
+            let stale = {
+                let committed = shared.committed.read().expect("committed delta poisoned");
+                let view = OverlayedView {
+                    base: shared.base,
+                    delta: &committed,
+                };
+                outcome.reads.validate_detailed(&view)
+            };
+            let Err(kind) = stale else {
+                break;
+            };
+            shared.conflicts.fetch_add(1, Ordering::Relaxed);
+            slot.aborted.fetch_add(1, Ordering::Relaxed);
+            if mtpu_telemetry::enabled() {
+                let m = obs::metrics();
+                m.aborts.inc();
+                m.spec_retries.inc();
+                m.validation_fail(kind).inc();
+            }
+            retries += 1;
+            shared.spec_retries.fetch_add(1, Ordering::Relaxed);
+            shared.reexecutions.fetch_add(1, Ordering::Relaxed);
+            shared.executions.fetch_add(1, Ordering::Relaxed);
+            slot.executed.fetch_add(1, Ordering::Relaxed);
+            outcome = run_tx(&view, shared.header, &shared.txs[i]);
+        }
+
         *shared.outcomes[i].lock().expect("outcome slot poisoned") = Some(outcome);
+        drop(span);
         drain_commits(shared, slot);
-        slot.busy_ns
-            .fetch_add(busy_started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let busy = busy_started.elapsed().as_nanos() as u64;
+        slot.busy_ns.fetch_add(busy, Ordering::Relaxed);
+        if mtpu_telemetry::enabled() {
+            obs::metrics().busy_ns.add(busy);
+        }
     }
 }
 
@@ -453,36 +570,51 @@ fn drain_commits(shared: &Shared<'_>, slot: &WorkerSlot) {
             return;
         };
 
-        let valid = {
+        let stale = {
             let committed = shared.committed.read().expect("committed delta poisoned");
             let view = OverlayedView {
                 base: shared.base,
                 delta: &committed,
             };
-            outcome.reads.validate(&view)
+            outcome.reads.validate_detailed(&view)
         };
-        if !valid {
+        if let Err(kind) = stale {
             shared.conflicts.fetch_add(1, Ordering::Relaxed);
+            shared.fallbacks.fetch_add(1, Ordering::Relaxed);
             shared.reexecutions.fetch_add(1, Ordering::Relaxed);
             shared.executions.fetch_add(1, Ordering::Relaxed);
             slot.executed.fetch_add(1, Ordering::Relaxed);
+            slot.aborted.fetch_add(1, Ordering::Relaxed);
+            if mtpu_telemetry::enabled() {
+                let m = obs::metrics();
+                m.aborts.inc();
+                m.fallbacks.inc();
+                m.validation_fail(kind).inc();
+            }
             // While we hold the gate no one else can merge, so the
             // committed view is frozen — this re-execution cannot race.
+            let span = mtpu_telemetry::span("fallback", "parexec").arg("tx", i);
             let committed = shared.committed.read().expect("committed delta poisoned");
             let view = OverlayedView {
                 base: shared.base,
                 delta: &committed,
             };
             outcome = run_tx(&view, shared.header, &shared.txs[i]);
+            drop(span);
         }
 
         {
+            let span = mtpu_telemetry::span("commit", "parexec").arg("tx", i);
             let mut committed = shared.committed.write().expect("committed delta poisoned");
             committed.merge(&outcome.delta, shared.base);
+            drop(span);
         }
         cursor.receipts[i] = Some(outcome.receipt);
         cursor.next = i + 1;
         slot.committed.fetch_add(1, Ordering::Relaxed);
+        if mtpu_telemetry::enabled() {
+            obs::metrics().commits.inc();
+        }
 
         let mut newly_ready = Vec::new();
         for &child in shared.dag.children(i) {
@@ -633,7 +765,45 @@ mod tests {
         assert_eq!(committed, 3);
         assert_eq!(executed, stats.executions);
         assert_eq!(stats.executions, stats.txs as u64 + stats.reexecutions);
+        assert_eq!(stats.reexecutions, stats.spec_retries + stats.fallbacks);
         assert!(stats.tx_per_sec() > 0.0);
         assert!(stats.utilization() <= 1.0);
+    }
+
+    #[test]
+    fn high_conflict_block_bounds_retries_and_matches_sequential() {
+        // Many distinct senders all paying one recipient: every pair
+        // conflicts on the shared balance, but the sender-order DAG sees
+        // no dependencies — the worst case for speculation.
+        let senders: Vec<Address> = (1..=32).map(Address::from_low_u64).collect();
+        let sink = Address::from_low_u64(999);
+        let base = funded(&senders);
+        let block = Block {
+            header: BlockHeader::default(),
+            transactions: senders
+                .iter()
+                .map(|&s| Transaction::transfer(s, sink, U256::from(3u64), 0))
+                .collect(),
+        };
+        let mut seq_state = base.clone();
+        let seq_receipts = sequential(&mut seq_state, &block);
+
+        for cap in [0, 1, DEFAULT_RETRY_CAP] {
+            let exec = ParExecutor::new(8).with_retry_cap(cap);
+            assert_eq!(exec.retry_cap(), cap);
+            let result = exec.execute_block(&base, &block);
+            assert_eq!(result.receipts, seq_receipts);
+            assert_eq!(result.state.state_root(), seq_state.state_root());
+            let stats = &result.stats;
+            assert_eq!(stats.reexecutions, stats.spec_retries + stats.fallbacks);
+            assert_eq!(stats.executions, stats.txs as u64 + stats.reexecutions);
+            // The cap bounds per-transaction speculative repair work.
+            assert!(stats.spec_retries <= cap as u64 * stats.txs as u64);
+            if cap == 0 {
+                assert_eq!(stats.spec_retries, 0, "cap 0 disables speculative repair");
+            }
+            let aborted: u64 = stats.workers.iter().map(|w| w.aborted).sum();
+            assert_eq!(aborted, stats.conflicts);
+        }
     }
 }

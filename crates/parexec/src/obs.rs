@@ -1,0 +1,76 @@
+//! Telemetry wiring for the parallel executor: cached handles into the
+//! global [`mtpu_telemetry`] registry.
+//!
+//! All recording is gated on [`mtpu_telemetry::enabled`]; the worker hot
+//! paths pay one relaxed atomic load per instrumented point when disabled.
+
+use mtpu_evm::overlay::StaleRead;
+use mtpu_telemetry::{Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Cached handles for the parallel executor's metrics.
+pub struct ParexecMetrics {
+    /// Transactions committed at the gate (`parexec.commit`).
+    pub commits: Counter,
+    /// Read-set validations that failed (`parexec.abort`).
+    pub aborts: Counter,
+    /// Bounded speculative re-executions before parking
+    /// (`parexec.reexec.speculative`).
+    pub spec_retries: Counter,
+    /// Canonical-order blocking re-executions under the commit gate after
+    /// the retry cap was exhausted (`parexec.reexec.fallback`).
+    pub fallbacks: Counter,
+    /// Ready-queue depth sampled at each claim (`parexec.queue_depth`).
+    pub queue_depth: Histogram,
+    /// Nanoseconds workers spent parked on the ready queue
+    /// (`parexec.worker.idle_ns`).
+    pub idle_ns: Counter,
+    /// Nanoseconds workers spent executing and committing
+    /// (`parexec.worker.busy_ns`).
+    pub busy_ns: Counter,
+    /// Validation failures by stale-key kind
+    /// (`parexec.validation_fail.<label>`).
+    vfail: [Counter; 6],
+}
+
+impl ParexecMetrics {
+    /// The failure counter for one stale-read kind.
+    pub fn validation_fail(&self, kind: StaleRead) -> &Counter {
+        let i = match kind {
+            StaleRead::Poisoned => 0,
+            StaleRead::Exists => 1,
+            StaleRead::Balance => 2,
+            StaleRead::Nonce => 3,
+            StaleRead::Code => 4,
+            StaleRead::Storage => 5,
+        };
+        &self.vfail[i]
+    }
+}
+
+/// The process-wide cached handle set.
+pub fn metrics() -> &'static ParexecMetrics {
+    static METRICS: OnceLock<ParexecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = mtpu_telemetry::global();
+        let vfail = [
+            StaleRead::Poisoned,
+            StaleRead::Exists,
+            StaleRead::Balance,
+            StaleRead::Nonce,
+            StaleRead::Code,
+            StaleRead::Storage,
+        ]
+        .map(|k| reg.counter(&format!("parexec.validation_fail.{}", k.label())));
+        ParexecMetrics {
+            commits: reg.counter("parexec.commit"),
+            aborts: reg.counter("parexec.abort"),
+            spec_retries: reg.counter("parexec.reexec.speculative"),
+            fallbacks: reg.counter("parexec.reexec.fallback"),
+            queue_depth: reg.histogram("parexec.queue_depth"),
+            idle_ns: reg.counter("parexec.worker.idle_ns"),
+            busy_ns: reg.counter("parexec.worker.busy_ns"),
+            vfail,
+        }
+    })
+}

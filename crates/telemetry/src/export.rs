@@ -1,0 +1,181 @@
+//! Exporters: human-readable table, machine-readable JSON snapshot, and
+//! Chrome `trace_event` JSON for `about:tracing` / Perfetto.
+
+use std::fmt::Write as _;
+
+use crate::json::{escape, number};
+use crate::metrics::Registry;
+use crate::span::{TraceArg, SIM_PID, WALL_PID};
+
+impl Registry {
+    /// Renders every metric as a fixed-width text table.
+    pub fn render_table(&self) -> String {
+        let counters = self.counters_snapshot();
+        let gauges = self.gauges_snapshot();
+        let histograms = self.histograms_snapshot();
+        let (recorded, dropped) = self.event_counts();
+
+        let mut out = String::new();
+        out.push_str("== telemetry ==\n");
+        if !counters.is_empty() {
+            let w = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            out.push_str("counters:\n");
+            for (k, v) in &counters {
+                let _ = writeln!(out, "  {k:<w$}  {v}");
+            }
+        }
+        if !gauges.is_empty() {
+            let w = gauges.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            out.push_str("gauges:\n");
+            for (k, v) in &gauges {
+                let _ = writeln!(out, "  {k:<w$}  {v:.3}");
+            }
+        }
+        if !histograms.is_empty() {
+            let w = histograms.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            out.push_str("histograms:\n");
+            let _ = writeln!(
+                out,
+                "  {:<w$}  {:>10} {:>12} {:>10} {:>10} {:>10} {:>10}",
+                "name", "count", "mean", "p50", "p90", "p99", "max"
+            );
+            for (k, h) in &histograms {
+                let _ = writeln!(
+                    out,
+                    "  {k:<w$}  {:>10} {:>12.1} {:>10} {:>10} {:>10} {:>10}",
+                    h.count,
+                    h.mean(),
+                    h.percentile(50.0),
+                    h.percentile(90.0),
+                    h.percentile(99.0),
+                    h.max
+                );
+            }
+        }
+        let _ = writeln!(out, "events: {recorded} recorded, {dropped} dropped");
+        out
+    }
+
+    /// Serializes every metric (and event-log counts) as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...},"events":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        for (i, (k, v)) in self.counters_snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", escape(k));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges_snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", escape(k), number(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms_snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                number(h.mean()),
+                h.percentile(50.0),
+                h.percentile(90.0),
+                h.percentile(99.0),
+            );
+        }
+        let (recorded, dropped) = self.event_counts();
+        let _ = write!(
+            out,
+            "}},\"events\":{{\"recorded\":{recorded},\"dropped\":{dropped}}}}}"
+        );
+        out
+    }
+
+    /// Serializes the event log as Chrome `trace_event` JSON (complete
+    /// `"ph":"X"` events sorted by timestamp, preceded by process/thread
+    /// metadata). Load the result in `about:tracing` or
+    /// <https://ui.perfetto.dev>.
+    pub fn chrome_trace_json(&self) -> String {
+        let (events, thread_names) = self.events.sorted();
+        let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let meta = |out: &mut String, pid: u32, tid: Option<u32>, name: &str, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            let (ph_name, tid_field) = match tid {
+                Some(t) => ("thread_name", format!(",\"tid\":{t}")),
+                None => ("process_name", String::new()),
+            };
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":{pid}{tid_field},\"name\":\"{ph_name}\",\
+                 \"args\":{{\"name\":{}}}}}",
+                escape(name)
+            );
+        };
+        let mut pids: Vec<u32> = events.iter().map(|e| e.pid).collect();
+        pids.sort_unstable();
+        pids.dedup();
+        for pid in &pids {
+            let label = match *pid {
+                WALL_PID => "wall-clock",
+                SIM_PID => "sim-cycles",
+                _ => "process",
+            };
+            meta(&mut out, *pid, None, label, &mut first);
+        }
+        for (tid, name) in &thread_names {
+            for pid in &pids {
+                meta(&mut out, *pid, Some(*tid), name, &mut first);
+            }
+        }
+        for e in &events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"X\",\"name\":{},\"cat\":{},\"pid\":{},\"tid\":{},\
+                 \"ts\":{},\"dur\":{}",
+                escape(&e.name),
+                escape(e.cat),
+                e.pid,
+                e.tid,
+                number(e.ts_ns as f64 / 1000.0),
+                number(e.dur_ns as f64 / 1000.0),
+            );
+            if !e.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in e.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let rendered = match v {
+                        TraceArg::U64(n) => n.to_string(),
+                        TraceArg::F64(f) => number(*f),
+                        TraceArg::Str(s) => escape(s),
+                    };
+                    let _ = write!(out, "{}:{rendered}", escape(k));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}

@@ -1,0 +1,350 @@
+//! Named counters, gauges and log-bucketed histograms.
+//!
+//! Handles are `Arc`-backed and cheap to clone; the hot paths are single
+//! atomic RMW operations guarded by the process-wide enabled flag.
+//! Registration takes a mutex, so instrumented crates cache their handles
+//! in `OnceLock`s rather than looking them up per event.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::span::{EventLog, TraceEvent};
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i`
+/// (1..=62) holds values in `[2^(i-1), 2^i - 1]`, and bucket 63 is the
+/// overflow bucket for everything at or above `2^62`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing atomic counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` when telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one when telemetry is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable floating-point gauge (stored as `f64` bits).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge when telemetry is enabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.0.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `v` when telemetry is enabled (not atomic across racing
+    /// adders; gauges are set from single-threaded summary code).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        if crate::enabled() {
+            let cur = f64::from_bits(self.0.load(Ordering::Relaxed));
+            self.0.store((cur + v).to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCell {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCell>);
+
+/// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`, clamped
+/// into the overflow bucket.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive `(lo, hi)` value range covered by bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        _ if i >= HISTOGRAM_BUCKETS - 1 => (1 << (HISTOGRAM_BUCKETS - 2), u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// Records one sample when telemetry is enabled.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        let c = &self.0;
+        c.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.min.fetch_min(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for reporting (the histogram may be
+    /// concurrently written; percentiles are approximate by construction).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.0;
+        let buckets: Vec<u64> = c
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: c.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                c.min.load(Ordering::Relaxed)
+            },
+            max: c.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (see [`bucket_bounds`]).
+    pub buckets: Vec<u64>,
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-th percentile (`q` in 0..=100) by linear
+    /// interpolation inside the target bucket, clamped to the observed
+    /// min/max. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 100.0);
+        // 1-based rank of the target sample.
+        let rank = ((q / 100.0 * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                let lo = lo.max(self.min).min(self.max);
+                let hi = hi.min(self.max).max(lo);
+                let pos = (rank - seen) as f64 / n as f64;
+                return lo + ((hi - lo) as f64 * pos).round() as u64;
+            }
+            seen += n;
+        }
+        self.max
+    }
+}
+
+/// A registry of named metrics plus the trace-event log.
+///
+/// Names are free-form dotted strings (`"mtpu.db.hit"`); exports list
+/// them in lexicographic order. [`crate::global`] returns the process
+/// registry; tests may build private ones.
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    pub(crate) events: EventLog,
+    pub(crate) epoch: Instant,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with the default (65 536-event) ring buffer.
+    pub fn new() -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            events: EventLog::new(1 << 16),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Gets or creates the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock().expect("counter map poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Gets or creates the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock().expect("gauge map poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// Gets or creates the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock().expect("histogram map poisoned");
+        map.entry(name.to_string())
+            .or_insert_with(|| Histogram(Arc::new(HistogramCell::new())))
+            .clone()
+    }
+
+    /// Nanoseconds since this registry was created (the wall-clock span
+    /// timebase).
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Appends a pre-built event (manual timelines, e.g. simulated-cycle
+    /// schedules) when telemetry is enabled.
+    pub fn add_event(&self, ev: TraceEvent) {
+        if crate::enabled() {
+            self.events.push(ev);
+        }
+    }
+
+    /// Labels the calling thread in trace exports.
+    pub fn name_current_thread(&self, name: &str) {
+        self.events.name_thread(crate::span::current_tid(), name);
+    }
+
+    /// Labels an explicit thread id in trace exports (manual timelines).
+    pub fn set_thread_name(&self, tid: u32, name: &str) {
+        self.events.name_thread(tid, name);
+    }
+
+    /// `(recorded, dropped)` event counts.
+    pub fn event_counts(&self) -> (usize, u64) {
+        self.events.counts()
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("counter map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of every gauge, sorted by name.
+    pub fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .lock()
+            .expect("gauge map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Snapshot of every histogram, sorted by name.
+    pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect()
+    }
+
+    /// Zeroes every metric and clears the event log (names survive so
+    /// cached handles stay valid).
+    pub fn reset(&self) {
+        for (_, c) in self.counters.lock().expect("counter map poisoned").iter() {
+            c.0.store(0, Ordering::Relaxed);
+        }
+        for (_, g) in self.gauges.lock().expect("gauge map poisoned").iter() {
+            g.0.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+        for (_, h) in self
+            .histograms
+            .lock()
+            .expect("histogram map poisoned")
+            .iter()
+        {
+            for b in &h.0.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            h.0.count.store(0, Ordering::Relaxed);
+            h.0.sum.store(0, Ordering::Relaxed);
+            h.0.min.store(u64::MAX, Ordering::Relaxed);
+            h.0.max.store(0, Ordering::Relaxed);
+        }
+        self.events.clear();
+    }
+}

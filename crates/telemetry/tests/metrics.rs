@@ -1,0 +1,264 @@
+//! Unit tests for the metric primitives: bucketing and percentile math
+//! (including the overflow bucket and empty histograms), counters,
+//! gauges, the disabled-mode contract and JSON snapshot validity.
+
+use mtpu_telemetry as tel;
+use tel::json;
+use tel::metrics::{bucket_bounds, bucket_index, HISTOGRAM_BUCKETS};
+use tel::Registry;
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Tests toggle the process-wide enabled flag; serialize them.
+fn lock_enabled() -> MutexGuard<'static, ()> {
+    static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    GATE.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn bucket_index_covers_the_u64_range() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    assert_eq!(bucket_index(1023), 10);
+    assert_eq!(bucket_index(1024), 11);
+    // Everything at or above 2^62 lands in the overflow bucket.
+    assert_eq!(bucket_index(1 << 62), HISTOGRAM_BUCKETS - 1);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+}
+
+#[test]
+fn bucket_bounds_partition_without_gaps() {
+    let (lo0, hi0) = bucket_bounds(0);
+    assert_eq!((lo0, hi0), (0, 0));
+    let mut expected_lo = 1u64;
+    for i in 1..HISTOGRAM_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(lo, expected_lo, "bucket {i} starts where {} ended", i - 1);
+        assert!(hi >= lo);
+        // Every value in the range maps back to this bucket.
+        assert_eq!(bucket_index(lo), i);
+        assert_eq!(bucket_index(hi), i);
+        if hi == u64::MAX {
+            assert_eq!(
+                i,
+                HISTOGRAM_BUCKETS - 1,
+                "only the overflow bucket is open-ended"
+            );
+            return;
+        }
+        expected_lo = hi + 1;
+    }
+    panic!("last bucket must reach u64::MAX");
+}
+
+#[test]
+fn empty_histogram_is_all_zeroes() {
+    let _gate = lock_enabled();
+    let r = Registry::new();
+    let h = r.histogram("empty");
+    let s = h.snapshot();
+    assert_eq!(s.count, 0);
+    assert_eq!(s.sum, 0);
+    assert_eq!(s.min, 0);
+    assert_eq!(s.max, 0);
+    assert_eq!(s.mean(), 0.0);
+    for q in [0.0, 50.0, 99.0, 100.0] {
+        assert_eq!(s.percentile(q), 0, "empty histogram p{q}");
+    }
+}
+
+#[test]
+fn percentiles_of_a_known_distribution() {
+    let _gate = lock_enabled();
+    tel::set_enabled(true);
+    let r = Registry::new();
+    let h = r.histogram("latency");
+    // 100 samples: 1..=100.
+    for v in 1..=100u64 {
+        h.record(v);
+    }
+    tel::set_enabled(false);
+    let s = h.snapshot();
+    assert_eq!(s.count, 100);
+    assert_eq!(s.sum, 5050);
+    assert_eq!(s.min, 1);
+    assert_eq!(s.max, 100);
+    assert!((s.mean() - 50.5).abs() < 1e-9);
+    // Log buckets are approximate: allow one power-of-two of slack.
+    let p50 = s.percentile(50.0);
+    assert!((32..=64).contains(&p50), "p50 {p50} within its bucket");
+    let p99 = s.percentile(99.0);
+    assert!((64..=100).contains(&p99), "p99 {p99} clamped to max");
+    assert_eq!(s.percentile(100.0), 100);
+    // p0 resolves to the first occupied bucket's low edge, >= min.
+    assert!(s.percentile(0.0) >= 1);
+}
+
+#[test]
+fn overflow_bucket_counts_and_clamps() {
+    let _gate = lock_enabled();
+    tel::set_enabled(true);
+    let r = Registry::new();
+    let h = r.histogram("huge");
+    h.record(u64::MAX);
+    h.record(u64::MAX - 1);
+    h.record(1 << 62);
+    tel::set_enabled(false);
+    let s = h.snapshot();
+    assert_eq!(s.count, 3);
+    assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 3);
+    assert_eq!(s.max, u64::MAX);
+    assert_eq!(s.min, 1 << 62);
+    // Percentiles stay inside the observed range even in the open bucket.
+    let p50 = s.percentile(50.0);
+    assert!(p50 >= s.min && p50 <= s.max);
+}
+
+#[test]
+fn single_sample_percentiles_are_exactly_that_sample() {
+    let _gate = lock_enabled();
+    tel::set_enabled(true);
+    let r = Registry::new();
+    let h = r.histogram("one");
+    h.record(42);
+    tel::set_enabled(false);
+    let s = h.snapshot();
+    for q in [0.0, 50.0, 99.0, 100.0] {
+        assert_eq!(s.percentile(q), 42, "p{q} of a single sample");
+    }
+}
+
+#[test]
+fn disabled_mode_records_nothing() {
+    let _gate = lock_enabled();
+    tel::set_enabled(false);
+    let r = Registry::new();
+    let c = r.counter("c");
+    let g = r.gauge("g");
+    let h = r.histogram("h");
+    c.inc();
+    c.add(10);
+    g.set(3.5);
+    h.record(9);
+    r.add_event(tel::TraceEvent {
+        name: "e".into(),
+        cat: "t",
+        pid: tel::WALL_PID,
+        tid: 0,
+        ts_ns: 0,
+        dur_ns: 1,
+        args: Vec::new(),
+    });
+    assert_eq!(c.get(), 0);
+    assert_eq!(g.get(), 0.0);
+    assert_eq!(h.snapshot().count, 0);
+    assert_eq!(r.event_counts(), (0, 0));
+}
+
+#[test]
+fn counters_and_gauges_round_trip() {
+    let _gate = lock_enabled();
+    tel::set_enabled(true);
+    let r = Registry::new();
+    let c = r.counter("hits");
+    c.add(3);
+    r.counter("hits").inc(); // same handle by name
+    let g = r.gauge("ratio");
+    g.set(0.75);
+    g.add(0.25);
+    tel::set_enabled(false);
+    assert_eq!(c.get(), 4);
+    assert_eq!(r.gauge("ratio").get(), 1.0);
+}
+
+#[test]
+fn reset_zeroes_but_keeps_handles_valid() {
+    let _gate = lock_enabled();
+    tel::set_enabled(true);
+    let r = Registry::new();
+    let c = r.counter("x");
+    let h = r.histogram("y");
+    c.add(7);
+    h.record(7);
+    r.reset();
+    assert_eq!(c.get(), 0);
+    assert_eq!(h.snapshot().count, 0);
+    c.inc();
+    assert_eq!(c.get(), 1, "handle still wired to the registry");
+    tel::set_enabled(false);
+}
+
+#[test]
+fn json_snapshot_parses_and_contains_sections() {
+    let _gate = lock_enabled();
+    tel::set_enabled(true);
+    let r = Registry::new();
+    r.counter("a.b").add(5);
+    r.gauge("c \"quoted\"").set(1.25);
+    r.histogram("d").record(100);
+    let doc = r.to_json();
+    tel::set_enabled(false);
+    let v = json::parse(&doc).expect("snapshot is valid JSON");
+    assert_eq!(
+        v.get("counters")
+            .and_then(|c| c.get("a.b"))
+            .and_then(|n| n.as_num()),
+        Some(5.0)
+    );
+    assert_eq!(
+        v.get("gauges")
+            .and_then(|g| g.get("c \"quoted\""))
+            .and_then(|n| n.as_num()),
+        Some(1.25)
+    );
+    let d = v
+        .get("histograms")
+        .and_then(|h| h.get("d"))
+        .expect("histogram d");
+    assert_eq!(d.get("count").and_then(|n| n.as_num()), Some(1.0));
+    assert_eq!(d.get("max").and_then(|n| n.as_num()), Some(100.0));
+    assert!(v.get("events").is_some());
+}
+
+#[test]
+fn spans_record_events_and_histograms() {
+    let _gate = lock_enabled();
+    tel::set_enabled(true);
+    tel::global().reset();
+    {
+        let _outer = tel::span("outer", "test");
+        let _inner = tel::span("inner", "test");
+    }
+    let (recorded, dropped) = tel::global().event_counts();
+    tel::set_enabled(false);
+    assert_eq!(dropped, 0);
+    assert!(recorded >= 2, "both spans recorded: {recorded}");
+    let spans: Vec<(String, _)> = tel::global()
+        .histograms_snapshot()
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("span."))
+        .collect();
+    assert!(spans.iter().any(|(k, _)| k == "span.outer"));
+    assert!(spans.iter().any(|(k, _)| k == "span.inner"));
+    tel::global().reset();
+}
+
+#[test]
+fn table_export_mentions_every_metric() {
+    let _gate = lock_enabled();
+    tel::set_enabled(true);
+    let r = Registry::new();
+    r.counter("table.counter").add(2);
+    r.gauge("table.gauge").set(9.0);
+    r.histogram("table.hist").record(3);
+    let t = r.render_table();
+    tel::set_enabled(false);
+    for needle in ["table.counter", "table.gauge", "table.hist", "events:"] {
+        assert!(t.contains(needle), "table missing {needle}:\n{t}");
+    }
+}

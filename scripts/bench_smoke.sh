@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Bench smoke: run one small experiment with telemetry enabled and assert
+# the consolidated BENCH_RESULTS.json snapshot is well-formed
+# (schema mtpu-bench-results/v1; see DESIGN.md §7).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> bench smoke: all --only table1 --telemetry"
+cargo run --release -p mtpu-bench --bin all -- --only table1 --telemetry --json BENCH_RESULTS.json
+
+echo "==> validating BENCH_RESULTS.json"
+python3 - <<'EOF'
+import json
+
+with open("BENCH_RESULTS.json") as f:
+    d = json.load(f)
+
+expected = {"schema", "experiments", "wall_ns", "telemetry"}
+assert set(d) == expected, f"top-level keys {sorted(d)} != {sorted(expected)}"
+assert d["schema"] == "mtpu-bench-results/v1", d["schema"]
+assert "table1" in d["experiments"], list(d["experiments"])
+assert d["wall_ns"]["table1"] > 0
+assert d["telemetry"] is not None, "telemetry snapshot missing despite --telemetry"
+assert "counters" in d["telemetry"]
+print(f"BENCH_RESULTS.json OK: {len(d['experiments'])} experiment(s), "
+      f"{len(d['telemetry']['counters'])} counters")
+EOF

@@ -19,4 +19,6 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+./scripts/bench_smoke.sh
+
 echo "All checks passed."
