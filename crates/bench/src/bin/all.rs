@@ -28,6 +28,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("fig16", sched::fig16),
     ("table8", compare::table8),
     ("table9", compare::table9),
+    ("stateroot", stateroot::per_block),
     ("hotspot", stat::hotspot_loading),
     ("hotspot-drift", drift::hotspot_drift),
     ("ablations", ablation::all),

@@ -1,0 +1,7 @@
+//! Per-block state-commitment timing: legacy flat digest vs Merkle
+//! Patricia Trie, from-scratch and incremental (see DESIGN.md §8).
+use mtpu_bench::experiments::stateroot;
+
+fn main() {
+    println!("{}", stateroot::per_block());
+}

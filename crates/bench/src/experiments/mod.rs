@@ -8,3 +8,4 @@ pub mod ilp;
 pub mod parexec;
 pub mod sched;
 pub mod stat;
+pub mod stateroot;

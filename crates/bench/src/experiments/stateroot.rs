@@ -1,0 +1,120 @@
+//! Per-block state-commitment cost: the legacy flat digest (full rehash
+//! of every live account) vs the authenticated Merkle Patricia Trie,
+//! both rebuilt from scratch and committed *incrementally* from the
+//! block's delta (`mtpu-statedb`).
+//!
+//! The incremental path is the one a validating node would run: the trie
+//! persists across blocks and `commit` rehashes only the paths the block
+//! dirtied, so its cost tracks the block's write set instead of the total
+//! state size. The experiment asserts all three commitment paths agree
+//! on every block before reporting timings.
+
+use crate::harness::render_table;
+use mtpu_evm::{commit_block_delta, commit_full};
+use mtpu_parexec::ParExecutor;
+use mtpu_statedb::{MemStore, StateCommitter};
+use mtpu_workloads::{BlockConfig, Generator};
+use std::time::{Duration, Instant};
+
+/// Blocks in the simulated chain.
+const BLOCKS: usize = 8;
+/// Transactions per block.
+const BLOCK_TXS: usize = 96;
+/// Timed runs per measurement (best run reported) for the two
+/// side-effect-free paths; the incremental commit mutates the trie and
+/// is therefore timed once per block.
+const RUNS: usize = 3;
+
+fn best_wall(mut run: impl FnMut() -> Duration) -> Duration {
+    (0..RUNS).map(|_| run()).min().expect("RUNS > 0")
+}
+
+/// Per-block commitment timing over a simulated chain: legacy digest vs
+/// from-scratch trie rebuild vs incremental trie commit.
+pub fn per_block() -> String {
+    let mut generator = Generator::new(0x500f);
+    let executor = ParExecutor::new(4);
+
+    let mut committer = StateCommitter::new(MemStore::new());
+    commit_full(&mut committer, &generator.fx.state);
+    let mut parent = committer.commit();
+    assert_eq!(parent, generator.fx.state.merkle_root());
+
+    let mut rows = Vec::new();
+    let mut sum_scratch = Duration::ZERO;
+    let mut sum_incr = Duration::ZERO;
+    for height in 1..=BLOCKS {
+        let block = generator.block(&BlockConfig {
+            tx_count: BLOCK_TXS,
+            dependent_ratio: 0.25,
+            erc20_ratio: None,
+            sct_ratio: 0.92,
+            chain_bias: 0.8,
+            focus: None,
+        });
+        let base = generator.fx.state.clone();
+        let result = executor.execute_block(&base, &block);
+        generator.fx.state = result.state.clone();
+
+        let legacy_wall = best_wall(|| {
+            let t0 = Instant::now();
+            let _ = result.state.state_root();
+            t0.elapsed()
+        });
+        let mut scratch = parent;
+        let scratch_wall = best_wall(|| {
+            let t0 = Instant::now();
+            scratch = result.state.merkle_root();
+            t0.elapsed()
+        });
+
+        let hashed_before = committer.stats().nodes_hashed;
+        let t0 = Instant::now();
+        let incremental = commit_block_delta(&mut committer, &base, &result.delta);
+        let incr_wall = t0.elapsed();
+        let dirty = committer.stats().nodes_hashed - hashed_before;
+
+        assert_eq!(incremental, scratch, "incremental commit diverged");
+        assert_ne!(incremental, parent, "block changed no state");
+        parent = incremental;
+        sum_scratch += scratch_wall;
+        sum_incr += incr_wall;
+
+        rows.push(vec![
+            format!("{height}"),
+            format!("{}", block.transactions.len()),
+            format!("{legacy_wall:.2?}"),
+            format!("{scratch_wall:.2?}"),
+            format!("{incr_wall:.2?}"),
+            format!(
+                "{:.2}",
+                scratch_wall.as_secs_f64() / incr_wall.as_secs_f64()
+            ),
+            format!("{dirty}"),
+        ]);
+    }
+
+    let stats = committer.stats();
+    render_table(
+        &format!("State-commitment cost per block ({BLOCK_TXS} txs, chain of {BLOCKS})"),
+        &[
+            "block",
+            "txs",
+            "flat digest",
+            "trie scratch",
+            "trie incr",
+            "speedup",
+            "dirty nodes",
+        ],
+        &rows,
+    ) + &format!(
+        "\nIncremental trie commit rehashes only the block's dirty paths\n\
+         ({} nodes hashed over the whole chain, cache {} hits / {} misses),\n\
+         so commitment cost tracks the write set, not total state size:\n\
+         {:.2}x faster than a from-scratch rebuild on average here.\n",
+        stats.nodes_hashed,
+        stats.cache_hits,
+        stats.cache_misses,
+        sum_scratch.as_secs_f64() / sum_incr.as_secs_f64(),
+    )
+}

@@ -29,6 +29,7 @@
 //! # Ok::<(), mtpu_evm::executor::TxError>(())
 //! ```
 
+pub mod commit;
 pub mod executor;
 pub mod gas;
 pub mod interpreter;
@@ -41,6 +42,7 @@ pub mod state;
 pub mod trace;
 pub mod tx;
 
+pub use commit::{commit_block_delta, commit_full, delta_merkle_root};
 pub use executor::{execute_block, execute_transaction, trace_transaction, TxError};
 pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};
 pub use opcode::{OpCategory, Opcode};

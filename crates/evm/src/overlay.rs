@@ -350,6 +350,12 @@ impl BlockDelta {
         self.accounts.len()
     }
 
+    /// Iterates over the per-account deltas (for state committers that
+    /// replay the block's touched accounts into an authenticated trie).
+    pub fn iter(&self) -> impl Iterator<Item = (Address, &AccountDelta)> {
+        self.accounts.iter().map(|(a, d)| (*a, d))
+    }
+
     fn account(&self, addr: Address) -> Option<&AccountDelta> {
         self.accounts.get(&addr)
     }

@@ -321,12 +321,31 @@ impl State {
         self.journal.clear();
     }
 
+    /// Iterates over live accounts: every existing account **except**
+    /// those marked self-destructed in the current transaction (they are
+    /// physically removed at [`State::finalize_tx`], but must already be
+    /// invisible to state commitments).
+    pub fn iter_live_accounts(&self) -> impl Iterator<Item = (Address, &Account)> {
+        self.accounts
+            .iter()
+            .filter(|(a, _)| !self.destructed.contains(a))
+            .map(|(a, acc)| (*a, acc))
+    }
+
+    /// Addresses marked self-destructed since the last
+    /// [`State::finalize_tx`].
+    pub fn destructed(&self) -> &[Address] {
+        &self.destructed
+    }
+
     /// A deterministic digest of the whole state, used by tests to assert
     /// that differently-scheduled executions converge (the blockchain
     /// consistency requirement).
     pub fn state_root(&self) -> B256 {
-        let mut entries: Vec<(Address, &Account)> =
-            self.accounts.iter().map(|(a, acc)| (*a, acc)).collect();
+        // Accounts marked destructed are excluded: they are only removed
+        // from the table at finalize_tx, but sequential semantics say the
+        // commitment of a finalized prefix must not see them.
+        let mut entries: Vec<(Address, &Account)> = self.iter_live_accounts().collect();
         entries.sort_by_key(|(a, _)| *a);
         let mut h = mtpu_primitives::keccak::Keccak256::new();
         for (addr, acc) in entries {
@@ -550,6 +569,32 @@ mod tests {
         st.mark_destructed(a(1));
         st.finalize_tx();
         assert!(!st.exists(a(1)));
+    }
+
+    #[test]
+    fn destructed_accounts_excluded_from_root_before_finalize() {
+        // Regression: selfdestructed accounts are only *removed* at
+        // finalize_tx, but the digest must treat them as gone as soon as
+        // they are marked — a root taken mid-commit must equal the root
+        // after finalize.
+        let mut st = State::new();
+        st.credit(a(1), u(10));
+        st.finalize_tx();
+        let without = st.state_root();
+
+        st.credit(a(2), u(20));
+        st.set_storage(a(2), u(1), u(2));
+        st.mark_destructed(a(2));
+        let marked = st.state_root();
+        assert_eq!(
+            marked, without,
+            "marked-destructed account leaked into digest"
+        );
+        assert!(st.exists(a(2)), "account is still physically present");
+
+        st.finalize_tx();
+        assert_eq!(st.state_root(), without);
+        assert!(!st.exists(a(2)));
     }
 
     #[test]

@@ -29,6 +29,12 @@ pub struct BlockReport {
     pub receipts: Vec<Receipt>,
     /// State root after the block.
     pub state_root: B256,
+    /// Canonical Merkle Patricia Trie root of the post-block state (the
+    /// authenticated commitment a header would carry).
+    pub merkle_root: B256,
+    /// Merkle root of the pre-block state — the parent linkage: block
+    /// *h*'s `parent_merkle_root` equals block *h−1*'s `merkle_root`.
+    pub parent_merkle_root: B256,
     /// Realized dependent-transaction ratio.
     pub dependent_ratio: f64,
     /// MTPU schedule of the block.
@@ -79,23 +85,33 @@ pub struct Node {
     /// Number of hotspot entries retained per relearn pass.
     pub hotspot_capacity: usize,
     height: u64,
+    /// Merkle root of the current state, maintained block-to-block so
+    /// each report carries its parent linkage without recomputing.
+    merkle_root: B256,
 }
 
 impl Node {
     /// Creates a node over `genesis` state with the given configuration.
     pub fn new(genesis: State, config: MtpuConfig) -> Self {
+        let merkle_root = genesis.merkle_root();
         Node {
             state: genesis,
             config,
             contract_table: ContractTable::new(),
             hotspot_capacity: 32,
             height: 0,
+            merkle_root,
         }
     }
 
     /// Blocks processed so far.
     pub fn height(&self) -> u64 {
         self.height
+    }
+
+    /// Merkle Patricia Trie root of the node's current state.
+    pub fn merkle_root(&self) -> B256 {
+        self.merkle_root
     }
 
     /// Processes one block end to end.
@@ -183,9 +199,13 @@ impl Node {
 
         self.height += 1;
         self.state = post;
+        let parent_merkle_root = self.merkle_root;
+        self.merkle_root = self.state.merkle_root();
         Ok(BlockReport {
             height: self.height,
             state_root: self.state.state_root(),
+            merkle_root: self.merkle_root,
+            parent_merkle_root,
             dependent_ratio: graph.dependent_ratio(),
             receipts,
             schedule,
@@ -240,6 +260,23 @@ mod tests {
         assert_eq!(node.height(), 2);
         assert_ne!(r1.state_root, r2.state_root);
         assert!(r2.speedup() > 0.5);
+    }
+
+    #[test]
+    fn merkle_roots_chain_block_to_block() {
+        let mut node = Node::new(genesis(8), MtpuConfig::default());
+        let genesis_root = node.merkle_root();
+        let r1 = node.process_block(&transfer_block(1, 0)).expect("block 1");
+        assert_eq!(r1.parent_merkle_root, genesis_root);
+        assert_ne!(r1.merkle_root, genesis_root);
+        let r2 = node.process_block(&transfer_block(2, 1)).expect("block 2");
+        assert_eq!(
+            r2.parent_merkle_root, r1.merkle_root,
+            "parent linkage broken"
+        );
+        assert_eq!(node.merkle_root(), r2.merkle_root);
+        // The commitment is independently recomputable from the state.
+        assert_eq!(node.state.merkle_root(), r2.merkle_root);
     }
 
     #[test]

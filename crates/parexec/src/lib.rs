@@ -140,6 +140,23 @@ pub struct BlockResult {
     pub stats: BlockStats,
 }
 
+impl BlockResult {
+    /// The canonical Merkle Patricia Trie root of the post-block state,
+    /// computed from scratch.
+    pub fn merkle_root(&self) -> B256 {
+        self.state.merkle_root()
+    }
+
+    /// The post-block trie root computed *incrementally*: `base` is fully
+    /// committed once, then this block's [`BlockDelta`] is replayed so
+    /// only touched accounts' paths re-hash. Must equal
+    /// [`BlockResult::merkle_root`] — the authenticated form of the
+    /// serializability oracle.
+    pub fn delta_merkle_root(&self, base: &State) -> B256 {
+        mtpu_evm::delta_merkle_root(base, &self.delta)
+    }
+}
+
 /// A multi-threaded optimistic block executor.
 ///
 /// Construction is cheap; threads are spawned per block via
@@ -745,6 +762,29 @@ mod tests {
                 assert_eq!(with_dag.receipts, seq_receipts);
                 assert_eq!(with_dag.state.state_root(), seq_state.state_root());
             }
+        }
+    }
+
+    #[test]
+    fn merkle_roots_match_sequential_and_incremental_paths() {
+        let mut generator = Generator::new(77);
+        let prepared = generator.prepared_block(&BlockConfig {
+            tx_count: 24,
+            dependent_ratio: 0.5,
+            erc20_ratio: None,
+            sct_ratio: 0.9,
+            chain_bias: 0.5,
+            focus: None,
+        });
+        let base = prepared.state_before.clone();
+        let mut seq_state = base.clone();
+        sequential(&mut seq_state, &prepared.block);
+        let want = seq_state.merkle_root();
+
+        for threads in [1, 4] {
+            let result = ParExecutor::new(threads).execute_block(&base, &prepared.block);
+            assert_eq!(result.merkle_root(), want);
+            assert_eq!(result.delta_merkle_root(&base), want);
         }
     }
 

@@ -1,0 +1,166 @@
+//! A bounded, hash-addressed cache of *decoded* trie nodes.
+//!
+//! Trie walks resolve hash links through this cache before touching the
+//! [`crate::store::NodeStore`], skipping both the store lookup and the
+//! RLP decode on a hit. Eviction is FIFO — content-addressed nodes never
+//! mutate, so recency tracking buys little over insertion order for the
+//! top-of-trie nodes that dominate lookups, and FIFO keeps the hot path
+//! to one `VecDeque` push.
+//!
+//! Hit/miss/eviction counts feed both the per-instance
+//! [`crate::trie::TrieStats`] (always on, for assertions) and the global
+//! `mtpu-telemetry` registry (`statedb.cache.*`, gated on
+//! [`mtpu_telemetry::enabled`] per the workspace cost contract).
+
+use crate::node::Node;
+use mtpu_primitives::B256;
+use std::collections::{HashMap, VecDeque};
+
+/// Default capacity in nodes; at ~100–500 bytes a decoded node this
+/// bounds the cache to a few MiB.
+pub const DEFAULT_CACHE_CAPACITY: usize = 8192;
+
+/// Bounded FIFO cache mapping node hash → decoded node.
+#[derive(Debug, Clone)]
+pub struct NodeCache {
+    nodes: HashMap<B256, Node>,
+    order: VecDeque<B256>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Default for NodeCache {
+    fn default() -> Self {
+        NodeCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl NodeCache {
+    /// A cache holding at most `capacity` nodes (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        NodeCache {
+            nodes: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Nodes currently cached.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Capacity in nodes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lifetime `(hits, misses, evictions)` counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.evictions)
+    }
+
+    /// Looks up a decoded node, counting the hit or miss.
+    pub fn get(&mut self, hash: &B256) -> Option<Node> {
+        match self.nodes.get(hash) {
+            Some(n) => {
+                self.hits += 1;
+                if mtpu_telemetry::enabled() {
+                    crate::obs::metrics().cache_hit.inc();
+                }
+                Some(n.clone())
+            }
+            None => {
+                self.misses += 1;
+                if mtpu_telemetry::enabled() {
+                    crate::obs::metrics().cache_miss.inc();
+                }
+                None
+            }
+        }
+    }
+
+    /// Inserts a decoded node, evicting the oldest entry at capacity.
+    pub fn put(&mut self, hash: B256, node: Node) {
+        if self.capacity == 0 || self.nodes.contains_key(&hash) {
+            return;
+        }
+        while self.nodes.len() >= self.capacity {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            self.nodes.remove(&old);
+            self.evictions += 1;
+            if mtpu_telemetry::enabled() {
+                crate::obs::metrics().cache_evict.inc();
+            }
+        }
+        self.order.push_back(hash);
+        self.nodes.insert(hash, node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(n: u8) -> Node {
+        Node::Leaf {
+            path: vec![n & 0x0f],
+            value: vec![n],
+        }
+    }
+
+    fn h(n: u8) -> B256 {
+        B256::keccak(&[n])
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let mut c = NodeCache::new(4);
+        assert!(c.get(&h(1)).is_none());
+        c.put(h(1), leaf(1));
+        assert_eq!(c.get(&h(1)), Some(leaf(1)));
+        let (hits, misses, evictions) = c.counters();
+        assert_eq!((hits, misses, evictions), (1, 1, 0));
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut c = NodeCache::new(2);
+        c.put(h(1), leaf(1));
+        c.put(h(2), leaf(2));
+        c.put(h(3), leaf(3)); // evicts h(1)
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&h(1)).is_none());
+        assert!(c.get(&h(3)).is_some());
+        assert_eq!(c.counters().2, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = NodeCache::new(0);
+        c.put(h(1), leaf(1));
+        assert!(c.is_empty());
+        assert!(c.get(&h(1)).is_none());
+    }
+
+    #[test]
+    fn duplicate_put_is_noop() {
+        let mut c = NodeCache::new(2);
+        c.put(h(1), leaf(1));
+        c.put(h(1), leaf(1));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.capacity(), 2);
+    }
+}

@@ -1,0 +1,363 @@
+//! The *secure* state trie: account and storage commitment on top of
+//! [`Trie`].
+//!
+//! Layout follows Ethereum exactly:
+//!
+//! * the account trie is keyed by `keccak(address)`; each leaf holds
+//!   `rlp([nonce, balance, storage_root, code_hash])`;
+//! * each account's storage trie is keyed by `keccak(slot_be32)` with
+//!   `rlp(value_trimmed)` leaves, and its root is embedded in the
+//!   account leaf — so one 32-byte state root authenticates every
+//!   account field and every storage slot;
+//! * zero-valued slots and empty values are absent, not stored.
+//!
+//! [`StateCommitter`] keeps the account trie open across blocks and
+//! re-opens per-account storage tries from the roots recorded in the
+//! account leaves, so a block that touches *k* accounts re-hashes only
+//! those accounts' paths.
+
+use crate::store::NodeStore;
+use crate::trie::{empty_root, NodeDb, Trie, TrieStats};
+use mtpu_primitives::rlp::{self, Item};
+use mtpu_primitives::{Address, B256, U256};
+use std::sync::OnceLock;
+
+/// `keccak("")` — code hash of an account with no code.
+pub fn empty_code_hash() -> B256 {
+    static HASH: OnceLock<B256> = OnceLock::new();
+    *HASH.get_or_init(|| B256::keccak(&[]))
+}
+
+/// The four-field account body stored in an account-trie leaf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccountRecord {
+    /// Transaction / creation counter.
+    pub nonce: u64,
+    /// Balance in wei.
+    pub balance: U256,
+    /// Root of this account's storage trie.
+    pub storage_root: B256,
+    /// `keccak(code)`.
+    pub code_hash: B256,
+}
+
+impl AccountRecord {
+    /// A fresh account: zero nonce and balance, empty storage and code.
+    pub fn empty() -> AccountRecord {
+        AccountRecord {
+            nonce: 0,
+            balance: U256::ZERO,
+            storage_root: empty_root(),
+            code_hash: empty_code_hash(),
+        }
+    }
+
+    /// Canonical `rlp([nonce, balance, storage_root, code_hash])`.
+    pub fn encode(&self) -> Vec<u8> {
+        rlp::encode_list(&[
+            Item::uint(self.nonce),
+            Item::u256(self.balance),
+            Item::bytes(self.storage_root.as_bytes().to_vec()),
+            Item::bytes(self.code_hash.as_bytes().to_vec()),
+        ])
+    }
+
+    /// Decodes an account body; `None` if the bytes are not a well-formed
+    /// four-field record.
+    pub fn decode(raw: &[u8]) -> Option<AccountRecord> {
+        let item = rlp::decode(raw).ok()?;
+        let fields = item.as_list()?;
+        if fields.len() != 4 {
+            return None;
+        }
+        let nonce = fields[0].to_u256().ok()?.try_to_u64()?;
+        let balance = fields[1].to_u256().ok()?;
+        let storage_root = B256::new(fields[2].as_bytes()?.try_into().ok()?);
+        let code_hash = B256::new(fields[3].as_bytes()?.try_into().ok()?);
+        Some(AccountRecord {
+            nonce,
+            balance,
+            storage_root,
+            code_hash,
+        })
+    }
+}
+
+/// One account's worth of changes for [`StateCommitter::update_account`].
+#[derive(Debug, Clone)]
+pub struct AccountUpdate {
+    /// New nonce.
+    pub nonce: u64,
+    /// New balance.
+    pub balance: U256,
+    /// New code hash ([`empty_code_hash`] for code-less accounts).
+    pub code_hash: B256,
+    /// When `true`, the account's previous storage trie is discarded and
+    /// rebuilt from `storage` alone (account re-creation after deletion);
+    /// when `false`, `storage` is applied as a delta over the existing
+    /// trie.
+    pub reset_storage: bool,
+    /// Slot writes; a zero value removes the slot.
+    pub storage: Vec<(U256, U256)>,
+}
+
+impl AccountUpdate {
+    /// An update carrying just nonce/balance/code, no storage writes.
+    pub fn plain(nonce: u64, balance: U256, code_hash: B256) -> AccountUpdate {
+        AccountUpdate {
+            nonce,
+            balance,
+            code_hash,
+            reset_storage: false,
+            storage: Vec::new(),
+        }
+    }
+}
+
+/// Authenticated state commitment over a pluggable node store.
+///
+/// ```
+/// use mtpu_primitives::{Address, U256};
+/// use mtpu_statedb::{AccountUpdate, MemStore, StateCommitter};
+///
+/// let mut c = StateCommitter::new(MemStore::new());
+/// let mut up = AccountUpdate::plain(1, U256::from_limbs([100, 0, 0, 0]),
+///                                   mtpu_statedb::empty_code_hash());
+/// up.storage.push((U256::ONE, U256::from_limbs([7, 0, 0, 0])));
+/// c.update_account(&Address::from_low_u64(1), &up);
+/// let root = c.commit();
+/// assert_ne!(root, mtpu_statedb::empty_root());
+/// ```
+#[derive(Debug)]
+pub struct StateCommitter<S: NodeStore> {
+    db: NodeDb<S>,
+    accounts: Trie,
+}
+
+impl<S: NodeStore> StateCommitter<S> {
+    /// Opens a committer over `store`, resuming from the store's last
+    /// synced root (or the empty trie for a fresh store).
+    pub fn new(store: S) -> StateCommitter<S> {
+        let accounts = match store.root() {
+            Some(root) => Trie::from_root(root),
+            None => Trie::empty(),
+        };
+        StateCommitter {
+            db: NodeDb::new(store),
+            accounts,
+        }
+    }
+
+    /// Reads an account record, if the account exists.
+    pub fn account(&mut self, addr: &Address) -> Option<AccountRecord> {
+        let raw = self
+            .accounts
+            .get(&mut self.db, B256::keccak(addr.as_bytes()).as_bytes())?;
+        Some(AccountRecord::decode(&raw).expect("stored account record decodes"))
+    }
+
+    /// Reads one storage slot (zero when absent).
+    pub fn storage_value(&mut self, addr: &Address, slot: U256) -> U256 {
+        let Some(record) = self.account(addr) else {
+            return U256::ZERO;
+        };
+        let storage = Trie::from_root(record.storage_root);
+        match storage.get(&mut self.db, storage_key(slot).as_bytes()) {
+            Some(raw) => rlp::decode(&raw)
+                .ok()
+                .and_then(|item| item.to_u256().ok())
+                .expect("stored slot value decodes"),
+            None => U256::ZERO,
+        }
+    }
+
+    /// Applies one account's changes: updates its storage trie, commits
+    /// it, and re-inserts the account leaf with the fresh storage root.
+    pub fn update_account(&mut self, addr: &Address, up: &AccountUpdate) {
+        let prev = self.account(addr);
+        let prev_storage_root = match (&prev, up.reset_storage) {
+            (Some(rec), false) => rec.storage_root,
+            _ => empty_root(),
+        };
+
+        let storage_root = if up.storage.is_empty() && prev_storage_root == empty_root() {
+            empty_root()
+        } else if up.storage.is_empty() {
+            prev_storage_root
+        } else {
+            let mut storage = Trie::from_root(prev_storage_root);
+            for &(slot, value) in &up.storage {
+                let key = storage_key(slot);
+                if value.is_zero() {
+                    storage.remove(&mut self.db, key.as_bytes());
+                } else {
+                    let raw = rlp::encode(&Item::u256(value));
+                    storage.insert(&mut self.db, key.as_bytes(), &raw);
+                }
+            }
+            storage.commit(&mut self.db)
+        };
+
+        let record = AccountRecord {
+            nonce: up.nonce,
+            balance: up.balance,
+            storage_root,
+            code_hash: up.code_hash,
+        };
+        self.accounts.insert(
+            &mut self.db,
+            B256::keccak(addr.as_bytes()).as_bytes(),
+            &record.encode(),
+        );
+    }
+
+    /// Removes an account (selfdestruct). Its storage nodes remain in the
+    /// archive store but are no longer reachable from the state root.
+    pub fn delete_account(&mut self, addr: &Address) {
+        self.accounts
+            .remove(&mut self.db, B256::keccak(addr.as_bytes()).as_bytes());
+    }
+
+    /// Commits every dirty path and returns the state root.
+    pub fn commit(&mut self) -> B256 {
+        self.accounts.commit(&mut self.db)
+    }
+
+    /// Commits, then durably syncs the store at the new root.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O error.
+    pub fn persist(&mut self) -> std::io::Result<B256> {
+        let root = self.commit();
+        self.db.sync(root)?;
+        Ok(root)
+    }
+
+    /// Work-counter snapshot for the underlying node db.
+    pub fn stats(&self) -> TrieStats {
+        self.db.stats()
+    }
+
+    /// Borrows the backing store.
+    pub fn store(&self) -> &S {
+        self.db.store()
+    }
+}
+
+/// Secure storage-trie key: `keccak(slot as 32 big-endian bytes)`.
+fn storage_key(slot: U256) -> B256 {
+    B256::keccak(&slot.to_be_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn u(n: u64) -> U256 {
+        U256::from_limbs([n, 0, 0, 0])
+    }
+
+    #[test]
+    fn account_record_round_trips() {
+        let rec = AccountRecord {
+            nonce: 42,
+            balance: u(1_000_000),
+            storage_root: B256::keccak(b"storage"),
+            code_hash: B256::keccak(b"code"),
+        };
+        assert_eq!(AccountRecord::decode(&rec.encode()), Some(rec));
+        let empty = AccountRecord::empty();
+        assert_eq!(AccountRecord::decode(&empty.encode()), Some(empty));
+        assert!(AccountRecord::decode(b"junk").is_none());
+    }
+
+    #[test]
+    fn empty_state_has_empty_root() {
+        let mut c = StateCommitter::new(MemStore::new());
+        assert_eq!(c.commit(), empty_root());
+    }
+
+    #[test]
+    fn storage_writes_change_root_and_read_back() {
+        let mut c = StateCommitter::new(MemStore::new());
+        let addr = Address::from_low_u64(7);
+        let mut up = AccountUpdate::plain(1, u(500), empty_code_hash());
+        up.storage.push((u(1), u(11)));
+        up.storage.push((u(2), u(22)));
+        c.update_account(&addr, &up);
+        let r1 = c.commit();
+
+        assert_eq!(c.storage_value(&addr, u(1)), u(11));
+        assert_eq!(c.storage_value(&addr, u(2)), u(22));
+        assert_eq!(c.storage_value(&addr, u(3)), U256::ZERO);
+        let rec = c.account(&addr).unwrap();
+        assert_eq!(rec.nonce, 1);
+        assert_eq!(rec.balance, u(500));
+        assert_ne!(rec.storage_root, empty_root());
+
+        // Zeroing both slots restores the empty storage root.
+        let mut clear = AccountUpdate::plain(2, u(500), empty_code_hash());
+        clear.storage.push((u(1), U256::ZERO));
+        clear.storage.push((u(2), U256::ZERO));
+        c.update_account(&addr, &clear);
+        let r2 = c.commit();
+        assert_ne!(r1, r2);
+        assert_eq!(c.account(&addr).unwrap().storage_root, empty_root());
+    }
+
+    #[test]
+    fn delete_account_restores_prior_root() {
+        let mut c = StateCommitter::new(MemStore::new());
+        let a = Address::from_low_u64(1);
+        let b = Address::from_low_u64(2);
+        c.update_account(&a, &AccountUpdate::plain(1, u(10), empty_code_hash()));
+        let only_a = c.commit();
+        c.update_account(&b, &AccountUpdate::plain(1, u(20), empty_code_hash()));
+        let both = c.commit();
+        assert_ne!(only_a, both);
+        c.delete_account(&b);
+        assert_eq!(c.commit(), only_a);
+        assert!(c.account(&b).is_none());
+    }
+
+    #[test]
+    fn reset_storage_discards_old_slots() {
+        let mut c = StateCommitter::new(MemStore::new());
+        let addr = Address::from_low_u64(9);
+        let mut up = AccountUpdate::plain(1, u(1), empty_code_hash());
+        up.storage.push((u(5), u(55)));
+        c.update_account(&addr, &up);
+        c.commit();
+
+        // Re-create the account with different storage; slot 5 must not
+        // leak through.
+        let mut fresh = AccountUpdate::plain(1, u(1), empty_code_hash());
+        fresh.reset_storage = true;
+        fresh.storage.push((u(6), u(66)));
+        c.update_account(&addr, &fresh);
+        c.commit();
+        assert_eq!(c.storage_value(&addr, u(5)), U256::ZERO);
+        assert_eq!(c.storage_value(&addr, u(6)), u(66));
+    }
+
+    #[test]
+    fn commit_resumes_from_synced_store_root() {
+        let mut store = MemStore::new();
+        let addr = Address::from_low_u64(3);
+        let root = {
+            let mut c = StateCommitter::new(store.clone());
+            let mut up = AccountUpdate::plain(1, u(77), empty_code_hash());
+            up.storage.push((u(1), u(2)));
+            c.update_account(&addr, &up);
+            let root = c.persist().unwrap();
+            store = c.store().clone();
+            root
+        };
+        let mut reopened = StateCommitter::new(store);
+        assert_eq!(reopened.commit(), root);
+        assert_eq!(reopened.storage_value(&addr, u(1)), u(2));
+        assert_eq!(reopened.account(&addr).unwrap().balance, u(77));
+    }
+}

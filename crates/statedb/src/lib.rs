@@ -1,0 +1,42 @@
+//! Authenticated state commitment for the MTPU reproduction: an
+//! Ethereum-style Merkle Patricia Trie with incremental roots, a bounded
+//! node cache, and pluggable persistence.
+//!
+//! The paper's execution pipeline validates blocks against a
+//! *commitment* to post-state; this crate supplies that commitment as
+//! the canonical secure MPT so a single 32-byte root authenticates every
+//! account and storage slot. The layers, bottom-up:
+//!
+//! * [`nibbles`] — hex-prefix path encoding (yellow paper appendix C);
+//! * [`Node`]/[`Link`] — the three node kinds and their RLP codec, with
+//!   sub-32-byte children inlined in their parent;
+//! * [`NodeStore`] — hash-addressed persistence: [`MemStore`] for
+//!   ephemeral runs, [`FileStore`] (append-only log + manifest) so a
+//!   chain survives restart;
+//! * [`NodeCache`] — bounded FIFO cache of decoded nodes in front of the
+//!   store;
+//! * [`Trie`] over a [`NodeDb`] — get/insert/remove plus **incremental**
+//!   [`Trie::commit`]: between commits the root is a hash link, mutations
+//!   splice in-memory nodes along touched paths only, and commit
+//!   re-hashes exactly those dirty paths ([`TrieStats`] counts the work);
+//! * [`StateCommitter`] — the secure account/storage layout
+//!   (`keccak(address)` keys, `rlp([nonce, balance, storage_root,
+//!   code_hash])` leaves, per-account storage tries).
+//!
+//! Telemetry: when the global `mtpu-telemetry` registry is enabled the
+//! trie mirrors its work counters as `statedb.*` metrics; disabled, each
+//! site costs one relaxed atomic load, per the workspace contract.
+
+pub mod cache;
+pub mod committer;
+pub mod nibbles;
+pub mod node;
+pub mod obs;
+pub mod store;
+pub mod trie;
+
+pub use cache::{NodeCache, DEFAULT_CACHE_CAPACITY};
+pub use committer::{empty_code_hash, AccountRecord, AccountUpdate, StateCommitter};
+pub use node::{Link, Node, NodeError};
+pub use store::{FileStore, MemStore, NodeStore};
+pub use trie::{empty_root, NodeDb, Trie, TrieStats};

@@ -1,0 +1,240 @@
+//! Trie node representation and its canonical RLP codec.
+//!
+//! The three Ethereum node kinds — leaf, extension and branch — encode to
+//! RLP lists; a node whose encoding is shorter than 32 bytes is embedded
+//! *inline* in its parent, otherwise the parent stores its keccak hash
+//! and the raw bytes live in the [`crate::store::NodeStore`].
+
+use crate::nibbles::{hp_decode, hp_encode};
+use mtpu_primitives::rlp::{self, Item};
+use mtpu_primitives::B256;
+use std::fmt;
+
+/// A reference from a node to one of its children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Link {
+    /// A committed child, addressed by the keccak hash of its encoding.
+    Hash(B256),
+    /// An in-memory child: freshly mutated, or decoded from an inline
+    /// (sub-32-byte) embedding in its parent.
+    Node(Box<Node>),
+}
+
+/// One Merkle Patricia Trie node.
+// Branch is by far the most common variant in a populated trie, so its
+// 16-slot array stays inline rather than behind another allocation.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Terminates a key: remaining path + value.
+    Leaf {
+        /// Remaining key nibbles (may be empty).
+        path: Vec<u8>,
+        /// Stored value (never empty; empty insert means delete).
+        value: Vec<u8>,
+    },
+    /// Compresses a shared path segment above a branch.
+    Extension {
+        /// Shared key nibbles (never empty).
+        path: Vec<u8>,
+        /// The node the segment leads to.
+        child: Link,
+    },
+    /// A 16-way fan-out plus an optional value for keys ending here.
+    Branch {
+        /// One slot per next-nibble.
+        children: [Option<Link>; 16],
+        /// Value of the key that terminates at this node, if any.
+        value: Option<Vec<u8>>,
+    },
+}
+
+/// Error produced while decoding a stored node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeError {
+    /// Underlying RLP was malformed.
+    Rlp(rlp::DecodeError),
+    /// RLP was valid but not a 2- or 17-item trie node shape.
+    Shape(&'static str),
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Rlp(e) => write!(f, "invalid node rlp: {e}"),
+            NodeError::Shape(what) => write!(f, "invalid node shape: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {}
+
+impl Node {
+    /// Encodes this node as an RLP item. In-memory children are encoded
+    /// recursively; children whose encoding reaches 32 bytes are replaced
+    /// by their hash via `commit_child` (which is expected to persist
+    /// them and count the hash).
+    pub fn to_item(&self, commit_child: &mut dyn FnMut(&Node) -> Item) -> Item {
+        match self {
+            Node::Leaf { path, value } => Item::List(vec![
+                Item::bytes(hp_encode(path, true)),
+                Item::bytes(value.clone()),
+            ]),
+            Node::Extension { path, child } => Item::List(vec![
+                Item::bytes(hp_encode(path, false)),
+                link_item(child, commit_child),
+            ]),
+            Node::Branch { children, value } => {
+                let mut items = Vec::with_capacity(17);
+                for child in children.iter() {
+                    items.push(match child {
+                        Some(l) => link_item(l, commit_child),
+                        None => Item::bytes(Vec::new()),
+                    });
+                }
+                items.push(Item::bytes(value.clone().unwrap_or_default()));
+                Item::List(items)
+            }
+        }
+    }
+
+    /// Decodes a node from its raw RLP bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError`] for malformed RLP or a non-node shape.
+    pub fn decode(raw: &[u8]) -> Result<Node, NodeError> {
+        let item = rlp::decode(raw).map_err(NodeError::Rlp)?;
+        Node::from_item(&item)
+    }
+
+    /// Decodes a node from an already-parsed RLP item (used for inline
+    /// children, which are lists embedded in the parent's encoding).
+    pub fn from_item(item: &Item) -> Result<Node, NodeError> {
+        let items = item.as_list().ok_or(NodeError::Shape("expected list"))?;
+        match items.len() {
+            2 => {
+                let hp = items[0]
+                    .as_bytes()
+                    .ok_or(NodeError::Shape("path must be bytes"))?;
+                let (path, is_leaf) =
+                    hp_decode(hp).ok_or(NodeError::Shape("bad hex-prefix path"))?;
+                if is_leaf {
+                    let value = items[1]
+                        .as_bytes()
+                        .ok_or(NodeError::Shape("leaf value must be bytes"))?;
+                    Ok(Node::Leaf {
+                        path,
+                        value: value.to_vec(),
+                    })
+                } else {
+                    Ok(Node::Extension {
+                        path,
+                        child: decode_link(&items[1])?
+                            .ok_or(NodeError::Shape("extension child missing"))?,
+                    })
+                }
+            }
+            17 => {
+                let mut children: [Option<Link>; 16] = Default::default();
+                for (i, slot) in children.iter_mut().enumerate() {
+                    *slot = decode_link(&items[i])?;
+                }
+                let value = items[16]
+                    .as_bytes()
+                    .ok_or(NodeError::Shape("branch value must be bytes"))?;
+                Ok(Node::Branch {
+                    children,
+                    value: if value.is_empty() {
+                        None
+                    } else {
+                        Some(value.to_vec())
+                    },
+                })
+            }
+            _ => Err(NodeError::Shape("node list must have 2 or 17 items")),
+        }
+    }
+}
+
+fn link_item(link: &Link, commit_child: &mut dyn FnMut(&Node) -> Item) -> Item {
+    match link {
+        Link::Hash(h) => Item::bytes(h.as_bytes().to_vec()),
+        Link::Node(n) => commit_child(n),
+    }
+}
+
+fn decode_link(item: &Item) -> Result<Option<Link>, NodeError> {
+    match item {
+        Item::Bytes(b) if b.is_empty() => Ok(None),
+        Item::Bytes(b) if b.len() == 32 => {
+            let mut h = [0u8; 32];
+            h.copy_from_slice(b);
+            Ok(Some(Link::Hash(B256::new(h))))
+        }
+        Item::Bytes(_) => Err(NodeError::Shape("child ref must be empty or 32 bytes")),
+        Item::List(_) => Ok(Some(Link::Node(Box::new(Node::from_item(item)?)))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn encode_plain(node: &Node) -> Vec<u8> {
+        // Children in these tests are hashes, so commit_child never fires.
+        rlp::encode(&node.to_item(&mut |_| unreachable!("no inline children")))
+    }
+
+    #[test]
+    fn leaf_round_trips() {
+        let n = Node::Leaf {
+            path: vec![0xa, 0xb, 0xc],
+            value: b"value".to_vec(),
+        };
+        let raw = encode_plain(&n);
+        assert_eq!(Node::decode(&raw).unwrap(), n);
+    }
+
+    #[test]
+    fn extension_with_hash_child_round_trips() {
+        let n = Node::Extension {
+            path: vec![0x1, 0x2],
+            child: Link::Hash(B256::keccak(b"child")),
+        };
+        let raw = encode_plain(&n);
+        assert_eq!(Node::decode(&raw).unwrap(), n);
+    }
+
+    #[test]
+    fn branch_with_inline_leaf_round_trips() {
+        let leaf = Node::Leaf {
+            path: vec![0x3],
+            value: vec![0x7f],
+        };
+        let mut children: [Option<Link>; 16] = Default::default();
+        children[4] = Some(Link::Node(Box::new(leaf)));
+        children[9] = Some(Link::Hash(B256::keccak(b"big")));
+        let n = Node::Branch {
+            children,
+            value: Some(vec![0x01]),
+        };
+        // The inline leaf encodes under 32 bytes, so it embeds directly.
+        let raw =
+            rlp::encode(&n.to_item(&mut |child| {
+                child.to_item(&mut |_| unreachable!("leaf has no children"))
+            }));
+        assert_eq!(Node::decode(&raw).unwrap(), n);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            Node::decode(&[0x80]),
+            Err(NodeError::Shape("expected list"))
+        ));
+        let three = rlp::encode_list(&[Item::uint(1), Item::uint(2), Item::uint(3)]);
+        assert!(matches!(Node::decode(&three), Err(NodeError::Shape(_))));
+        assert!(matches!(Node::decode(&[0xff]), Err(NodeError::Rlp(_))));
+    }
+}

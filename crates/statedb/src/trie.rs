@@ -1,0 +1,638 @@
+//! The Merkle Patricia Trie proper: get/insert/remove over a
+//! [`NodeDb`], with **incremental** root commitment.
+//!
+//! A [`Trie`] holds its root as a [`Link`]: after [`Trie::commit`] the
+//! root is a hash reference into the store; mutations splice fresh
+//! in-memory nodes along the touched path only, leaving every untouched
+//! subtree as a hash link. The next commit therefore re-encodes and
+//! re-hashes exactly the dirty paths — O(dirty · depth) instead of
+//! O(state) — which is the property the per-instance [`TrieStats`]
+//! counters (and the mirrored `statedb.*` telemetry) let callers assert.
+
+use crate::cache::NodeCache;
+use crate::nibbles::{common_prefix, to_nibbles};
+use crate::node::{Link, Node};
+use crate::store::NodeStore;
+use mtpu_primitives::rlp::{self, Item};
+use mtpu_primitives::B256;
+use std::sync::OnceLock;
+
+/// Root hash of the empty trie: `keccak(rlp(""))`.
+pub fn empty_root() -> B256 {
+    static ROOT: OnceLock<B256> = OnceLock::new();
+    *ROOT.get_or_init(|| B256::keccak(&rlp::encode(&Item::bytes(Vec::new()))))
+}
+
+/// Lifetime work counters of one [`NodeDb`] (never gated on telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrieStats {
+    /// Nodes keccak-hashed (and stored) by commits — the incremental
+    /// commit's work metric.
+    pub nodes_hashed: u64,
+    /// Nodes decoded from the backing store (cache misses that hit disk
+    /// or the in-memory map).
+    pub nodes_loaded: u64,
+    /// Node-cache hits.
+    pub cache_hits: u64,
+    /// Node-cache misses.
+    pub cache_misses: u64,
+    /// Node-cache evictions.
+    pub cache_evictions: u64,
+    /// Root commits performed.
+    pub commits: u64,
+}
+
+/// A node store wrapped with the decoded-node cache and work counters;
+/// shared by every trie (account trie and per-account storage tries)
+/// committing into the same backend.
+#[derive(Debug)]
+pub struct NodeDb<S: NodeStore> {
+    store: S,
+    cache: NodeCache,
+    nodes_hashed: u64,
+    nodes_loaded: u64,
+    commits: u64,
+}
+
+impl<S: NodeStore> NodeDb<S> {
+    /// Wraps `store` with the default-capacity cache.
+    pub fn new(store: S) -> Self {
+        NodeDb::with_cache(store, NodeCache::default())
+    }
+
+    /// Wraps `store` with an explicitly sized cache.
+    pub fn with_cache(store: S, cache: NodeCache) -> Self {
+        NodeDb {
+            store,
+            cache,
+            nodes_hashed: 0,
+            nodes_loaded: 0,
+            commits: 0,
+        }
+    }
+
+    /// Borrows the backing store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Mutably borrows the backing store.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consumes the db, returning the backing store.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+
+    /// Work-counter snapshot (cache counters folded in).
+    pub fn stats(&self) -> TrieStats {
+        let (cache_hits, cache_misses, cache_evictions) = self.cache.counters();
+        TrieStats {
+            nodes_hashed: self.nodes_hashed,
+            nodes_loaded: self.nodes_loaded,
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            commits: self.commits,
+        }
+    }
+
+    /// Durably records `root` in the backing store (see
+    /// [`NodeStore::sync`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's I/O error.
+    pub fn sync(&mut self, root: B256) -> std::io::Result<()> {
+        self.store.sync(root)
+    }
+
+    fn load_node(&mut self, hash: B256) -> Node {
+        if let Some(n) = self.cache.get(&hash) {
+            return n;
+        }
+        let raw = self
+            .store
+            .get(&hash)
+            .unwrap_or_else(|| panic!("missing trie node {hash}"));
+        self.nodes_loaded += 1;
+        if mtpu_telemetry::enabled() {
+            crate::obs::metrics().nodes_loaded.inc();
+        }
+        let node = Node::decode(&raw).expect("stored trie node decodes");
+        self.cache.put(hash, node.clone());
+        node
+    }
+
+    fn take_node(&mut self, link: Link) -> Node {
+        match link {
+            Link::Node(boxed) => *boxed,
+            Link::Hash(h) => self.load_node(h),
+        }
+    }
+
+    fn store_node(&mut self, hash: B256, raw: Vec<u8>, node: &Node) {
+        self.nodes_hashed += 1;
+        self.store.put(hash, raw);
+        self.cache.put(hash, node.clone());
+        if mtpu_telemetry::enabled() {
+            let m = crate::obs::metrics();
+            m.nodes_hashed.inc();
+            m.nodes_stored.inc();
+        }
+    }
+}
+
+/// A Merkle Patricia Trie rooted at one link.
+///
+/// Keys are raw byte strings (callers wanting the *secure* trie hash
+/// them first, as [`crate::committer::StateCommitter`] does); values are
+/// non-empty byte strings — inserting an empty value removes the key,
+/// matching canonical Ethereum semantics.
+///
+/// ```
+/// use mtpu_statedb::{MemStore, NodeDb, Trie};
+///
+/// let mut db = NodeDb::new(MemStore::new());
+/// let mut trie = Trie::empty();
+/// trie.insert(&mut db, b"dog", b"puppy");
+/// assert_eq!(trie.get(&mut db, b"dog"), Some(b"puppy".to_vec()));
+/// let root = trie.commit(&mut db);
+///
+/// // Reopen from the root hash alone.
+/// let reopened = Trie::from_root(root);
+/// assert_eq!(reopened.get(&mut db, b"dog"), Some(b"puppy".to_vec()));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Trie {
+    root: Option<Link>,
+}
+
+impl Trie {
+    /// The empty trie.
+    pub fn empty() -> Trie {
+        Trie { root: None }
+    }
+
+    /// A trie rooted at a previously committed hash.
+    pub fn from_root(root: B256) -> Trie {
+        if root == empty_root() {
+            Trie::empty()
+        } else {
+            Trie {
+                root: Some(Link::Hash(root)),
+            }
+        }
+    }
+
+    /// `true` when the trie holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.root.is_none()
+    }
+
+    /// `true` when uncommitted mutations are pending.
+    pub fn is_dirty(&self) -> bool {
+        matches!(self.root, Some(Link::Node(_)))
+    }
+
+    /// Looks up `key`.
+    pub fn get<S: NodeStore>(&self, db: &mut NodeDb<S>, key: &[u8]) -> Option<Vec<u8>> {
+        let root = self.root.as_ref()?;
+        get_at(db, root, &to_nibbles(key))
+    }
+
+    /// Inserts `key` → `value`. An empty `value` removes the key.
+    pub fn insert<S: NodeStore>(&mut self, db: &mut NodeDb<S>, key: &[u8], value: &[u8]) {
+        if value.is_empty() {
+            self.remove(db, key);
+            return;
+        }
+        let root = self.root.take();
+        self.root = Some(insert_at(db, root, &to_nibbles(key), value.to_vec()));
+    }
+
+    /// Removes `key` if present.
+    pub fn remove<S: NodeStore>(&mut self, db: &mut NodeDb<S>, key: &[u8]) {
+        // The removal rebuild assumes the key exists (it simplifies the
+        // branch-collapse logic); a cheap pre-check keeps absent keys
+        // from dirtying clean paths at all.
+        if self.get(db, key).is_none() {
+            return;
+        }
+        let root = self.root.take().expect("get() found the key");
+        self.root = remove_at(db, root, &to_nibbles(key));
+    }
+
+    /// Hashes every dirty path, writes the affected nodes to the store,
+    /// and returns the new root hash. Clean tries return their root
+    /// without touching the store.
+    pub fn commit<S: NodeStore>(&mut self, db: &mut NodeDb<S>) -> B256 {
+        let hashed_before = db.nodes_hashed;
+        let root = match &mut self.root {
+            None => empty_root(),
+            Some(Link::Hash(h)) => *h,
+            Some(link) => {
+                let Link::Node(node) = link else {
+                    unreachable!("hash case handled above")
+                };
+                commit_children(db, node);
+                // The root node is always hashed and stored, even when
+                // its encoding is shorter than 32 bytes.
+                let item = encode_committed(node);
+                let raw = rlp::encode(&item);
+                let h = B256::keccak(&raw);
+                db.store_node(h, raw, node);
+                *link = Link::Hash(h);
+                h
+            }
+        };
+        db.commits += 1;
+        if mtpu_telemetry::enabled() {
+            let m = crate::obs::metrics();
+            m.commits.inc();
+            m.commit_nodes.record(db.nodes_hashed - hashed_before);
+        }
+        root
+    }
+}
+
+/// Encodes a node whose oversized descendants are already hash links;
+/// only sub-32-byte inline descendants are re-encoded.
+fn encode_committed(node: &Node) -> Item {
+    node.to_item(&mut encode_committed)
+}
+
+/// Recursively replaces every in-memory child whose encoding reaches 32
+/// bytes with a hash link, writing it to the store.
+fn commit_children<S: NodeStore>(db: &mut NodeDb<S>, node: &mut Node) {
+    match node {
+        Node::Leaf { .. } => {}
+        Node::Extension { child, .. } => commit_link(db, child),
+        Node::Branch { children, .. } => {
+            for child in children.iter_mut().flatten() {
+                commit_link(db, child);
+            }
+        }
+    }
+}
+
+fn commit_link<S: NodeStore>(db: &mut NodeDb<S>, link: &mut Link) {
+    let Link::Node(node) = link else {
+        return; // already committed
+    };
+    commit_children(db, node);
+    let item = encode_committed(node);
+    let raw = rlp::encode(&item);
+    if raw.len() < 32 {
+        return; // stays inline in the parent's encoding
+    }
+    let h = B256::keccak(&raw);
+    db.store_node(h, raw, node);
+    *link = Link::Hash(h);
+}
+
+fn get_at<S: NodeStore>(db: &mut NodeDb<S>, link: &Link, path: &[u8]) -> Option<Vec<u8>> {
+    let owned;
+    let node = match link {
+        Link::Node(n) => n.as_ref(),
+        Link::Hash(h) => {
+            owned = db.load_node(*h);
+            &owned
+        }
+    };
+    match node {
+        Node::Leaf { path: lp, value } => (lp.as_slice() == path).then(|| value.clone()),
+        Node::Extension { path: ep, child } => path
+            .strip_prefix(ep.as_slice())
+            .and_then(|rest| get_at(db, child, rest)),
+        Node::Branch { children, value } => match path.split_first() {
+            None => value.clone(),
+            Some((&nibble, rest)) => children[nibble as usize]
+                .as_ref()
+                .and_then(|c| get_at(db, c, rest)),
+        },
+    }
+}
+
+fn leaf(path: &[u8], value: Vec<u8>) -> Link {
+    Link::Node(Box::new(Node::Leaf {
+        path: path.to_vec(),
+        value,
+    }))
+}
+
+/// Wraps `node` in an extension over `prefix` (or returns it unchanged
+/// for an empty prefix).
+fn wrap_prefix(prefix: &[u8], node: Node) -> Node {
+    if prefix.is_empty() {
+        node
+    } else {
+        Node::Extension {
+            path: prefix.to_vec(),
+            child: Link::Node(Box::new(node)),
+        }
+    }
+}
+
+fn insert_at<S: NodeStore>(
+    db: &mut NodeDb<S>,
+    link: Option<Link>,
+    path: &[u8],
+    value: Vec<u8>,
+) -> Link {
+    let Some(link) = link else {
+        return leaf(path, value);
+    };
+    let new = match db.take_node(link) {
+        Node::Leaf {
+            path: lp,
+            value: lv,
+        } => {
+            let common = common_prefix(&lp, path);
+            if common == lp.len() && common == path.len() {
+                Node::Leaf { path: lp, value } // overwrite
+            } else {
+                let mut children: [Option<Link>; 16] = Default::default();
+                let mut branch_value = None;
+                if lp.len() == common {
+                    branch_value = Some(lv);
+                } else {
+                    children[lp[common] as usize] = Some(leaf(&lp[common + 1..], lv));
+                }
+                if path.len() == common {
+                    branch_value = Some(value);
+                } else {
+                    children[path[common] as usize] = Some(leaf(&path[common + 1..], value));
+                }
+                wrap_prefix(
+                    &path[..common],
+                    Node::Branch {
+                        children,
+                        value: branch_value,
+                    },
+                )
+            }
+        }
+        Node::Extension { path: ep, child } => {
+            let common = common_prefix(&ep, path);
+            if common == ep.len() {
+                Node::Extension {
+                    path: ep,
+                    child: insert_at(db, Some(child), &path[common..], value),
+                }
+            } else {
+                // Split the extension at the divergence point.
+                let mut children: [Option<Link>; 16] = Default::default();
+                let mut branch_value = None;
+                let rest = &ep[common + 1..];
+                children[ep[common] as usize] = Some(if rest.is_empty() {
+                    child
+                } else {
+                    Link::Node(Box::new(Node::Extension {
+                        path: rest.to_vec(),
+                        child,
+                    }))
+                });
+                if path.len() == common {
+                    branch_value = Some(value);
+                } else {
+                    children[path[common] as usize] = Some(leaf(&path[common + 1..], value));
+                }
+                wrap_prefix(
+                    &ep[..common],
+                    Node::Branch {
+                        children,
+                        value: branch_value,
+                    },
+                )
+            }
+        }
+        Node::Branch {
+            mut children,
+            value: branch_value,
+        } => match path.split_first() {
+            None => Node::Branch {
+                children,
+                value: Some(value),
+            },
+            Some((&nibble, rest)) => {
+                let slot = &mut children[nibble as usize];
+                *slot = Some(insert_at(db, slot.take(), rest, value));
+                Node::Branch {
+                    children,
+                    value: branch_value,
+                }
+            }
+        },
+    };
+    Link::Node(Box::new(new))
+}
+
+/// Removes `path` from the subtree at `link`. The key is known to exist.
+/// Returns the replacement subtree, or `None` when it became empty.
+fn remove_at<S: NodeStore>(db: &mut NodeDb<S>, link: Link, path: &[u8]) -> Option<Link> {
+    match db.take_node(link) {
+        Node::Leaf { path: lp, .. } => {
+            debug_assert_eq!(lp.as_slice(), path, "remove_at requires an existing key");
+            None
+        }
+        Node::Extension { path: ep, child } => {
+            let rest = path.strip_prefix(ep.as_slice()).expect("key exists");
+            remove_at(db, child, rest).map(|child| merge_prefix(db, ep, child))
+        }
+        Node::Branch {
+            mut children,
+            mut value,
+        } => {
+            match path.split_first() {
+                None => value = None,
+                Some((&nibble, rest)) => {
+                    let slot = &mut children[nibble as usize];
+                    let child = slot.take().expect("key exists");
+                    *slot = remove_at(db, child, rest);
+                }
+            }
+            normalize_branch(db, children, value)
+        }
+    }
+}
+
+/// Re-attaches `child` below the path `prefix`, merging paths when the
+/// child is itself a leaf or extension (the yellow-paper collapse rule).
+fn merge_prefix<S: NodeStore>(db: &mut NodeDb<S>, mut prefix: Vec<u8>, child: Link) -> Link {
+    let node = match db.take_node(child) {
+        Node::Leaf { path, value } => {
+            prefix.extend_from_slice(&path);
+            Node::Leaf {
+                path: prefix,
+                value,
+            }
+        }
+        Node::Extension { path, child } => {
+            prefix.extend_from_slice(&path);
+            Node::Extension {
+                path: prefix,
+                child,
+            }
+        }
+        branch => Node::Extension {
+            path: prefix,
+            child: Link::Node(Box::new(branch)),
+        },
+    };
+    Link::Node(Box::new(node))
+}
+
+/// Restores the branch invariant after a removal: a branch must keep at
+/// least two of {children, value}; thinner remnants collapse into a leaf
+/// or merge into their single child.
+fn normalize_branch<S: NodeStore>(
+    db: &mut NodeDb<S>,
+    mut children: [Option<Link>; 16],
+    value: Option<Vec<u8>>,
+) -> Option<Link> {
+    let occupied: Vec<usize> = (0..16).filter(|&i| children[i].is_some()).collect();
+    match (occupied.len(), value) {
+        (0, None) => None,
+        (0, Some(value)) => Some(Link::Node(Box::new(Node::Leaf {
+            path: Vec::new(),
+            value,
+        }))),
+        (1, None) => {
+            let i = occupied[0];
+            let child = children[i].take().expect("occupied");
+            Some(merge_prefix(db, vec![i as u8], child))
+        }
+        (_, value) => Some(Link::Node(Box::new(Node::Branch { children, value }))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+
+    fn db() -> NodeDb<MemStore> {
+        NodeDb::new(MemStore::new())
+    }
+
+    #[test]
+    fn empty_root_constant() {
+        // keccak(rlp("")) — the canonical Ethereum empty-trie root.
+        assert_eq!(
+            empty_root().to_string(),
+            "0x56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421"
+        );
+        let mut db = db();
+        assert_eq!(Trie::empty().commit(&mut db), empty_root());
+        assert!(Trie::from_root(empty_root()).is_empty());
+    }
+
+    #[test]
+    fn insert_get_overwrite_remove() {
+        let mut db = db();
+        let mut t = Trie::empty();
+        t.insert(&mut db, b"dog", b"puppy");
+        t.insert(&mut db, b"doge", b"coin");
+        assert_eq!(t.get(&mut db, b"dog"), Some(b"puppy".to_vec()));
+        assert_eq!(t.get(&mut db, b"doge"), Some(b"coin".to_vec()));
+        assert_eq!(t.get(&mut db, b"do"), None);
+        t.insert(&mut db, b"dog", b"hound");
+        assert_eq!(t.get(&mut db, b"dog"), Some(b"hound".to_vec()));
+        t.remove(&mut db, b"dog");
+        assert_eq!(t.get(&mut db, b"dog"), None);
+        assert_eq!(t.get(&mut db, b"doge"), Some(b"coin".to_vec()));
+    }
+
+    #[test]
+    fn remove_to_empty_restores_empty_root() {
+        let mut db = db();
+        let mut t = Trie::empty();
+        t.insert(&mut db, b"a", b"1");
+        t.insert(&mut db, b"b", b"2");
+        t.remove(&mut db, b"a");
+        t.remove(&mut db, b"b");
+        assert!(t.is_empty());
+        assert_eq!(t.commit(&mut db), empty_root());
+    }
+
+    #[test]
+    fn empty_value_insert_means_delete() {
+        let mut db = db();
+        let mut t = Trie::empty();
+        t.insert(&mut db, b"key", b"value");
+        t.insert(&mut db, b"key", b"");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn removing_absent_key_keeps_root_clean() {
+        let mut db = db();
+        let mut t = Trie::empty();
+        t.insert(&mut db, b"present", b"yes");
+        let root = t.commit(&mut db);
+        t.remove(&mut db, b"absent");
+        assert!(!t.is_dirty(), "no-op removal must not dirty the trie");
+        assert_eq!(t.commit(&mut db), root);
+    }
+
+    #[test]
+    fn commit_then_read_back_through_store() {
+        let mut db = db();
+        let mut t = Trie::empty();
+        for i in 0u32..64 {
+            t.insert(&mut db, &i.to_be_bytes(), format!("val{i}").as_bytes());
+        }
+        let root = t.commit(&mut db);
+        let reopened = Trie::from_root(root);
+        for i in 0u32..64 {
+            assert_eq!(
+                reopened.get(&mut db, &i.to_be_bytes()),
+                Some(format!("val{i}").into_bytes())
+            );
+        }
+        assert_eq!(reopened.get(&mut db, &99u32.to_be_bytes()), None);
+    }
+
+    #[test]
+    fn clean_commit_is_free() {
+        let mut db = db();
+        let mut t = Trie::empty();
+        t.insert(&mut db, b"k", b"v");
+        let root = t.commit(&mut db);
+        let hashed = db.stats().nodes_hashed;
+        assert_eq!(t.commit(&mut db), root);
+        assert_eq!(
+            db.stats().nodes_hashed,
+            hashed,
+            "clean commit hashes nothing"
+        );
+    }
+
+    #[test]
+    fn incremental_commit_touches_dirty_path_only() {
+        let mut db = db();
+        let mut t = Trie::empty();
+        // Fixed-width keys, like the secure trie's 32-byte hashes.
+        for i in 0u32..512 {
+            t.insert(&mut db, &B256::keccak(&i.to_be_bytes()).into_bytes(), b"v1");
+        }
+        t.commit(&mut db);
+        let before = db.stats().nodes_hashed;
+
+        t.insert(
+            &mut db,
+            &B256::keccak(&7u32.to_be_bytes()).into_bytes(),
+            b"v2",
+        );
+        t.commit(&mut db);
+        let dirty = db.stats().nodes_hashed - before;
+        assert!(dirty > 0);
+        assert!(
+            dirty <= 12,
+            "one-key update must re-hash a path, not the trie ({dirty} nodes)"
+        );
+    }
+}

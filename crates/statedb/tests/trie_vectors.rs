@@ -1,0 +1,215 @@
+//! Known-answer tests against canonical Ethereum MPT roots, plus
+//! SplitMix64-driven property tests (insertion-order independence and
+//! delete/re-insert churn never changing the root).
+
+use mtpu_primitives::{rlp, SplitMix64, B256};
+use mtpu_statedb::{empty_root, MemStore, NodeDb, Trie};
+
+fn db() -> NodeDb<MemStore> {
+    NodeDb::new(MemStore::new())
+}
+
+fn root_of(pairs: &[(&[u8], &[u8])]) -> B256 {
+    let mut db = db();
+    let mut trie = Trie::empty();
+    for (k, v) in pairs {
+        trie.insert(&mut db, k, v);
+    }
+    trie.commit(&mut db)
+}
+
+fn hex(root: B256) -> String {
+    root.to_string()
+}
+
+#[test]
+fn empty_trie_root_is_keccak_of_rlp_empty_string() {
+    let expected = B256::keccak(&rlp::encode(&rlp::Item::bytes(Vec::new())));
+    assert_eq!(empty_root(), expected);
+    assert_eq!(
+        hex(empty_root()),
+        "0x56e81f171bcc55a6ff8345e692c0f86e5b48e01b996cadc001622fb5e363b421"
+    );
+    assert_eq!(root_of(&[]), empty_root());
+}
+
+// The fixed insert-set roots below are canonical Ethereum trie vectors
+// (the `trietest.json` family shared by the major client test suites).
+
+#[test]
+fn canonical_single_long_value() {
+    let value = [b'a'; 50];
+    assert_eq!(
+        hex(root_of(&[(b"A", &value)])),
+        "0xd23786fb4a010da3ce639d66d5e904a11dbc02746d1ce25029e53290cabf28ab"
+    );
+}
+
+#[test]
+fn canonical_doe_reindeer() {
+    assert_eq!(
+        hex(root_of(&[
+            (b"doe", b"reindeer"),
+            (b"dog", b"puppy"),
+            (b"dogglesworth", b"cat"),
+        ])),
+        "0x8aad789dff2f538bca5d8ea56e8abe10f4c7ba3a5dea95fea4cd6e7c3a1168d3"
+    );
+}
+
+#[test]
+fn canonical_branching_set() {
+    assert_eq!(
+        hex(root_of(&[
+            (b"do", b"verb"),
+            (b"dog", b"puppy"),
+            (b"doge", b"coin"),
+            (b"horse", b"stallion"),
+        ])),
+        "0x5991bb8c6514148a29db676a14ac506cd2cd5775ace63c30a4fe457715e9ac84"
+    );
+}
+
+#[test]
+fn canonical_foo_food() {
+    assert_eq!(
+        hex(root_of(&[(b"foo", b"bar"), (b"food", b"bass")])),
+        "0x17beaa1648bafa633cda809c90c04af50fc8aed3cb40d16efbddee6fdf63c4c3"
+    );
+}
+
+#[test]
+fn canonical_roots_are_insertion_order_independent() {
+    let forward = root_of(&[
+        (b"do", b"verb"),
+        (b"dog", b"puppy"),
+        (b"doge", b"coin"),
+        (b"horse", b"stallion"),
+    ]);
+    let backward = root_of(&[
+        (b"horse", b"stallion"),
+        (b"doge", b"coin"),
+        (b"dog", b"puppy"),
+        (b"do", b"verb"),
+    ]);
+    assert_eq!(forward, backward);
+}
+
+/// Deterministic random key/value set for the property tests.
+fn random_pairs(rng: &mut SplitMix64, n: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+    (0..n)
+        .map(|_| {
+            let klen = rng.random_range(1..40) as usize;
+            let vlen = rng.random_range(1..64) as usize;
+            let mut k = vec![0u8; klen];
+            let mut v = vec![0u8; vlen];
+            rng.fill_bytes(&mut k);
+            rng.fill_bytes(&mut v);
+            (k, v)
+        })
+        .collect()
+}
+
+/// Fisher–Yates driven by the in-repo PRNG.
+fn shuffle<T>(rng: &mut SplitMix64, items: &mut [T]) {
+    for i in (1..items.len()).rev() {
+        items.swap(i, rng.random_index(i + 1));
+    }
+}
+
+#[test]
+fn property_insertion_order_never_changes_root() {
+    let mut rng = SplitMix64::new(0x7121E);
+    let mut pairs = random_pairs(&mut rng, 300);
+    // Dedup by key: later inserts of the same key overwrite, so order
+    // WOULD matter for duplicates — the property is about distinct keys.
+    pairs.sort();
+    pairs.dedup_by(|a, b| a.0 == b.0);
+
+    let mut db1 = db();
+    let mut t1 = Trie::empty();
+    for (k, v) in &pairs {
+        t1.insert(&mut db1, k, v);
+    }
+    let baseline = t1.commit(&mut db1);
+
+    for _ in 0..5 {
+        shuffle(&mut rng, &mut pairs);
+        let mut db2 = db();
+        let mut t2 = Trie::empty();
+        for (k, v) in &pairs {
+            t2.insert(&mut db2, k, v);
+        }
+        assert_eq!(t2.commit(&mut db2), baseline);
+    }
+}
+
+#[test]
+fn property_delete_and_reinsert_churn_never_changes_root() {
+    let mut rng = SplitMix64::new(0xC5112);
+    let mut pairs = random_pairs(&mut rng, 200);
+    pairs.sort();
+    pairs.dedup_by(|a, b| a.0 == b.0);
+
+    let mut db = db();
+    let mut trie = Trie::empty();
+    for (k, v) in &pairs {
+        trie.insert(&mut db, k, v);
+    }
+    let baseline = trie.commit(&mut db);
+
+    for round in 0..5 {
+        // Remove a random half (committing mid-churn must not matter),
+        // then re-insert the same pairs.
+        let mut victims: Vec<usize> = (0..pairs.len()).collect();
+        shuffle(&mut rng, &mut victims);
+        victims.truncate(pairs.len() / 2);
+        for &i in &victims {
+            trie.remove(&mut db, &pairs[i].0);
+        }
+        if round % 2 == 0 {
+            trie.commit(&mut db);
+        }
+        for &i in &victims {
+            let (k, v) = &pairs[i];
+            trie.insert(&mut db, k, v);
+        }
+        assert_eq!(trie.commit(&mut db), baseline, "round {round}");
+    }
+}
+
+#[test]
+fn property_incremental_equals_from_scratch() {
+    let mut rng = SplitMix64::new(0x1AC);
+    let mut db_inc = db();
+    let mut incremental = Trie::empty();
+    // Reference model of current contents, rebuilt from scratch each
+    // block.
+    let mut model: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+
+    for _block in 0..20 {
+        for _ in 0..30 {
+            if !model.is_empty() && rng.random_bool(0.3) {
+                let i = rng.random_index(model.len());
+                let (k, _) = model.swap_remove(i);
+                incremental.remove(&mut db_inc, &k);
+            } else {
+                let mut k = vec![0u8; rng.random_range(1..32) as usize];
+                let mut v = vec![0u8; rng.random_range(1..48) as usize];
+                rng.fill_bytes(&mut k);
+                rng.fill_bytes(&mut v);
+                model.retain(|(mk, _)| mk != &k);
+                model.push((k.clone(), v.clone()));
+                incremental.insert(&mut db_inc, &k, &v);
+            }
+        }
+        let got = incremental.commit(&mut db_inc);
+        let want = root_of(
+            &model
+                .iter()
+                .map(|(k, v)| (k.as_slice(), v.as_slice()))
+                .collect::<Vec<_>>(),
+        );
+        assert_eq!(got, want, "incremental root diverged from rebuild");
+    }
+}

@@ -2,12 +2,26 @@
 //! processes consecutive blocks end to end (the paper's Fig. 4 pipeline),
 //! with the Contract Table warming up across block intervals.
 //!
+//! Each block is additionally executed in parallel (`parexec`) and its
+//! delta committed *incrementally* into a file-backed Merkle Patricia
+//! Trie; the resulting root must match the node's from-scratch
+//! commitment, and roots chain parent-to-child block to block. After the
+//! run the store is reopened to show the chain survives restart.
+//!
 //! ```sh
 //! cargo run --release --example chain_sim [blocks]
 //! ```
 
+use mtpu_repro::evm::commit_block_delta;
 use mtpu_repro::mtpu::{MtpuConfig, Node};
+use mtpu_repro::parexec::ParExecutor;
+use mtpu_repro::statedb::{FileStore, StateCommitter};
 use mtpu_repro::workloads::{BlockConfig, Generator};
+
+fn short(root: mtpu_repro::primitives::B256) -> String {
+    let s = root.to_string();
+    format!("{}..{}", &s[..10], &s[s.len() - 4..])
+}
 
 fn main() {
     let blocks: usize = std::env::args()
@@ -22,11 +36,21 @@ fn main() {
         ..MtpuConfig::default()
     };
     let mut node = Node::new(generator.fx.state.clone(), config);
+    let executor = ParExecutor::new(4);
+
+    let store_dir = std::env::temp_dir().join(format!("mtpu-chain-sim-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut committer = StateCommitter::new(FileStore::open(&store_dir).expect("open node store"));
+    // Seed the trie with genesis so block deltas commit incrementally.
+    mtpu_repro::evm::commit_full(&mut committer, &node.state);
+    let genesis_root = committer.persist().expect("persist genesis");
+    assert_eq!(genesis_root, node.merkle_root());
 
     println!(
-        "{:>5} {:>6} {:>8} {:>10} {:>9} {:>9} {:>8}",
-        "block", "txs", "dep%", "cycles", "speedup", "hotspot%", "util%"
+        "{:>5} {:>6} {:>8} {:>10} {:>9} {:>9} {:>8}  {:<16}",
+        "block", "txs", "dep%", "cycles", "speedup", "hotspot%", "util%", "state root"
     );
+    let mut parent_root = genesis_root;
     for _ in 0..blocks {
         let block = generator.block(&BlockConfig {
             tx_count: 96,
@@ -36,11 +60,26 @@ fn main() {
             chain_bias: 0.8,
             focus: None,
         });
+        let base = node.state.clone();
         let report = node.process_block(&block).expect("valid block");
         // Keep the generator's fixture state in sync with the chain.
         generator.fx.state = node.state.clone();
+
+        // Parent linkage: the chain of commitments must be unbroken.
+        assert_eq!(report.parent_merkle_root, parent_root, "root chain broken");
+        parent_root = report.merkle_root;
+
+        // Parallel execution + incremental trie commit must land on the
+        // same 32 bytes as the node's sequential from-scratch commitment.
+        let hashed_before = committer.stats().nodes_hashed;
+        let result = executor.execute_block(&base, &block);
+        let incremental = commit_block_delta(&mut committer, &base, &result.delta);
+        committer.persist().expect("persist block");
+        assert_eq!(incremental, report.merkle_root, "trie commit diverged");
+        let dirty = committer.stats().nodes_hashed - hashed_before;
+
         println!(
-            "{:>5} {:>6} {:>7.0}% {:>10} {:>8.2}x {:>8.0}% {:>7.0}%",
+            "{:>5} {:>6} {:>7.0}% {:>10} {:>8.2}x {:>8.0}% {:>7.0}%  {:<16} ({dirty} nodes rehashed)",
             report.height,
             block.transactions.len(),
             100.0 * report.dependent_ratio,
@@ -48,8 +87,26 @@ fn main() {
             report.speedup(),
             100.0 * report.hotspot_coverage,
             100.0 * report.schedule.utilization(),
+            short(report.merkle_root),
         );
     }
+
+    // Restart survival: reopen the store and resume at the same root.
+    let total_nodes = {
+        use mtpu_repro::statedb::NodeStore;
+        committer.store().node_count()
+    };
+    drop(committer);
+    let mut reopened = StateCommitter::new(FileStore::open(&store_dir).expect("reopen store"));
+    let resumed = reopened.commit();
+    assert_eq!(resumed, parent_root, "reopened store lost the chain head");
+    println!(
+        "\nstore reopened from {}: root {} resumed across restart ({total_nodes} nodes on disk)",
+        store_dir.display(),
+        short(resumed),
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
+
     println!(
         "\nBlock 1 runs with a cold Contract Table; from block 2 on the block\n\
          interval has learned the hotspot paths and the speedup settles higher\n\

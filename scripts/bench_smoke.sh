@@ -5,8 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> bench smoke: all --only table1 --telemetry"
-cargo run --release -p mtpu-bench --bin all -- --only table1 --telemetry --json BENCH_RESULTS.json
+echo "==> bench smoke: all --only table1,stateroot --telemetry"
+cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot --telemetry --json BENCH_RESULTS.json
 
 echo "==> validating BENCH_RESULTS.json"
 python3 - <<'EOF'
@@ -19,7 +19,9 @@ expected = {"schema", "experiments", "wall_ns", "telemetry"}
 assert set(d) == expected, f"top-level keys {sorted(d)} != {sorted(expected)}"
 assert d["schema"] == "mtpu-bench-results/v1", d["schema"]
 assert "table1" in d["experiments"], list(d["experiments"])
+assert "stateroot" in d["experiments"], list(d["experiments"])
 assert d["wall_ns"]["table1"] > 0
+assert d["wall_ns"]["stateroot"] > 0
 assert d["telemetry"] is not None, "telemetry snapshot missing despite --telemetry"
 assert "counters" in d["telemetry"]
 print(f"BENCH_RESULTS.json OK: {len(d['experiments'])} experiment(s), "

@@ -19,6 +19,9 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> statedb fuzz smoke (randomized trie vs model, incremental vs scratch)"
+cargo run --release -p mtpu-statedb --example fuzz_smoke
+
 ./scripts/bench_smoke.sh
 
 echo "All checks passed."

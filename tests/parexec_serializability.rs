@@ -101,6 +101,41 @@ fn block_delta_reproduces_final_state() {
     assert_eq!(replayed.state_root(), prepared.state_after.state_root());
 }
 
+/// The authenticated-commitment oracle: across thread counts and
+/// speculative retry caps, the parallel engine must land on the same
+/// 32-byte Merkle Patricia Trie root as the sequential reference — both
+/// when rebuilt from the post-state and when committed incrementally
+/// from the block's delta.
+#[test]
+fn merkle_root_matches_across_threads_and_retry_caps() {
+    for (r, &ratio) in [0.0, 0.5, 1.0].iter().enumerate() {
+        let mut generator = Generator::new(0x3007 + r as u64);
+        let prepared = generator.prepared_block(&config(40, ratio));
+        let base = &prepared.state_before;
+        let mut seq_state = base.clone();
+        sequential(&mut seq_state, &prepared.block);
+        let oracle = seq_state.merkle_root();
+        assert_ne!(oracle, base.merkle_root(), "block must change state");
+
+        for &threads in &[1usize, 4, 8] {
+            for &cap in &[0usize, 1, 8] {
+                let exec = ParExecutor::new(threads).with_retry_cap(cap);
+                let result = exec.execute_block(base, &prepared.block);
+                assert_eq!(
+                    result.merkle_root(),
+                    oracle,
+                    "post-state merkle root diverged at threads {threads} cap {cap}"
+                );
+                assert_eq!(
+                    result.delta_merkle_root(base),
+                    oracle,
+                    "incremental merkle root diverged at threads {threads} cap {cap}"
+                );
+            }
+        }
+    }
+}
+
 /// Determinism across repeated parallel runs: same block, same threads,
 /// same results — scheduling noise must never leak into outputs.
 #[test]
