@@ -1,0 +1,368 @@
+//! Host-interpreter hot-path cost (`ns/tx`) on call-heavy workloads:
+//! ERC20 dispatcher storms, delegatecall proxy dispatch, AMM swaps,
+//! CREATE2 factory deploys and a jump-heavy keccak churn loop.
+//!
+//! Each workload is executed twice per run — sequentially (the
+//! consistency baseline) and through the `parexec` speculative engine —
+//! and the best-of-RUNS wall time per transaction is reported next to
+//! the ns/tx measured at the pre-overhaul baseline commit, so the
+//! before/after effect of the shared code-analysis cache, the unrolled
+//! Keccak core and the fixed-capacity stack is visible in one table.
+//! Both paths must produce identical receipts: the parexec
+//! serializability oracle stays the referee for the optimized loop.
+
+use crate::harness::render_table;
+use mtpu_contracts::{call_data, selector, Fixture};
+use mtpu_evm::opcode::Opcode;
+use mtpu_evm::trace::NoopTracer;
+use mtpu_evm::tx::{Block, BlockHeader, Receipt, Transaction};
+use mtpu_evm::{execute_block, execute_transaction, State};
+use mtpu_parexec::ParExecutor;
+use mtpu_primitives::{Address, SplitMix64, U256};
+use std::time::{Duration, Instant};
+
+/// Transactions per workload.
+const TXS: usize = 192;
+/// Timed runs per measurement (best run reported).
+const RUNS: usize = 3;
+/// Parexec worker threads.
+const THREADS: usize = 4;
+
+/// ns/tx measured at the pre-overhaul baseline (commit `0e269bd`, the
+/// HEAD this PR branched from) with this same experiment and settings:
+/// `(workload, sequential ns/tx, parexec ns/tx)`. Zero means "not
+/// recorded" and renders as `-`.
+const BASELINE_NS_PER_TX: &[(&str, u64, u64)] = &[
+    ("usdt-transfer", 19_745, 34_625),
+    ("proxy-dispatch", 13_494, 28_256),
+    ("weth9-storm", 9_913, 20_150),
+    ("router-swap", 23_209, 47_323),
+    ("create2-factory", 7_174, 16_504),
+    ("churn-loop", 59_122, 73_710),
+];
+
+fn best_wall(mut run: impl FnMut() -> Duration) -> Duration {
+    (0..RUNS).map(|_| run()).min().expect("RUNS > 0")
+}
+
+/// The CREATE2 factory's child init code: returns an empty runtime, so
+/// every deploy creates a fresh empty contract at a salt-derived address.
+const CHILD_INIT: [u8; 5] = [0x60, 0x00, 0x60, 0x00, 0xf3];
+
+/// Wraps `runtime` in the canonical constructor: copy the runtime to
+/// memory and return it.
+fn initcode(runtime: &[u8]) -> Vec<u8> {
+    let len = runtime.len() as u16;
+    // PUSH2 len; DUP1; PUSH2 offset; PUSH1 0; CODECOPY; PUSH1 0; RETURN
+    let mut code = vec![
+        0x61,
+        (len >> 8) as u8,
+        len as u8,
+        0x80,
+        0x61,
+        0x00,
+        0x0d,
+        0x60,
+        0x00,
+        0x39,
+        0x60,
+        0x00,
+        0xf3,
+    ];
+    code.extend_from_slice(runtime);
+    code
+}
+
+/// Assembles the factory contract: `deploy(uint256 salt)` runs CREATE2
+/// on [`CHILD_INIT`]; `churn(uint256 n)` is a jump-heavy keccak loop
+/// (the dispatcher-loop shape the analysis cache targets).
+fn factory_runtime() -> Vec<u8> {
+    use Opcode::*;
+    let mut a = mtpu_asm::Assembler::new();
+    a.dispatcher(
+        &[
+            (selector("deploy(uint256)"), "deploy"),
+            (selector("churn(uint256)"), "churn"),
+        ],
+        "fallback",
+    );
+
+    // deploy(salt): CREATE2(0, mem[27..32] = CHILD_INIT, salt)
+    a.label("deploy")
+        .calldata_arg(0) // [salt]
+        .push_bytes(&CHILD_INIT)
+        .push(0u64)
+        .op(Mstore) // word 0 holds CHILD_INIT right-aligned
+        .push(CHILD_INIT.len() as u64) // [salt, len]
+        .push(32u64 - CHILD_INIT.len() as u64) // [salt, len, off]
+        .push(0u64) // [salt, len, off, value]
+        .op(Create2) // [addr]
+        .op(Dup1)
+        .require() // deploy must succeed
+        .return_word();
+
+    // churn(n): n rounds of SHA3 over a 64-byte scratch region.
+    a.label("churn")
+        .calldata_arg(0) // [n]
+        .label("churn_loop")
+        .op(Dup1)
+        .op(Iszero)
+        .jumpi("churn_done") // [n]
+        .op(Dup1)
+        .push(0u64)
+        .op(Mstore) // mem[0] = n
+        .push(64u64)
+        .push(0u64)
+        .op(Sha3) // [n, h]
+        .push(32u64)
+        .op(Mstore) // mem[32] = h
+        .push(1u64)
+        .op(Swap1)
+        .op(Sub) // [n - 1]
+        .jump("churn_loop");
+    a.label("churn_done").op(Pop).return_true();
+
+    a.label("fallback").revert_zero();
+    a.revert_anchor();
+    a.assemble().expect("factory assembles")
+}
+
+/// Deploys the factory from user 0 and returns its address.
+fn deploy_factory(fx: &mut Fixture) -> Address {
+    let init = initcode(&factory_runtime());
+    let nonce = fx.next_nonce(0);
+    let tx = Transaction {
+        nonce,
+        gas_price: U256::ONE,
+        gas_limit: 2_000_000,
+        from: Fixture::user_address(0),
+        to: None,
+        value: U256::ZERO,
+        data: init,
+    };
+    let receipt = execute_transaction(&mut fx.state, &BlockHeader::default(), &tx, &mut NoopTracer)
+        .expect("factory deploy validates");
+    assert!(receipt.success, "factory deploy must succeed");
+    receipt.created.expect("creation receipt carries address")
+}
+
+const USERS: u64 = mtpu_contracts::fixture::USER_COUNT;
+
+/// One measured workload: a block of call-heavy transactions against a
+/// shared base state.
+struct Workload {
+    name: &'static str,
+    block: Block,
+}
+
+fn build_workloads(fx: &Fixture, factory: Address) -> Vec<Workload> {
+    let mut rng = SplitMix64::seed_from_u64(0x1407);
+    let mut out = Vec::new();
+    let block = |txs: Vec<Transaction>| Block {
+        header: BlockHeader::default(),
+        transactions: txs,
+    };
+
+    // Hot ERC20 dispatcher: Tether USD transfer storm.
+    let mut f = fx.clone();
+    let mut txs = Vec::with_capacity(TXS);
+    for i in 0..TXS as u64 {
+        let user = 1 + i % (USERS - 1);
+        let to = Fixture::user_address((user + 3) % USERS).to_u256();
+        let amount = U256::from(rng.random_range(1..900));
+        txs.push(f.call_tx(user, "Tether USD", "transfer", &[to, amount]));
+    }
+    out.push(Workload {
+        name: "usdt-transfer",
+        block: block(txs),
+    });
+
+    // Delegatecall proxy: every call runs two dispatchers.
+    let mut f = fx.clone();
+    let mut txs = Vec::with_capacity(TXS);
+    for i in 0..TXS as u64 {
+        let user = 1 + i % (USERS - 1);
+        let to = Fixture::user_address((user + 5) % USERS).to_u256();
+        let amount = U256::from(rng.random_range(1..900));
+        txs.push(f.call_tx(user, "FiatTokenProxy", "transfer", &[to, amount]));
+    }
+    out.push(Workload {
+        name: "proxy-dispatch",
+        block: block(txs),
+    });
+
+    // WETH9 deposit/transfer storm (deposit is payable).
+    let mut f = fx.clone();
+    let mut txs = Vec::with_capacity(TXS);
+    for i in 0..TXS as u64 {
+        let user = 1 + i % (USERS - 1);
+        if i % 2 == 0 {
+            let mut tx = f.call_tx(user, "WETH9", "deposit", &[]);
+            tx.value = U256::from(rng.random_range(1..100));
+            txs.push(tx);
+        } else {
+            let to = Fixture::user_address((user + 9) % USERS).to_u256();
+            let amount = U256::from(rng.random_range(1..50));
+            txs.push(f.call_tx(user, "WETH9", "transfer", &[to, amount]));
+        }
+    }
+    out.push(Workload {
+        name: "weth9-storm",
+        block: block(txs),
+    });
+
+    // AMM swap: the deepest TOP8 call path (router + token ledger).
+    let mut f = fx.clone();
+    let mut txs = Vec::with_capacity(TXS);
+    for i in 0..TXS as u64 {
+        let user = 1 + i % (USERS - 1);
+        let (tin, tout) = Fixture::user_pair(user);
+        txs.push(f.call_tx(
+            user,
+            "UniswapV2Router02",
+            "swapExactTokens",
+            &[
+                tin.to_u256(),
+                tout.to_u256(),
+                U256::from(rng.random_range(1_000..50_000)),
+                U256::ZERO,
+            ],
+        ));
+    }
+    out.push(Workload {
+        name: "router-swap",
+        block: block(txs),
+    });
+
+    // CREATE2 factory storm: fresh salt per transaction.
+    let mut f = fx.clone();
+    let mut txs = Vec::with_capacity(TXS);
+    for i in 0..TXS as u64 {
+        let user = 1 + i % (USERS - 1);
+        let nonce = f.next_nonce(user);
+        txs.push(Transaction::call(
+            Fixture::user_address(user),
+            factory,
+            call_data("deploy(uint256)", &[U256::from(0xdead_0000 + i)]),
+            nonce,
+        ));
+    }
+    out.push(Workload {
+        name: "create2-factory",
+        block: block(txs),
+    });
+
+    // Jump-heavy keccak churn loop on the factory.
+    let mut f = fx.clone();
+    let mut txs = Vec::with_capacity(TXS);
+    for i in 0..TXS as u64 {
+        let user = 1 + i % (USERS - 1);
+        let nonce = f.next_nonce(user);
+        txs.push(Transaction::call(
+            Fixture::user_address(user),
+            factory,
+            call_data("churn(uint256)", &[U256::from(48u64)]),
+            nonce,
+        ));
+    }
+    out.push(Workload {
+        name: "churn-loop",
+        block: block(txs),
+    });
+
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns == 0 {
+        "-".to_string()
+    } else {
+        format!("{ns}")
+    }
+}
+
+fn fmt_speedup(before: u64, after: u64) -> String {
+    if before == 0 || after == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}x", before as f64 / after as f64)
+    }
+}
+
+/// Before/after ns/tx on the call-heavy workloads, sequential and
+/// parexec paths.
+pub fn hot_paths() -> String {
+    let mut fx = Fixture::new();
+    let factory = deploy_factory(&mut fx);
+    let workloads = build_workloads(&fx, factory);
+    let base = fx.state.clone();
+    let executor = ParExecutor::new(THREADS);
+
+    let mut rows = Vec::new();
+    for w in &workloads {
+        let txs = w.block.transactions.len() as u64;
+
+        let mut seq_receipts: Vec<Receipt> = Vec::new();
+        let seq_wall = best_wall(|| {
+            let mut state: State = base.clone();
+            let t0 = Instant::now();
+            seq_receipts = execute_block(&mut state, &w.block);
+            t0.elapsed()
+        });
+        assert!(
+            seq_receipts.iter().all(|r| r.success),
+            "{}: every transaction must succeed",
+            w.name
+        );
+
+        let mut par_receipts: Vec<Receipt> = Vec::new();
+        let par_wall = best_wall(|| {
+            let t0 = Instant::now();
+            let result = executor.execute_block(&base, &w.block);
+            let wall = t0.elapsed();
+            par_receipts = result.receipts;
+            wall
+        });
+        assert_eq!(
+            seq_receipts, par_receipts,
+            "{}: parexec receipts must be bit-identical to sequential",
+            w.name
+        );
+
+        let seq_ns = seq_wall.as_nanos() as u64 / txs;
+        let par_ns = par_wall.as_nanos() as u64 / txs;
+        let (bseq, bpar) = BASELINE_NS_PER_TX
+            .iter()
+            .find(|(n, _, _)| *n == w.name)
+            .map(|&(_, s, p)| (s, p))
+            .unwrap_or((0, 0));
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{txs}"),
+            fmt_ns(bseq),
+            format!("{seq_ns}"),
+            fmt_speedup(bseq, seq_ns),
+            fmt_ns(bpar),
+            format!("{par_ns}"),
+            fmt_speedup(bpar, par_ns),
+        ]);
+    }
+
+    render_table(
+        &format!("Interpreter hot-path ns/tx ({TXS} txs, best of {RUNS}, {THREADS} threads)"),
+        &[
+            "workload",
+            "txs",
+            "seq before",
+            "seq now",
+            "speedup",
+            "par before",
+            "par now",
+            "speedup",
+        ],
+        &rows,
+    ) + "\n\"before\" columns are ns/tx at the pre-overhaul baseline commit;\n\
+         \"now\" is this build (shared analysis cache, unrolled Keccak,\n\
+         fixed-capacity stack). Receipts are asserted bit-identical between\n\
+         the sequential and parexec paths on every workload.\n"
+}

@@ -5,6 +5,7 @@ pub mod ablation;
 pub mod compare;
 pub mod drift;
 pub mod ilp;
+pub mod interp_hot;
 pub mod parexec;
 pub mod sched;
 pub mod stat;

@@ -1,0 +1,348 @@
+//! Shared per-bytecode code analysis: the interpreter's hot-path metadata.
+//!
+//! Two pieces live here:
+//!
+//! * [`OP_TABLE`] — a 256-entry table, built at compile time from the
+//!   [`Opcode`] declarations and the gas schedule, that folds the per-step
+//!   validity / static-gas / stack-bounds checks of the dispatch loop into
+//!   one cache line's worth of lookups.
+//! * [`CodeAnalysis`] + [`AnalysisCache`] — a packed jumpdest bitmap per
+//!   bytecode, computed once per distinct code hash and shared across
+//!   transactions *and* across parallel worker threads, instead of the old
+//!   per-frame `Vec<bool>` allocation.
+//!
+//! The cache is bounded (FIFO per shard) so adversarial streams of unique
+//! contracts cannot grow it without limit; hits, misses and evictions are
+//! reported through `evm.analysis.{hit,miss,evict}` telemetry counters.
+
+use crate::gas;
+use crate::opcode::Opcode;
+use mtpu_primitives::B256;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Per-opcode metadata consulted once per interpreter step.
+#[derive(Clone, Copy, Debug)]
+pub struct OpInfo {
+    /// Static (size-independent) gas cost, from [`gas::static_cost`].
+    pub static_gas: u32,
+    /// Minimum stack depth required (the number of operands popped).
+    pub min_stack: u16,
+    /// Net stack growth (`pushes - pops`); at most `+1` for any opcode.
+    pub net: i8,
+    /// Immediate size in bytes (nonzero only for `PUSH1..PUSH32`).
+    pub imm: u8,
+    /// `false` for unassigned bytes — executing one is `InvalidOpcode`.
+    pub defined: bool,
+}
+
+const fn op_info(byte: u8) -> OpInfo {
+    match Opcode::from_u8(byte) {
+        None => OpInfo {
+            static_gas: 0,
+            min_stack: 0,
+            net: 0,
+            imm: 0,
+            defined: false,
+        },
+        Some(op) => OpInfo {
+            static_gas: gas::static_cost(op) as u32,
+            min_stack: op.stack_pops() as u16,
+            net: op.stack_pushes() as i8 - op.stack_pops() as i8,
+            imm: op.immediate_len() as u8,
+            defined: true,
+        },
+    }
+}
+
+/// The dispatch-loop metadata table, indexed by raw opcode byte.
+pub const OP_TABLE: [OpInfo; 256] = {
+    let mut table = [op_info(0); 256];
+    let mut i = 1usize;
+    while i < 256 {
+        table[i] = op_info(i as u8);
+        i += 1;
+    }
+    table
+};
+
+/// Analysis of one bytecode: a packed-u64 jumpdest bitmap.
+///
+/// Replaces the per-frame `Vec<bool>` of [`crate::interpreter::jumpdest_map`]
+/// with a 64x denser, shareable representation.
+#[derive(Debug)]
+pub struct CodeAnalysis {
+    bitmap: Box<[u64]>,
+    code_len: usize,
+}
+
+impl CodeAnalysis {
+    /// Scans `code`, skipping PUSH immediates, and records every `JUMPDEST`.
+    pub fn analyze(code: &[u8]) -> CodeAnalysis {
+        let mut bitmap = vec![0u64; code.len().div_ceil(64)];
+        let mut pc = 0usize;
+        while pc < code.len() {
+            let byte = code[pc];
+            if byte == Opcode::Jumpdest as u8 {
+                bitmap[pc >> 6] |= 1u64 << (pc & 63);
+            }
+            pc += 1 + OP_TABLE[byte as usize].imm as usize;
+        }
+        CodeAnalysis {
+            bitmap: bitmap.into_boxed_slice(),
+            code_len: code.len(),
+        }
+    }
+
+    /// `true` when `pc` is a valid jump destination. Out-of-range `pc`
+    /// (including anything at or past the end of code) is simply `false`,
+    /// so callers need no separate bounds check.
+    #[inline]
+    pub fn is_jumpdest(&self, pc: usize) -> bool {
+        match self.bitmap.get(pc >> 6) {
+            Some(word) => (word >> (pc & 63)) & 1 != 0,
+            None => false,
+        }
+    }
+
+    /// Length of the analyzed bytecode.
+    pub fn code_len(&self) -> usize {
+        self.code_len
+    }
+}
+
+/// Cache-counter snapshot, for tests and diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to run [`CodeAnalysis::analyze`].
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+}
+
+const SHARD_COUNT: usize = 16;
+
+/// Default total capacity (in distinct bytecodes) of the global cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<B256, Arc<CodeAnalysis>>,
+    order: VecDeque<B256>,
+}
+
+/// A bounded, sharded, thread-safe map from code hash to [`CodeAnalysis`].
+///
+/// Sharded by the first byte of the (uniformly distributed) code hash so
+/// parallel worker threads executing different contracts rarely contend on
+/// the same lock. Eviction is FIFO per shard.
+pub struct AnalysisCache {
+    shards: [Mutex<Shard>; SHARD_COUNT],
+    per_shard_cap: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl AnalysisCache {
+    /// Creates a cache holding at most `capacity` analyses.
+    pub fn new(capacity: usize) -> AnalysisCache {
+        AnalysisCache {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            per_shard_cap: capacity.div_ceil(SHARD_COUNT).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the analysis for `hash`, computing it from `code` on a miss.
+    pub fn get_or_analyze(&self, hash: B256, code: &[u8]) -> Arc<CodeAnalysis> {
+        let shard = &self.shards[hash.as_ref()[0] as usize % SHARD_COUNT];
+        let mut guard = shard.lock().unwrap();
+        if let Some(found) = guard.map.get(&hash) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            crate::obs::metrics().analysis_hits.inc();
+            return Arc::clone(found);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        crate::obs::metrics().analysis_misses.inc();
+        let analysis = Arc::new(CodeAnalysis::analyze(code));
+        guard.map.insert(hash, Arc::clone(&analysis));
+        guard.order.push_back(hash);
+        if guard.order.len() > self.per_shard_cap {
+            if let Some(oldest) = guard.order.pop_front() {
+                guard.map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                crate::obs::metrics().analysis_evictions.inc();
+            }
+        }
+        analysis
+    }
+
+    /// Number of cached analyses.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The process-wide cache used by the interpreter for every frame.
+pub fn global_cache() -> &'static AnalysisCache {
+    static CACHE: OnceLock<AnalysisCache> = OnceLock::new();
+    CACHE.get_or_init(|| AnalysisCache::new(DEFAULT_CACHE_CAPACITY))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::jumpdest_map;
+    use crate::stack::STACK_LIMIT;
+
+    #[test]
+    fn table_matches_opcode_declarations() {
+        for byte in 0u16..=255 {
+            let info = OP_TABLE[byte as usize];
+            match Opcode::from_u8(byte as u8) {
+                None => assert!(!info.defined, "byte {byte:#x} wrongly defined"),
+                Some(op) => {
+                    assert!(info.defined);
+                    assert_eq!(info.static_gas as u64, gas::static_cost(op));
+                    assert_eq!(info.min_stack as usize, op.stack_pops());
+                    assert_eq!(
+                        info.net as isize,
+                        op.stack_pushes() as isize - op.stack_pops() as isize
+                    );
+                    assert_eq!(info.imm as usize, op.immediate_len());
+                    // The overflow precheck relies on net growth never
+                    // exceeding one element per instruction.
+                    assert!(info.net <= 1);
+                    assert!(info.min_stack as usize <= STACK_LIMIT);
+                }
+            }
+        }
+    }
+
+    fn splitmix64(seed: &mut u64) -> u64 {
+        *seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn bitmap_matches_vec_bool_on_random_bytecode() {
+        let mut seed = 0x5eed_cafe_f00d_1234u64;
+        for case in 0..64 {
+            let len = (splitmix64(&mut seed) % 512) as usize + case;
+            let code: Vec<u8> = (0..len).map(|_| splitmix64(&mut seed) as u8).collect();
+            let reference = jumpdest_map(&code);
+            let analysis = CodeAnalysis::analyze(&code);
+            assert_eq!(analysis.code_len(), code.len());
+            for (pc, &expected) in reference.iter().enumerate() {
+                assert_eq!(
+                    analysis.is_jumpdest(pc),
+                    expected,
+                    "pc {pc} of case {case} (len {len})"
+                );
+            }
+            // Past the end of code is never a valid destination.
+            assert!(!analysis.is_jumpdest(code.len()));
+            assert!(!analysis.is_jumpdest(code.len() + 1000));
+            assert!(!analysis.is_jumpdest(usize::MAX));
+        }
+    }
+
+    #[test]
+    fn jumpdest_inside_immediate_is_invalid() {
+        // PUSH2 0x5b 0x5b JUMPDEST — only the standalone 0x5b is valid.
+        let code = [0x61, 0x5b, 0x5b, 0x5b];
+        let analysis = CodeAnalysis::analyze(&code);
+        assert!(!analysis.is_jumpdest(1));
+        assert!(!analysis.is_jumpdest(2));
+        assert!(analysis.is_jumpdest(3));
+    }
+
+    #[test]
+    fn cache_hits_and_misses_count() {
+        let cache = AnalysisCache::new(64);
+        let code = [0x5b, 0x00];
+        let hash = B256::keccak(&code);
+        let a = cache.get_or_analyze(hash, &code);
+        let b = cache.get_or_analyze(hash, &code);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_shared_across_threads_single_miss() {
+        let cache = Arc::new(AnalysisCache::new(64));
+        let code: Vec<u8> = vec![0x5b, 0x60, 0x01, 0x00];
+        let hash = B256::keccak(&code);
+        // Warm the entry so the thread counts below are deterministic.
+        cache.get_or_analyze(hash, &code);
+        let threads: Vec<_> = (0..2)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let code = code.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let a = cache.get_or_analyze(hash, &code);
+                        assert!(a.is_jumpdest(0));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "same code hash must analyze exactly once");
+        assert_eq!(stats.hits, 200);
+    }
+
+    #[test]
+    fn cache_evicts_fifo_when_full() {
+        let cache = AnalysisCache::new(1); // 1 entry per shard
+                                           // Distinct single-byte codes hash into various shards; overfill one
+                                           // shard by inserting enough distinct codes.
+        let mut inserted = 0u64;
+        for i in 0..200u16 {
+            let code = [0x5b, i as u8, (i >> 8) as u8];
+            cache.get_or_analyze(B256::keccak(&code), &code);
+            inserted += 1;
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, inserted);
+        assert!(stats.evictions > 0, "capacity 1/shard must evict");
+        assert!(cache.len() <= SHARD_COUNT);
+    }
+}

@@ -5,14 +5,16 @@
 //! fetch by PC, decode, **gas check** (abort on exhaustion), operand fetch
 //! from the stack, execute in a functional unit, write back.
 
+use crate::analysis;
 use crate::gas;
 use crate::memory::Memory;
 use crate::opcode::Opcode;
-use crate::stack::{Stack, StackError};
+use crate::stack::{Stack, StackError, STACK_LIMIT};
 use crate::state::StateOps;
 use crate::trace::{CallKind, FrameInfo, Tracer};
 use crate::tx::{BlockHeader, Log};
 use mtpu_primitives::{keccak256, Address, B256, U256};
+use std::cell::RefCell;
 
 /// Maximum call/create depth (paper §3.3.6: "its maximum depth cannot
 /// exceed 1024").
@@ -178,6 +180,60 @@ pub fn jumpdest_map(code: &[u8]) -> Vec<bool> {
     map
 }
 
+/// Reusable per-frame execution buffers: the fixed-capacity operand stack
+/// (32 KiB once zeroed) and the byte memory.
+struct FrameBufs {
+    stack: Stack,
+    memory: Memory,
+}
+
+thread_local! {
+    /// Per-thread freelist of frame buffers. Frames on the same thread
+    /// reuse one allocation per concurrent depth level for the whole
+    /// thread lifetime, so the stack's one-time buffer cost amortizes
+    /// across transactions (each parallel worker keeps its own pool).
+    static FRAME_POOL: RefCell<Vec<FrameBufs>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Most buffers the pool retains; deeper recursion allocates fresh.
+const FRAME_POOL_MAX: usize = 64;
+/// Pooled memories above this capacity are dropped rather than retained.
+const FRAME_POOL_MAX_MEMORY: usize = 1 << 20;
+
+/// RAII handle that returns its buffers (cleared) to the pool on drop, so
+/// every `return` path of the dispatch loop recycles them.
+struct PooledBufs(Option<FrameBufs>);
+
+impl PooledBufs {
+    fn acquire() -> PooledBufs {
+        let bufs = FRAME_POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_else(|| FrameBufs {
+                stack: Stack::new(),
+                memory: Memory::new(),
+            });
+        PooledBufs(Some(bufs))
+    }
+}
+
+impl Drop for PooledBufs {
+    fn drop(&mut self) {
+        if let Some(mut bufs) = self.0.take() {
+            if bufs.memory.capacity() > FRAME_POOL_MAX_MEMORY {
+                return;
+            }
+            bufs.stack.clear();
+            bufs.memory.clear();
+            FRAME_POOL.with(|pool| {
+                let mut pool = pool.borrow_mut();
+                if pool.len() < FRAME_POOL_MAX {
+                    pool.push(bufs);
+                }
+            });
+        }
+    }
+}
+
 impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
     /// Creates an engine for one transaction.
     pub fn new(
@@ -224,6 +280,7 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
         }
 
         let code = self.state.load_code(params.code_address);
+        let code_hash = self.state.code_hash(params.code_address);
         let selector = if params.input.len() >= 4 {
             let mut s = [0u8; 4];
             s.copy_from_slice(&params.input[..4]);
@@ -236,7 +293,7 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
             kind: params.kind,
             code_address: params.code_address,
             storage_address: params.storage_address,
-            code_hash: self.state.code_hash(params.code_address),
+            code_hash,
             code_len: code.len() as u32,
             input_len: params.input.len() as u32,
             selector,
@@ -245,7 +302,7 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
         if mtpu_telemetry::enabled() {
             crate::obs::metrics().call_depth.record(params.depth as u64);
         }
-        let result = self.run_frame(&code, &params);
+        let result = self.run_frame_code(&code, code_hash, &params);
         self.tracer.frame_end();
         crate::obs::frame_halt(&result.halt);
 
@@ -291,12 +348,13 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
             );
         }
 
+        let code_hash = B256::keccak(&init_code);
         self.tracer.frame_start(FrameInfo {
             depth: depth as u16,
             kind: CallKind::Create,
             code_address: new_address,
             storage_address: new_address,
-            code_hash: B256::keccak(&init_code),
+            code_hash,
             code_len: init_code.len() as u32,
             input_len: 0,
             selector: None,
@@ -316,7 +374,7 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
         if mtpu_telemetry::enabled() {
             crate::obs::metrics().call_depth.record(depth as u64);
         }
-        let mut result = self.run_frame_code(&init_code, &params);
+        let mut result = self.run_frame_code(&init_code, code_hash, &params);
         self.tracer.frame_end();
         crate::obs::frame_halt(&result.halt);
 
@@ -338,27 +396,25 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
         }
     }
 
-    fn run_frame(&mut self, code: &[u8], params: &CallParams) -> FrameResult {
-        self.run_frame_code(code, params)
-    }
-
     /// The interpreter loop proper.
-    fn run_frame_code(&mut self, code: &[u8], params: &CallParams) -> FrameResult {
-        let jumpdests = jumpdest_map(code);
-        let mut stack = Stack::new();
-        let mut memory = Memory::new();
+    ///
+    /// `code_hash` keys the shared [`analysis::AnalysisCache`]; it must be
+    /// the Keccak-256 of `code` (both callers already hold it for tracing).
+    fn run_frame_code(&mut self, code: &[u8], code_hash: B256, params: &CallParams) -> FrameResult {
+        if code.is_empty() {
+            return FrameResult {
+                halt: Halt::Stop,
+                gas_left: params.gas,
+                output: Vec::new(),
+            };
+        }
+        let analysis = analysis::global_cache().get_or_analyze(code_hash, code);
+        let mut bufs = PooledBufs::acquire();
+        let FrameBufs { stack, memory } = bufs.0.as_mut().expect("buffers held until drop");
         let mut returndata: Vec<u8> = Vec::new();
         let mut gas_left = params.gas;
         let mut pc = 0usize;
 
-        macro_rules! vm_try {
-            ($e:expr) => {
-                match $e {
-                    Ok(v) => v,
-                    Err(e) => return FrameResult::exception(VmError::from(e)),
-                }
-            };
-        }
         macro_rules! charge {
             ($cost:expr) => {{
                 let c: u64 = $cost;
@@ -406,7 +462,20 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
             if mtpu_telemetry::enabled() {
                 crate::obs::metrics().ops_by_category[op.category().index()].inc();
             }
-            charge!(gas::static_cost(op));
+            // One combined precheck per instruction from the metadata
+            // table: static gas first (matching the old charge order, so
+            // exhaustion still wins over stack faults), then both stack
+            // bounds, which licenses the `*_unchecked` operand accesses in
+            // the arms below.
+            let info = &analysis::OP_TABLE[code[pc] as usize];
+            charge!(info.static_gas as u64);
+            let sp = stack.len();
+            if sp < info.min_stack as usize {
+                return FrameResult::exception(VmError::StackUnderflow);
+            }
+            if info.net > 0 && sp + info.net as usize > STACK_LIMIT {
+                return FrameResult::exception(VmError::StackOverflow);
+            }
 
             use Opcode::*;
             match op {
@@ -418,146 +487,146 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     }
                 }
                 Add => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a.wrapping_add(b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a.wrapping_add(b));
                 }
                 Mul => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a.wrapping_mul(b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a.wrapping_mul(b));
                 }
                 Sub => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a.wrapping_sub(b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a.wrapping_sub(b));
                 }
                 Div => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a.evm_div(b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a.evm_div(b));
                 }
                 Sdiv => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a.evm_sdiv(b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a.evm_sdiv(b));
                 }
                 Mod => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a.evm_rem(b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a.evm_rem(b));
                 }
                 Smod => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a.evm_smod(b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a.evm_smod(b));
                 }
                 Addmod => {
                     let (a, b, m) = (
-                        vm_try!(stack.pop()),
-                        vm_try!(stack.pop()),
-                        vm_try!(stack.pop()),
+                        stack.pop_unchecked(),
+                        stack.pop_unchecked(),
+                        stack.pop_unchecked(),
                     );
-                    vm_try!(stack.push(a.addmod(b, m)));
+                    stack.push_unchecked(a.addmod(b, m));
                 }
                 Mulmod => {
                     let (a, b, m) = (
-                        vm_try!(stack.pop()),
-                        vm_try!(stack.pop()),
-                        vm_try!(stack.pop()),
+                        stack.pop_unchecked(),
+                        stack.pop_unchecked(),
+                        stack.pop_unchecked(),
                     );
-                    vm_try!(stack.push(a.mulmod(b, m)));
+                    stack.push_unchecked(a.mulmod(b, m));
                 }
                 Exp => {
-                    let (base, exponent) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
+                    let (base, exponent) = (stack.pop_unchecked(), stack.pop_unchecked());
                     let exp_bytes = (exponent.bits() as u64).div_ceil(8);
                     charge!(gas::EXP_BYTE * exp_bytes);
-                    vm_try!(stack.push(base.wrapping_pow(exponent)));
+                    stack.push_unchecked(base.wrapping_pow(exponent));
                 }
                 Signextend => {
-                    let (i, v) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(v.signextend(i)));
+                    let (i, v) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(v.signextend(i));
                 }
                 Lt => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(U256::from(a < b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(U256::from(a < b));
                 }
                 Gt => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(U256::from(a > b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(U256::from(a > b));
                 }
                 Slt => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(U256::from(a.signed_cmp(&b).is_lt())));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(U256::from(a.signed_cmp(&b).is_lt()));
                 }
                 Sgt => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(U256::from(a.signed_cmp(&b).is_gt())));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(U256::from(a.signed_cmp(&b).is_gt()));
                 }
                 Eq => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(U256::from(a == b)));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(U256::from(a == b));
                 }
                 Iszero => {
-                    let a = vm_try!(stack.pop());
-                    vm_try!(stack.push(U256::from(a.is_zero())));
+                    let a = stack.pop_unchecked();
+                    stack.push_unchecked(U256::from(a.is_zero()));
                 }
                 And => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a & b));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a & b);
                 }
                 Or => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a | b));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a | b);
                 }
                 Xor => {
-                    let (a, b) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(a ^ b));
+                    let (a, b) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(a ^ b);
                 }
                 Not => {
-                    let a = vm_try!(stack.pop());
-                    vm_try!(stack.push(!a));
+                    let a = stack.pop_unchecked();
+                    stack.push_unchecked(!a);
                 }
                 Byte => {
-                    let (i, v) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(v.byte_be(i)));
+                    let (i, v) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(v.byte_be(i));
                 }
                 Shl => {
-                    let (s, v) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(v.evm_shl(s)));
+                    let (s, v) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(v.evm_shl(s));
                 }
                 Shr => {
-                    let (s, v) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(v.evm_shr(s)));
+                    let (s, v) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(v.evm_shr(s));
                 }
                 Sar => {
-                    let (s, v) = (vm_try!(stack.pop()), vm_try!(stack.pop()));
-                    vm_try!(stack.push(v.evm_sar(s)));
+                    let (s, v) = (stack.pop_unchecked(), stack.pop_unchecked());
+                    stack.push_unchecked(v.evm_sar(s));
                 }
                 Sha3 => {
                     let (off, len) = (
-                        vm_try!(stack.pop()).saturating_to_usize(),
-                        vm_try!(stack.pop()).saturating_to_usize(),
+                        stack.pop_unchecked().saturating_to_usize(),
+                        stack.pop_unchecked().saturating_to_usize(),
                     );
                     charge!(gas::SHA3_WORD * gas::words_for(len as u64));
                     mem_charge!(memory, off, len);
                     let hash = keccak256(memory.slice(off, len));
-                    vm_try!(stack.push(U256::from_be_bytes(hash)));
+                    stack.push_unchecked(U256::from_be_bytes(hash));
                 }
-                Address => vm_try!(stack.push(params.storage_address.to_u256())),
+                Address => stack.push_unchecked(params.storage_address.to_u256()),
                 Balance => {
-                    let a = mtpu_primitives::Address::from_u256(vm_try!(stack.pop()));
-                    vm_try!(stack.push(self.state.balance(a)));
+                    let a = mtpu_primitives::Address::from_u256(stack.pop_unchecked());
+                    stack.push_unchecked(self.state.balance(a));
                 }
-                Origin => vm_try!(stack.push(self.origin.to_u256())),
-                Caller => vm_try!(stack.push(params.caller.to_u256())),
-                Callvalue => vm_try!(stack.push(params.value)),
+                Origin => stack.push_unchecked(self.origin.to_u256()),
+                Caller => stack.push_unchecked(params.caller.to_u256()),
+                Callvalue => stack.push_unchecked(params.value),
                 Calldataload => {
-                    let off = vm_try!(stack.pop()).saturating_to_usize();
+                    let off = stack.pop_unchecked().saturating_to_usize();
                     let mut word = [0u8; 32];
                     for (i, b) in word.iter_mut().enumerate() {
                         *b = params.input.get(off.wrapping_add(i)).copied().unwrap_or(0);
                     }
-                    vm_try!(stack.push(U256::from_be_bytes(word)));
+                    stack.push_unchecked(U256::from_be_bytes(word));
                 }
-                Calldatasize => vm_try!(stack.push(U256::from(params.input.len() as u64))),
+                Calldatasize => stack.push_unchecked(U256::from(params.input.len() as u64)),
                 Calldatacopy | Codecopy | Returndatacopy => {
-                    let dst = vm_try!(stack.pop()).saturating_to_usize();
-                    let src = vm_try!(stack.pop()).saturating_to_usize();
-                    let len = vm_try!(stack.pop()).saturating_to_usize();
+                    let dst = stack.pop_unchecked().saturating_to_usize();
+                    let src = stack.pop_unchecked().saturating_to_usize();
+                    let len = stack.pop_unchecked().saturating_to_usize();
                     charge!(gas::COPY_WORD * gas::words_for(len as u64));
                     mem_charge!(memory, dst, len);
                     let source: &[u8] = match op {
@@ -581,73 +650,73 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     };
                     memory.copy_from(dst, tail, len);
                 }
-                Codesize => vm_try!(stack.push(U256::from(code.len() as u64))),
-                Gasprice => vm_try!(stack.push(self.gas_price)),
+                Codesize => stack.push_unchecked(U256::from(code.len() as u64)),
+                Gasprice => stack.push_unchecked(self.gas_price),
                 Extcodesize => {
-                    let a = mtpu_primitives::Address::from_u256(vm_try!(stack.pop()));
-                    vm_try!(stack.push(U256::from(self.state.code_size(a) as u64)));
+                    let a = mtpu_primitives::Address::from_u256(stack.pop_unchecked());
+                    stack.push_unchecked(U256::from(self.state.code_size(a) as u64));
                 }
                 Extcodecopy => {
-                    let a = mtpu_primitives::Address::from_u256(vm_try!(stack.pop()));
-                    let dst = vm_try!(stack.pop()).saturating_to_usize();
-                    let src = vm_try!(stack.pop()).saturating_to_usize();
-                    let len = vm_try!(stack.pop()).saturating_to_usize();
+                    let a = mtpu_primitives::Address::from_u256(stack.pop_unchecked());
+                    let dst = stack.pop_unchecked().saturating_to_usize();
+                    let src = stack.pop_unchecked().saturating_to_usize();
+                    let len = stack.pop_unchecked().saturating_to_usize();
                     charge!(gas::COPY_WORD * gas::words_for(len as u64));
                     mem_charge!(memory, dst, len);
                     let ext = self.state.load_code(a);
                     let tail = if src < ext.len() { &ext[src..] } else { &[] };
                     memory.copy_from(dst, tail, len);
                 }
-                Returndatasize => vm_try!(stack.push(U256::from(returndata.len() as u64))),
+                Returndatasize => stack.push_unchecked(U256::from(returndata.len() as u64)),
                 Extcodehash => {
-                    let a = mtpu_primitives::Address::from_u256(vm_try!(stack.pop()));
-                    vm_try!(stack.push(self.state.code_hash(a).to_u256()));
+                    let a = mtpu_primitives::Address::from_u256(stack.pop_unchecked());
+                    stack.push_unchecked(self.state.code_hash(a).to_u256());
                 }
                 Blockhash => {
-                    let n = vm_try!(stack.pop());
+                    let n = stack.pop_unchecked();
                     let h = match n.try_to_u64() {
                         Some(num) => self.header.block_hash(num),
                         None => B256::ZERO,
                     };
-                    vm_try!(stack.push(h.to_u256()));
+                    stack.push_unchecked(h.to_u256());
                 }
-                Coinbase => vm_try!(stack.push(self.header.coinbase.to_u256())),
-                Timestamp => vm_try!(stack.push(U256::from(self.header.timestamp))),
-                Number => vm_try!(stack.push(U256::from(self.header.height))),
-                Difficulty => vm_try!(stack.push(self.header.difficulty)),
-                Gaslimit => vm_try!(stack.push(U256::from(self.header.gas_limit))),
+                Coinbase => stack.push_unchecked(self.header.coinbase.to_u256()),
+                Timestamp => stack.push_unchecked(U256::from(self.header.timestamp)),
+                Number => stack.push_unchecked(U256::from(self.header.height)),
+                Difficulty => stack.push_unchecked(self.header.difficulty),
+                Gaslimit => stack.push_unchecked(U256::from(self.header.gas_limit)),
                 Pop => {
-                    vm_try!(stack.pop());
+                    stack.pop_unchecked();
                 }
                 Mload => {
-                    let off = vm_try!(stack.pop()).saturating_to_usize();
+                    let off = stack.pop_unchecked().saturating_to_usize();
                     mem_charge!(memory, off, 32);
-                    vm_try!(stack.push(memory.load_word(off)));
+                    stack.push_unchecked(memory.load_word(off));
                 }
                 Mstore => {
-                    let off = vm_try!(stack.pop()).saturating_to_usize();
-                    let v = vm_try!(stack.pop());
+                    let off = stack.pop_unchecked().saturating_to_usize();
+                    let v = stack.pop_unchecked();
                     mem_charge!(memory, off, 32);
                     memory.store_word(off, v);
                 }
                 Mstore8 => {
-                    let off = vm_try!(stack.pop()).saturating_to_usize();
-                    let v = vm_try!(stack.pop());
+                    let off = stack.pop_unchecked().saturating_to_usize();
+                    let v = stack.pop_unchecked();
                     mem_charge!(memory, off, 1);
                     memory.store_byte(off, v.low_u64() as u8);
                 }
                 Sload => {
-                    let key = vm_try!(stack.pop());
+                    let key = stack.pop_unchecked();
                     self.tracer
                         .storage_access(params.storage_address, key, false);
-                    vm_try!(stack.push(self.state.storage(params.storage_address, key)));
+                    stack.push_unchecked(self.state.storage(params.storage_address, key));
                 }
                 Sstore => {
                     if params.is_static {
                         return FrameResult::exception(VmError::StaticViolation);
                     }
-                    let key = vm_try!(stack.pop());
-                    let value = vm_try!(stack.pop());
+                    let key = stack.pop_unchecked();
+                    let value = stack.pop_unchecked();
                     let current = self.state.storage(params.storage_address, key);
                     let cost = if current.is_zero() && !value.is_zero() {
                         gas::SSTORE_SET
@@ -663,40 +732,40 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     self.state.set_storage(params.storage_address, key, value);
                 }
                 Jump => {
-                    let dest = vm_try!(stack.pop()).saturating_to_usize();
-                    if dest >= code.len() || !jumpdests[dest] {
+                    let dest = stack.pop_unchecked().saturating_to_usize();
+                    if !analysis.is_jumpdest(dest) {
                         return FrameResult::exception(VmError::InvalidJump);
                     }
                     pc = dest;
                     continue;
                 }
                 Jumpi => {
-                    let dest = vm_try!(stack.pop()).saturating_to_usize();
-                    let cond = vm_try!(stack.pop());
+                    let dest = stack.pop_unchecked().saturating_to_usize();
+                    let cond = stack.pop_unchecked();
                     if !cond.is_zero() {
-                        if dest >= code.len() || !jumpdests[dest] {
+                        if !analysis.is_jumpdest(dest) {
                             return FrameResult::exception(VmError::InvalidJump);
                         }
                         pc = dest;
                         continue;
                     }
                 }
-                Pc => vm_try!(stack.push(U256::from(pc as u64))),
-                Msize => vm_try!(stack.push(U256::from(memory.len() as u64))),
-                Gas => vm_try!(stack.push(U256::from(gas_left))),
+                Pc => stack.push_unchecked(U256::from(pc as u64)),
+                Msize => stack.push_unchecked(U256::from(memory.len() as u64)),
+                Gas => stack.push_unchecked(U256::from(gas_left)),
                 Jumpdest => {}
                 Log0 | Log1 | Log2 | Log3 | Log4 => {
                     if params.is_static {
                         return FrameResult::exception(VmError::StaticViolation);
                     }
                     let topic_count = (op as u8 - Log0 as u8) as usize;
-                    let off = vm_try!(stack.pop()).saturating_to_usize();
-                    let len = vm_try!(stack.pop()).saturating_to_usize();
+                    let off = stack.pop_unchecked().saturating_to_usize();
+                    let len = stack.pop_unchecked().saturating_to_usize();
                     charge!(gas::LOG_TOPIC * topic_count as u64 + gas::LOG_DATA * len as u64);
                     mem_charge!(memory, off, len);
                     let mut topics = Vec::with_capacity(topic_count);
                     for _ in 0..topic_count {
-                        topics.push(B256::from_u256(vm_try!(stack.pop())));
+                        topics.push(B256::from_u256(stack.pop_unchecked()));
                     }
                     self.logs.push(Log {
                         address: params.storage_address,
@@ -708,11 +777,11 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     if params.is_static {
                         return FrameResult::exception(VmError::StaticViolation);
                     }
-                    let value = vm_try!(stack.pop());
-                    let off = vm_try!(stack.pop()).saturating_to_usize();
-                    let len = vm_try!(stack.pop()).saturating_to_usize();
+                    let value = stack.pop_unchecked();
+                    let off = stack.pop_unchecked().saturating_to_usize();
+                    let len = stack.pop_unchecked().saturating_to_usize();
                     let salt = if op == Create2 {
-                        let s = vm_try!(stack.pop());
+                        let s = stack.pop_unchecked();
                         charge!(gas::SHA3_WORD * gas::words_for(len as u64));
                         Some(B256::from_u256(s))
                     } else {
@@ -744,23 +813,23 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     } else {
                         Vec::new()
                     };
-                    vm_try!(stack.push(match created {
+                    stack.push_unchecked(match created {
                         Some(a) => a.to_u256(),
                         None => U256::ZERO,
-                    }));
+                    });
                 }
                 Call | Callcode | Delegatecall | Staticcall => {
-                    let gas_req = vm_try!(stack.pop());
-                    let to = mtpu_primitives::Address::from_u256(vm_try!(stack.pop()));
+                    let gas_req = stack.pop_unchecked();
+                    let to = mtpu_primitives::Address::from_u256(stack.pop_unchecked());
                     let value = if matches!(op, Call | Callcode) {
-                        vm_try!(stack.pop())
+                        stack.pop_unchecked()
                     } else {
                         U256::ZERO
                     };
-                    let in_off = vm_try!(stack.pop()).saturating_to_usize();
-                    let in_len = vm_try!(stack.pop()).saturating_to_usize();
-                    let out_off = vm_try!(stack.pop()).saturating_to_usize();
-                    let out_len = vm_try!(stack.pop()).saturating_to_usize();
+                    let in_off = stack.pop_unchecked().saturating_to_usize();
+                    let in_len = stack.pop_unchecked().saturating_to_usize();
+                    let out_off = stack.pop_unchecked().saturating_to_usize();
+                    let out_len = stack.pop_unchecked().saturating_to_usize();
 
                     if op == Call && params.is_static && !value.is_zero() {
                         return FrameResult::exception(VmError::StaticViolation);
@@ -846,11 +915,11 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     if n > 0 {
                         memory.copy_from(out_off, &returndata[..n], n);
                     }
-                    vm_try!(stack.push(U256::from(ok)));
+                    stack.push_unchecked(U256::from(ok));
                 }
                 Return | Revert => {
-                    let off = vm_try!(stack.pop()).saturating_to_usize();
-                    let len = vm_try!(stack.pop()).saturating_to_usize();
+                    let off = stack.pop_unchecked().saturating_to_usize();
+                    let len = stack.pop_unchecked().saturating_to_usize();
                     mem_charge!(memory, off, len);
                     return FrameResult {
                         halt: if op == Return {
@@ -867,7 +936,7 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     if params.is_static {
                         return FrameResult::exception(VmError::StaticViolation);
                     }
-                    let beneficiary = mtpu_primitives::Address::from_u256(vm_try!(stack.pop()));
+                    let beneficiary = mtpu_primitives::Address::from_u256(stack.pop_unchecked());
                     let balance = self.state.balance(params.storage_address);
                     self.state
                         .transfer(params.storage_address, beneficiary, balance);
@@ -891,13 +960,13 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                         } else {
                             v
                         };
-                        vm_try!(stack.push(v));
+                        stack.push_unchecked(v);
                         pc += 1 + n;
                         continue;
                     } else if op.is_dup() {
-                        vm_try!(stack.dup((op as u8 - 0x7f) as usize));
+                        stack.dup_unchecked((op as u8 - 0x7f) as usize);
                     } else if op.is_swap() {
-                        vm_try!(stack.swap((op as u8 - 0x8f) as usize));
+                        stack.swap_unchecked((op as u8 - 0x8f) as usize);
                     } else {
                         return FrameResult::exception(VmError::InvalidOpcode);
                     }

@@ -29,6 +29,7 @@
 //! # Ok::<(), mtpu_evm::executor::TxError>(())
 //! ```
 
+pub mod analysis;
 pub mod commit;
 pub mod executor;
 pub mod gas;
@@ -42,6 +43,7 @@ pub mod state;
 pub mod trace;
 pub mod tx;
 
+pub use analysis::{AnalysisCache, CacheStats, CodeAnalysis};
 pub use commit::{commit_block_delta, commit_full, delta_merkle_root};
 pub use executor::{execute_block, execute_transaction, trace_transaction, TxError};
 pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};

@@ -4,16 +4,22 @@
 use mtpu_primitives::U256;
 
 /// The EVM's transient byte memory. Grows in 32-byte words; expansion gas
-/// is charged by the interpreter via [`Memory::words`].
+/// is charged by the interpreter via [`Memory::words`], which reads a
+/// cached word count instead of re-deriving it from the byte length on
+/// every instruction.
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     bytes: Vec<u8>,
+    words: u64,
 }
 
 impl Memory {
     /// Creates an empty memory.
     pub fn new() -> Self {
-        Memory { bytes: Vec::new() }
+        Memory {
+            bytes: Vec::new(),
+            words: 0,
+        }
     }
 
     /// Current size in bytes (always a multiple of 32).
@@ -26,9 +32,22 @@ impl Memory {
         self.bytes.is_empty()
     }
 
-    /// Current size in 32-byte words.
+    /// Current size in 32-byte words (cached, updated on expansion).
+    #[inline]
     pub fn words(&self) -> u64 {
-        (self.bytes.len() / 32) as u64
+        self.words
+    }
+
+    /// Allocated capacity in bytes (used to decide whether a pooled
+    /// memory is worth retaining).
+    pub fn capacity(&self) -> usize {
+        self.bytes.capacity()
+    }
+
+    /// Empties the memory, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.words = 0;
     }
 
     /// Grows (never shrinks) so `[offset, offset+len)` is addressable.
@@ -42,6 +61,7 @@ impl Memory {
         let target = end.div_ceil(32) * 32;
         if target > self.bytes.len() {
             self.bytes.resize(target, 0);
+            self.words = (target / 32) as u64;
         }
     }
 
@@ -91,10 +111,18 @@ mod tests {
         let mut m = Memory::new();
         m.expand(0, 1);
         assert_eq!(m.len(), 32);
+        assert_eq!(m.words(), 1);
         m.expand(31, 2);
         assert_eq!(m.len(), 64);
+        assert_eq!(m.words(), 2);
         m.expand(100, 0); // zero-length never expands
         assert_eq!(m.len(), 64);
+        assert_eq!(m.words(), 2);
+        m.expand(0, 32); // within-bounds touch never shrinks the count
+        assert_eq!(m.words(), 2);
+        m.clear();
+        assert_eq!(m.words(), 0);
+        assert!(m.is_empty());
     }
 
     #[test]

@@ -31,6 +31,15 @@ pub struct EvmMetrics {
     /// Completed transactions whose receipt is a failure
     /// (`evm.tx.failed`).
     pub tx_failed: Counter,
+    /// Code-analysis cache lookups served from the cache
+    /// (`evm.analysis.hit`).
+    pub analysis_hits: Counter,
+    /// Code-analysis cache lookups that analyzed fresh bytecode
+    /// (`evm.analysis.miss`).
+    pub analysis_misses: Counter,
+    /// Code-analysis cache entries dropped at capacity
+    /// (`evm.analysis.evict`).
+    pub analysis_evictions: Counter,
 }
 
 fn category_key(cat: OpCategory) -> &'static str {
@@ -63,6 +72,9 @@ pub fn metrics() -> &'static EvmMetrics {
             exceptions: reg.counter("evm.frame.exceptions"),
             tx_executed: reg.counter("evm.tx.executed"),
             tx_failed: reg.counter("evm.tx.failed"),
+            analysis_hits: reg.counter("evm.analysis.hit"),
+            analysis_misses: reg.counter("evm.analysis.miss"),
+            analysis_evictions: reg.counter("evm.analysis.evict"),
         }
     })
 }

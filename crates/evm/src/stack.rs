@@ -1,6 +1,12 @@
 //! The EVM operand stack: up to 1024 elements of 256 bits (paper §3.3.6,
 //! "the maximum depth of the operand stack is 1024, and each element is
 //! 256 bits").
+//!
+//! Storage is a fixed-capacity boxed buffer rather than a growable `Vec`:
+//! the dispatch loop prechecks depth bounds once per instruction from the
+//! opcode metadata table ([`crate::analysis::OP_TABLE`]) and then uses the
+//! `*_unchecked` operations, so the per-operand push/pop paths carry no
+//! capacity or underflow branches.
 
 use mtpu_primitives::U256;
 
@@ -28,29 +34,50 @@ impl core::fmt::Display for StackError {
 impl std::error::Error for StackError {}
 
 /// The 1024-deep, 256-bit-wide operand stack.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct Stack {
-    items: Vec<U256>,
+    buf: Box<[U256; STACK_LIMIT]>,
+    len: usize,
+}
+
+impl Default for Stack {
+    fn default() -> Self {
+        Stack::new()
+    }
+}
+
+impl core::fmt::Debug for Stack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
 }
 
 impl Stack {
-    /// Creates an empty stack.
+    /// Creates an empty stack with the full 1024-slot buffer.
     pub fn new() -> Self {
-        Stack {
-            items: Vec::with_capacity(64),
-        }
+        let buf = vec![U256::ZERO; STACK_LIMIT]
+            .into_boxed_slice()
+            .try_into()
+            .unwrap_or_else(|_| unreachable!("buffer length is STACK_LIMIT"));
+        Stack { buf, len: 0 }
     }
 
     /// Current depth.
     #[inline]
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.len
     }
 
     /// `true` when empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.len == 0
+    }
+
+    /// Empties the stack, keeping the buffer.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
     }
 
     /// Pushes a value.
@@ -60,11 +87,20 @@ impl Stack {
     /// [`StackError::Overflow`] beyond 1024 elements.
     #[inline]
     pub fn push(&mut self, v: U256) -> Result<(), StackError> {
-        if self.items.len() >= STACK_LIMIT {
+        if self.len >= STACK_LIMIT {
             return Err(StackError::Overflow);
         }
-        self.items.push(v);
+        self.push_unchecked(v);
         Ok(())
+    }
+
+    /// Pushes without the capacity check. The caller must have verified
+    /// `len() < STACK_LIMIT` (the dispatch loop's depth precheck).
+    #[inline]
+    pub fn push_unchecked(&mut self, v: U256) {
+        debug_assert!(self.len < STACK_LIMIT);
+        self.buf[self.len] = v;
+        self.len += 1;
     }
 
     /// Pops the top value.
@@ -74,16 +110,28 @@ impl Stack {
     /// [`StackError::Underflow`] on an empty stack.
     #[inline]
     pub fn pop(&mut self) -> Result<U256, StackError> {
-        self.items.pop().ok_or(StackError::Underflow)
+        if self.len == 0 {
+            return Err(StackError::Underflow);
+        }
+        Ok(self.pop_unchecked())
+    }
+
+    /// Pops without the emptiness check. The caller must have verified the
+    /// stack holds at least one element.
+    #[inline]
+    pub fn pop_unchecked(&mut self) -> U256 {
+        debug_assert!(self.len > 0);
+        self.len -= 1;
+        self.buf[self.len]
     }
 
     /// Reads the `n`-th element from the top (0 = top) without popping.
     #[inline]
     pub fn peek(&self, n: usize) -> Result<U256, StackError> {
-        if n >= self.items.len() {
+        if n >= self.len {
             return Err(StackError::Underflow);
         }
-        Ok(self.items[self.items.len() - 1 - n])
+        Ok(self.buf[self.len - 1 - n])
     }
 
     /// Duplicates the `n`-th element (1 = top) onto the top — `DUPn`.
@@ -92,19 +140,36 @@ impl Stack {
         self.push(v)
     }
 
+    /// `DUPn` without depth checks. The caller must have verified
+    /// `n <= len() < STACK_LIMIT`.
+    #[inline]
+    pub fn dup_unchecked(&mut self, n: usize) {
+        debug_assert!(n >= 1 && n <= self.len && self.len < STACK_LIMIT);
+        self.buf[self.len] = self.buf[self.len - n];
+        self.len += 1;
+    }
+
     /// Swaps the top with the `n+1`-th element — `SWAPn`.
     pub fn swap(&mut self, n: usize) -> Result<(), StackError> {
-        if n >= self.items.len() {
+        if n >= self.len {
             return Err(StackError::Underflow);
         }
-        let top = self.items.len() - 1;
-        self.items.swap(top, top - n);
+        self.swap_unchecked(n);
         Ok(())
+    }
+
+    /// `SWAPn` without the depth check. The caller must have verified
+    /// `len() > n`.
+    #[inline]
+    pub fn swap_unchecked(&mut self, n: usize) {
+        debug_assert!(n >= 1 && n < self.len);
+        let top = self.len - 1;
+        self.buf.swap(top, top - n);
     }
 
     /// Iterates from bottom to top.
     pub fn iter(&self) -> core::slice::Iter<'_, U256> {
-        self.items.iter()
+        self.buf[..self.len].iter()
     }
 }
 
@@ -167,5 +232,70 @@ mod tests {
         assert_eq!(s.peek(0).unwrap(), u(1));
         assert_eq!(s.peek(2).unwrap(), u(3));
         assert_eq!(s.swap(3), Err(StackError::Underflow));
+    }
+
+    #[test]
+    fn clear_resets_depth_only() {
+        let mut s = Stack::new();
+        s.push(u(7)).unwrap();
+        s.push(u(8)).unwrap();
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), Err(StackError::Underflow));
+        s.push(u(9)).unwrap();
+        assert_eq!(s.peek(0).unwrap(), u(9));
+    }
+
+    #[test]
+    fn exhaustive_dup_round_trips() {
+        // DUP1..DUP16 over a stack seeded with distinct sentinels: the
+        // duplicated value, the depth change, and every untouched slot are
+        // all verified, for the checked and unchecked variants alike.
+        for n in 1..=16usize {
+            let mut s = Stack::new();
+            for i in 0..16 {
+                s.push(u(100 + i as u64)).unwrap();
+            }
+            let expected = s.peek(n - 1).unwrap();
+            s.dup(n).unwrap();
+            assert_eq!(s.len(), 17);
+            assert_eq!(s.peek(0).unwrap(), expected, "DUP{n} copies depth {n}");
+            for i in 0..16 {
+                assert_eq!(s.peek(i + 1).unwrap(), u(115 - i as u64));
+            }
+            let mut t = Stack::new();
+            for i in 0..16 {
+                t.push(u(100 + i as u64)).unwrap();
+            }
+            t.dup_unchecked(n);
+            assert_eq!(t.len(), s.len());
+            assert!(t.iter().eq(s.iter()), "DUP{n} unchecked mismatch");
+        }
+    }
+
+    #[test]
+    fn exhaustive_swap_round_trips() {
+        // SWAP1..SWAP16: a single swap moves exactly the two expected
+        // slots, and swapping again restores the original stack.
+        for n in 1..=16usize {
+            let mut s = Stack::new();
+            for i in 0..17 {
+                s.push(u(200 + i as u64)).unwrap();
+            }
+            let top = s.peek(0).unwrap();
+            let deep = s.peek(n).unwrap();
+            s.swap(n).unwrap();
+            assert_eq!(s.peek(0).unwrap(), deep, "SWAP{n} raises depth {n}");
+            assert_eq!(s.peek(n).unwrap(), top, "SWAP{n} buries the old top");
+            for i in 1..17 {
+                if i != n {
+                    assert_eq!(s.peek(i).unwrap(), u(216 - i as u64), "SWAP{n} slot {i}");
+                }
+            }
+            s.swap_unchecked(n);
+            for i in 0..17 {
+                assert_eq!(s.peek(i).unwrap(), u(216 - i as u64), "double SWAP{n}");
+            }
+        }
     }
 }

@@ -1,6 +1,14 @@
 //! Keccak-256 as used by Ethereum (original Keccak padding `0x01`, *not*
 //! the NIST SHA-3 `0x06` domain byte), implemented from scratch on the
 //! Keccak-f\[1600\] permutation.
+//!
+//! The permutation state is a flat `[u64; 25]` in the standard lane
+//! order `A[x, y] = state[x + 5 * y]` — the same order the sponge
+//! absorbs rate bytes in, so absorption XORs lanes sequentially — and
+//! every round runs theta/rho/pi/chi fully unrolled: the rho rotation
+//! constants and pi lane permutation are baked into straight-line code
+//! instead of being looked up per lane. This sits on the hot path of
+//! every SHA3/CREATE2 opcode, storage-trie key and trie node hash.
 
 /// Keccak-f[1600] round constants.
 const RC: [u64; 24] = [
@@ -30,49 +38,113 @@ const RC: [u64; 24] = [
     0x8000000080008008,
 ];
 
-/// Rotation offsets (rho step), indexed `[x][y]`.
-const RHO: [[u32; 5]; 5] = [
-    [0, 36, 3, 41, 18],
-    [1, 44, 10, 45, 2],
-    [62, 6, 43, 15, 61],
-    [28, 55, 25, 21, 56],
-    [27, 20, 39, 8, 14],
-];
-
 /// Sponge rate in bytes for Keccak-256 (1088-bit rate).
 const RATE: usize = 136;
 
-/// Applies the Keccak-f[1600] permutation to a 5×5 lane state.
-#[allow(clippy::needless_range_loop)] // the x/y lane indices mirror the spec
-fn keccak_f(state: &mut [[u64; 5]; 5]) {
+/// Applies the Keccak-f[1600] permutation to a flat 25-lane state
+/// (`A[x, y] = a[x + 5 * y]`), with each round's theta/rho/pi/chi steps
+/// fully unrolled.
+fn keccak_f(a: &mut [u64; 25]) {
     for &rc in &RC {
-        // Theta.
-        let mut c = [0u64; 5];
-        for (x, cx) in c.iter_mut().enumerate() {
-            *cx = state[x][0] ^ state[x][1] ^ state[x][2] ^ state[x][3] ^ state[x][4];
-        }
-        for x in 0..5 {
-            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
-            for y in 0..5 {
-                state[x][y] ^= d;
-            }
-        }
-        // Rho and pi.
-        let mut b = [[0u64; 5]; 5];
-        for x in 0..5 {
-            for y in 0..5 {
-                b[y][(2 * x + 3 * y) % 5] = state[x][y].rotate_left(RHO[x][y]);
-            }
-        }
-        // Chi.
-        for x in 0..5 {
-            for y in 0..5 {
-                state[x][y] = b[x][y] ^ (!b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
-            }
-        }
-        // Iota.
-        state[0][0] ^= rc;
+        // Theta: column parities, then XOR each column's D into it.
+        let c0 = a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20];
+        let c1 = a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21];
+        let c2 = a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22];
+        let c3 = a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23];
+        let c4 = a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24];
+        let d0 = c4 ^ c1.rotate_left(1);
+        let d1 = c0 ^ c2.rotate_left(1);
+        let d2 = c1 ^ c3.rotate_left(1);
+        let d3 = c2 ^ c4.rotate_left(1);
+        let d4 = c3 ^ c0.rotate_left(1);
+        a[0] ^= d0;
+        a[1] ^= d1;
+        a[2] ^= d2;
+        a[3] ^= d3;
+        a[4] ^= d4;
+        a[5] ^= d0;
+        a[6] ^= d1;
+        a[7] ^= d2;
+        a[8] ^= d3;
+        a[9] ^= d4;
+        a[10] ^= d0;
+        a[11] ^= d1;
+        a[12] ^= d2;
+        a[13] ^= d3;
+        a[14] ^= d4;
+        a[15] ^= d0;
+        a[16] ^= d1;
+        a[17] ^= d2;
+        a[18] ^= d3;
+        a[19] ^= d4;
+        a[20] ^= d0;
+        a[21] ^= d1;
+        a[22] ^= d2;
+        a[23] ^= d3;
+        a[24] ^= d4;
+        // Rho + pi: b[y + 5*((2x + 3y) % 5)] = rotl(a[x + 5y], rho[x][y]).
+        let b0 = a[0];
+        let b16 = a[5].rotate_left(36);
+        let b7 = a[10].rotate_left(3);
+        let b23 = a[15].rotate_left(41);
+        let b14 = a[20].rotate_left(18);
+        let b10 = a[1].rotate_left(1);
+        let b1 = a[6].rotate_left(44);
+        let b17 = a[11].rotate_left(10);
+        let b8 = a[16].rotate_left(45);
+        let b24 = a[21].rotate_left(2);
+        let b20 = a[2].rotate_left(62);
+        let b11 = a[7].rotate_left(6);
+        let b2 = a[12].rotate_left(43);
+        let b18 = a[17].rotate_left(15);
+        let b9 = a[22].rotate_left(61);
+        let b5 = a[3].rotate_left(28);
+        let b21 = a[8].rotate_left(55);
+        let b12 = a[13].rotate_left(25);
+        let b3 = a[18].rotate_left(21);
+        let b19 = a[23].rotate_left(56);
+        let b15 = a[4].rotate_left(27);
+        let b6 = a[9].rotate_left(20);
+        let b22 = a[14].rotate_left(39);
+        let b13 = a[19].rotate_left(8);
+        let b4 = a[24].rotate_left(14);
+        // Chi, row by row, then iota.
+        a[0] = b0 ^ (!b1 & b2);
+        a[1] = b1 ^ (!b2 & b3);
+        a[2] = b2 ^ (!b3 & b4);
+        a[3] = b3 ^ (!b4 & b0);
+        a[4] = b4 ^ (!b0 & b1);
+        a[5] = b5 ^ (!b6 & b7);
+        a[6] = b6 ^ (!b7 & b8);
+        a[7] = b7 ^ (!b8 & b9);
+        a[8] = b8 ^ (!b9 & b5);
+        a[9] = b9 ^ (!b5 & b6);
+        a[10] = b10 ^ (!b11 & b12);
+        a[11] = b11 ^ (!b12 & b13);
+        a[12] = b12 ^ (!b13 & b14);
+        a[13] = b13 ^ (!b14 & b10);
+        a[14] = b14 ^ (!b10 & b11);
+        a[15] = b15 ^ (!b16 & b17);
+        a[16] = b16 ^ (!b17 & b18);
+        a[17] = b17 ^ (!b18 & b19);
+        a[18] = b18 ^ (!b19 & b15);
+        a[19] = b19 ^ (!b15 & b16);
+        a[20] = b20 ^ (!b21 & b22);
+        a[21] = b21 ^ (!b22 & b23);
+        a[22] = b22 ^ (!b23 & b24);
+        a[23] = b23 ^ (!b24 & b20);
+        a[24] = b24 ^ (!b20 & b21);
+        a[0] ^= rc;
     }
+}
+
+/// XORs one rate-sized block into the first 17 lanes and permutes.
+fn absorb_block(state: &mut [u64; 25], block: &[u8]) {
+    debug_assert_eq!(block.len(), RATE);
+    for (lane, chunk) in state[..RATE / 8].iter_mut().zip(block.chunks_exact(8)) {
+        *lane ^= u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+    }
+    keccak_f(state);
 }
 
 /// Incremental Keccak-256 hasher.
@@ -86,7 +158,7 @@ fn keccak_f(state: &mut [[u64; 5]; 5]) {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Keccak256 {
-    state: [[u64; 5]; 5],
+    state: [u64; 25],
     buffer: [u8; RATE],
     buffered: usize,
 }
@@ -94,7 +166,7 @@ pub struct Keccak256 {
 impl Default for Keccak256 {
     fn default() -> Self {
         Keccak256 {
-            state: [[0; 5]; 5],
+            state: [0; 25],
             buffer: [0; RATE],
             buffered: 0,
         }
@@ -107,29 +179,30 @@ impl Keccak256 {
         Self::default()
     }
 
-    /// Absorbs `data` into the sponge.
+    /// Absorbs `data` into the sponge. Whole rate-sized blocks are
+    /// absorbed straight from `data`; only partial tails are staged in
+    /// the internal buffer.
     pub fn update(&mut self, data: &[u8]) {
         let mut rest = data;
-        while !rest.is_empty() {
+        if self.buffered > 0 {
             let take = (RATE - self.buffered).min(rest.len());
             self.buffer[self.buffered..self.buffered + take].copy_from_slice(&rest[..take]);
             self.buffered += take;
             rest = &rest[take..];
             if self.buffered == RATE {
-                self.absorb_block();
+                let buffer = self.buffer;
+                absorb_block(&mut self.state, &buffer);
+                self.buffered = 0;
             }
         }
-    }
-
-    fn absorb_block(&mut self) {
-        for i in 0..RATE / 8 {
-            let mut lane = [0u8; 8];
-            lane.copy_from_slice(&self.buffer[i * 8..i * 8 + 8]);
-            let (x, y) = (i % 5, i / 5);
-            self.state[x][y] ^= u64::from_le_bytes(lane);
+        while rest.len() >= RATE {
+            absorb_block(&mut self.state, &rest[..RATE]);
+            rest = &rest[RATE..];
         }
-        keccak_f(&mut self.state);
-        self.buffered = 0;
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffered = rest.len();
+        }
     }
 
     /// Finishes the hash and returns the 32-byte digest.
@@ -138,13 +211,12 @@ impl Keccak256 {
         self.buffer[self.buffered..].fill(0);
         self.buffer[self.buffered] ^= 0x01;
         self.buffer[RATE - 1] ^= 0x80;
-        self.buffered = RATE;
-        self.absorb_block();
+        let buffer = self.buffer;
+        absorb_block(&mut self.state, &buffer);
 
         let mut out = [0u8; 32];
-        for i in 0..4 {
-            let (x, y) = (i % 5, i / 5);
-            out[i * 8..i * 8 + 8].copy_from_slice(&self.state[x][y].to_le_bytes());
+        for (i, lane) in self.state[..4].iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&lane.to_le_bytes());
         }
         out
     }
@@ -216,6 +288,51 @@ mod tests {
             h.update(&data[..len / 2]);
             h.update(&data[len / 2..]);
             assert_eq!(h.finalize(), d1, "len={len}");
+        }
+    }
+
+    #[test]
+    fn rate_boundary_known_digests() {
+        // Digests of the byte sequence 0, 1, 2, ... at the one- and
+        // two-block sponge boundaries (135/136/137 and 271/272/273
+        // bytes), pinned against the pre-rewrite implementation, which
+        // was itself validated against the standard Keccak-256 vectors.
+        let vectors: [(usize, &str); 6] = [
+            (
+                135,
+                "cbdfd9dee5faad3818d6b06f95a219fd290b0e1706f6a82e5a595b9ce9faca62",
+            ),
+            (
+                136,
+                "7ce759f1ab7f9ce437719970c26b0a66ff11fe3e38e17df89cf5d29c7d7f807e",
+            ),
+            (
+                137,
+                "ac73d4fae68b8453f764007c1a20ce95994187861f0c3227a3a8e99a73a3b1db",
+            ),
+            (
+                271,
+                "7c974895b2a88303ff2dc6b58f438ceb0b298cac91099ac0539cc0f477506191",
+            ),
+            (
+                272,
+                "fdf2ec49e749960d3c8521a0219af8d03e30e2b3bf19bd16150ee0eaf133d66e",
+            ),
+            (
+                273,
+                "4f707289a9c3ccd0c4a51f2f17339f5dd171d371c04ff7783b735b5b22682eaf",
+            ),
+        ];
+        for (len, want) in vectors {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            assert_eq!(hex(&keccak256(&data)), want, "len={len}");
+            // The same input fed byte-by-byte must cross the rate
+            // boundary identically.
+            let mut h = Keccak256::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(hex(&h.finalize()), want, "len={len} streamed");
         }
     }
 

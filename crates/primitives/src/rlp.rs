@@ -22,12 +22,16 @@ impl Item {
     /// Encodes an unsigned integer as a minimal big-endian byte string
     /// (canonical RLP integer form: no leading zeros, empty for zero).
     pub fn uint(v: u64) -> Item {
-        Item::Bytes(U256::from(v).to_be_bytes_trimmed())
+        Item::u256(U256::from(v))
     }
 
-    /// Encodes a [`U256`] canonically.
+    /// Encodes a [`U256`] canonically. The minimal byte form is written
+    /// through a stack buffer ([`U256::write_be_into`]) so the only
+    /// allocation is the exact-length payload itself.
     pub fn u256(v: U256) -> Item {
-        Item::Bytes(v.to_be_bytes_trimmed())
+        let mut buf = [0u8; 32];
+        let first = v.write_be_into(&mut buf);
+        Item::Bytes(buf[first..].to_vec())
     }
 
     /// Returns the byte string, or `None` for lists.
@@ -64,23 +68,42 @@ impl Item {
     }
 }
 
-/// Serializes an item to its RLP byte representation.
+/// Serializes an item to its RLP byte representation. Lengths are
+/// precomputed ([`encoded_len`]) so the encoding is written in one pass
+/// into a single exactly-sized buffer — no intermediate payload
+/// buffers, which matters on the trie-node hashing hot path.
 pub fn encode(item: &Item) -> Vec<u8> {
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(encoded_len(item));
     encode_into(item, &mut out);
     out
 }
 
 /// Serializes a sequence of items as an RLP list.
 pub fn encode_list(items: &[Item]) -> Vec<u8> {
-    let mut payload = Vec::new();
+    let payload: usize = items.iter().map(encoded_len).sum();
+    let mut out = Vec::with_capacity(payload + 9);
+    write_length(0xc0, payload, &mut out);
     for it in items {
-        encode_into(it, &mut payload);
+        encode_into(it, &mut out);
     }
-    let mut out = Vec::with_capacity(payload.len() + 9);
-    write_length(0xc0, payload.len(), &mut out);
-    out.extend_from_slice(&payload);
     out
+}
+
+/// Exact length in bytes of [`encode`]'s output for `item`.
+pub fn encoded_len(item: &Item) -> usize {
+    match item {
+        Item::Bytes(b) => {
+            if b.len() == 1 && b[0] < 0x80 {
+                1
+            } else {
+                length_len(b.len()) + b.len()
+            }
+        }
+        Item::List(items) => {
+            let payload: usize = items.iter().map(encoded_len).sum();
+            length_len(payload) + payload
+        }
+    }
 }
 
 fn encode_into(item: &Item, out: &mut Vec<u8>) {
@@ -94,13 +117,22 @@ fn encode_into(item: &Item, out: &mut Vec<u8>) {
             }
         }
         Item::List(items) => {
-            let mut payload = Vec::new();
+            let payload: usize = items.iter().map(encoded_len).sum();
+            write_length(0xc0, payload, out);
             for it in items {
-                encode_into(it, &mut payload);
+                encode_into(it, out);
             }
-            write_length(0xc0, payload.len(), out);
-            out.extend_from_slice(&payload);
         }
+    }
+}
+
+/// Bytes a length prefix occupies (header byte plus any big-endian
+/// length bytes).
+fn length_len(len: usize) -> usize {
+    if len <= 55 {
+        1
+    } else {
+        1 + (8 - (len as u64).leading_zeros() as usize / 8)
     }
 }
 
@@ -320,5 +352,27 @@ mod tests {
     #[test]
     fn empty_input() {
         assert_eq!(decode(&[]), Err(DecodeError::UnexpectedEnd));
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let samples = [
+            Item::bytes(vec![]),
+            Item::bytes(vec![0x7f]),
+            Item::bytes(vec![0x80]),
+            Item::bytes(vec![b'x'; 55]),
+            Item::bytes(vec![b'x'; 56]),
+            Item::bytes(vec![b'x'; 300]),
+            Item::uint(0),
+            Item::u256(U256::MAX),
+            Item::List(vec![]),
+            Item::List(vec![Item::uint(7), Item::bytes(vec![1; 60])]),
+            Item::List((0..40).map(|i| Item::uint(i * 1_000_003)).collect()),
+        ];
+        for item in &samples {
+            let enc = encode(item);
+            assert_eq!(enc.len(), encoded_len(item), "{item:?}");
+            assert_eq!(decode(&enc).unwrap(), *item, "{item:?}");
+        }
     }
 }

@@ -176,11 +176,29 @@ impl U256 {
         out
     }
 
+    /// Number of bytes in the minimal big-endian representation
+    /// (0 for zero) — the length [`U256::to_be_bytes_trimmed`] would
+    /// allocate, without allocating.
+    pub fn byte_len(&self) -> usize {
+        (self.bits() as usize).div_ceil(8)
+    }
+
+    /// Writes the full 32-byte big-endian form into `buf` and returns
+    /// the offset of the first significant byte, so `&buf[offset..]` is
+    /// the minimal (RLP-canonical) representation with no allocation.
+    pub fn write_be_into(self, buf: &mut [u8; 32]) -> usize {
+        for i in 0..LIMBS {
+            let start = 32 - (i + 1) * 8;
+            buf[start..start + 8].copy_from_slice(&self.0[i].to_be_bytes());
+        }
+        32 - self.byte_len()
+    }
+
     /// Minimal big-endian byte representation (empty for zero), as used by
     /// RLP encoding.
     pub fn to_be_bytes_trimmed(self) -> Vec<u8> {
-        let full = self.to_be_bytes();
-        let first = full.iter().position(|&b| b != 0).unwrap_or(32);
+        let mut full = [0u8; 32];
+        let first = self.write_be_into(&mut full);
         full[first..].to_vec()
     }
 
@@ -1150,6 +1168,40 @@ mod tests {
     }
 
     #[test]
+    fn shift_amount_boundaries() {
+        // Shifts of exactly 255 (last in-range), 256, and 257 (both
+        // saturating) — for positive and negative operands.
+        let one = u(1);
+        let neg = U256::MAX; // -1 in two's complement
+        let pos = U256::MAX >> 1; // largest non-negative value
+
+        assert_eq!(one.evm_shl(u(255)), U256::SIGN_BIT);
+        assert_eq!(one.evm_shl(u(256)), U256::ZERO);
+        assert_eq!(one.evm_shl(u(257)), U256::ZERO);
+        assert_eq!(neg.evm_shl(u(255)), U256::SIGN_BIT);
+
+        assert_eq!(U256::SIGN_BIT.evm_shr(u(255)), one);
+        assert_eq!(neg.evm_shr(u(255)), one);
+        assert_eq!(neg.evm_shr(u(256)), U256::ZERO);
+        assert_eq!(neg.evm_shr(u(257)), U256::ZERO);
+
+        // SAR of a negative value saturates to -1, a positive one to 0.
+        assert_eq!(neg.evm_sar(u(255)), U256::MAX);
+        assert_eq!(neg.evm_sar(u(256)), U256::MAX);
+        assert_eq!(neg.evm_sar(u(257)), U256::MAX);
+        assert_eq!(U256::SIGN_BIT.evm_sar(u(255)), U256::MAX);
+        assert_eq!(pos.evm_sar(u(255)), U256::ZERO);
+        assert_eq!(pos.evm_sar(u(256)), U256::ZERO);
+        assert_eq!(pos.evm_sar(u(257)), U256::ZERO);
+
+        // Shift amounts wider than 64 bits also saturate.
+        let huge = U256::ONE << 64;
+        assert_eq!(one.evm_shl(huge), U256::ZERO);
+        assert_eq!(neg.evm_shr(huge), U256::ZERO);
+        assert_eq!(neg.evm_sar(huge), U256::MAX);
+    }
+
+    #[test]
     fn signed_cmp_ordering() {
         let minus_one = U256::MAX;
         assert_eq!(minus_one.signed_cmp(&U256::ZERO), Ordering::Less);
@@ -1164,6 +1216,27 @@ mod tests {
         assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
         assert_eq!(U256::from_be_slice(&v.to_be_bytes_trimmed()), v);
         assert_eq!(U256::ZERO.to_be_bytes_trimmed(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn byte_len_and_write_be_into_match_trimmed() {
+        let samples = [
+            U256::ZERO,
+            U256::ONE,
+            u(0xff),
+            u(0x100),
+            u(u64::MAX),
+            U256::from_str_hex("deadbeefcafebabe0123456789abcdef").unwrap(),
+            U256::MAX,
+        ];
+        for v in samples {
+            let trimmed = v.to_be_bytes_trimmed();
+            assert_eq!(v.byte_len(), trimmed.len(), "{v}");
+            let mut buf = [0u8; 32];
+            let first = v.write_be_into(&mut buf);
+            assert_eq!(&buf[first..], &trimmed[..], "{v}");
+            assert_eq!(buf, v.to_be_bytes(), "{v}");
+        }
     }
 
     #[test]

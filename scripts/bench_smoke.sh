@@ -5,8 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> bench smoke: all --only table1,stateroot --telemetry"
-cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot --telemetry --json BENCH_RESULTS.json
+echo "==> bench smoke: all --only table1,stateroot,interp_hot --telemetry"
+cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,interp_hot --telemetry --json BENCH_RESULTS.json
 
 echo "==> validating BENCH_RESULTS.json"
 python3 - <<'EOF'
@@ -20,8 +20,11 @@ assert set(d) == expected, f"top-level keys {sorted(d)} != {sorted(expected)}"
 assert d["schema"] == "mtpu-bench-results/v1", d["schema"]
 assert "table1" in d["experiments"], list(d["experiments"])
 assert "stateroot" in d["experiments"], list(d["experiments"])
+assert "interp_hot" in d["experiments"], list(d["experiments"])
+assert "speedup" in d["experiments"]["interp_hot"], "interp_hot table lost its speedup columns"
 assert d["wall_ns"]["table1"] > 0
 assert d["wall_ns"]["stateroot"] > 0
+assert d["wall_ns"]["interp_hot"] > 0
 assert d["telemetry"] is not None, "telemetry snapshot missing despite --telemetry"
 assert "counters" in d["telemetry"]
 print(f"BENCH_RESULTS.json OK: {len(d['experiments'])} experiment(s), "
