@@ -29,6 +29,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("table8", compare::table8),
     ("table9", compare::table9),
     ("stateroot", stateroot::per_block),
+    ("stateroot_par", stateroot::threads_sweep),
     ("interp_hot", interp_hot::hot_paths),
     ("hotspot", stat::hotspot_loading),
     ("hotspot-drift", drift::hotspot_drift),

@@ -10,9 +10,11 @@
 //! on every block before reporting timings.
 
 use crate::harness::render_table;
-use mtpu_evm::{commit_block_delta, commit_full};
+use mtpu_evm::{apply_updates, commit_block_delta, commit_full, AsyncCommitter};
 use mtpu_parexec::ParExecutor;
-use mtpu_statedb::{MemStore, StateCommitter};
+use mtpu_primitives::prng::SplitMix64;
+use mtpu_primitives::{Address, B256, U256};
+use mtpu_statedb::{AccountUpdate, MemStore, StateCommitter};
 use mtpu_workloads::{BlockConfig, Generator};
 use std::time::{Duration, Instant};
 
@@ -116,5 +118,150 @@ pub fn per_block() -> String {
         stats.cache_hits,
         stats.cache_misses,
         sum_scratch.as_secs_f64() / sum_incr.as_secs_f64(),
+    )
+}
+
+/// Accounts seeded into the sweep's genesis trie.
+const SWEEP_ACCOUNTS: u64 = 600;
+/// Blocks committed per timed run.
+const SWEEP_BLOCKS: usize = 4;
+/// Accounts each block writes (write-heavy: ~40% of state per block).
+const SWEEP_TOUCHED: usize = 256;
+/// Storage slots written per touched account.
+const SWEEP_SLOTS: usize = 4;
+/// Thread counts swept.
+const SWEEP_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+type Updates = Vec<(Address, Option<AccountUpdate>)>;
+
+fn sweep_account(n: u64) -> Address {
+    Address::from_low_u64(n + 1)
+}
+
+fn sweep_update(rng: &mut SplitMix64, nonce: u64) -> AccountUpdate {
+    let mut up = AccountUpdate::plain(
+        nonce,
+        U256::from(rng.random_range(1..1u64 << 40)),
+        mtpu_statedb::empty_code_hash(),
+    );
+    for _ in 0..SWEEP_SLOTS {
+        up.storage.push((
+            U256::from(rng.random_range(0..4096)),
+            U256::from(rng.next_u64() | 1),
+        ));
+    }
+    up
+}
+
+/// The sweep workload: a genesis touching every account plus
+/// `SWEEP_BLOCKS` write-heavy block update-sets, generated once so every
+/// thread count commits byte-identical input.
+fn sweep_workload() -> (Updates, Vec<Updates>) {
+    let mut rng = SplitMix64::new(0x0c17_5eed);
+    let genesis: Updates = (0..SWEEP_ACCOUNTS)
+        .map(|n| (sweep_account(n), Some(sweep_update(&mut rng, 1))))
+        .collect();
+    let blocks = (0..SWEEP_BLOCKS)
+        .map(|b| {
+            (0..SWEEP_TOUCHED as u64)
+                .map(|_| {
+                    let n = rng.random_range(0..SWEEP_ACCOUNTS);
+                    (sweep_account(n), Some(sweep_update(&mut rng, b as u64 + 2)))
+                })
+                .collect()
+        })
+        .collect();
+    (genesis, blocks)
+}
+
+fn seeded(genesis: &Updates, threads: usize) -> StateCommitter<MemStore> {
+    let mut c = StateCommitter::new(MemStore::new()).with_threads(threads);
+    apply_updates(&mut c, genesis);
+    c.commit();
+    c
+}
+
+/// Commits the block sequence synchronously; returns the final root and
+/// the commit wall time.
+fn run_sync(genesis: &Updates, blocks: &[Updates], threads: usize) -> (B256, Duration) {
+    let mut c = seeded(genesis, threads);
+    let t0 = Instant::now();
+    let mut root = B256::ZERO;
+    for block in blocks {
+        apply_updates(&mut c, block);
+        root = c.commit();
+    }
+    (root, t0.elapsed())
+}
+
+/// Commits the block sequence through the background commit thread
+/// (execute/commit overlap mode); returns the final root and the wall
+/// time from first submission to last resolution.
+fn run_pipelined(genesis: &Updates, blocks: &[Updates], threads: usize) -> (B256, Duration) {
+    let c = AsyncCommitter::new(seeded(genesis, threads));
+    let t0 = Instant::now();
+    let mut handle = None;
+    for block in blocks {
+        handle = Some(c.submit_updates(block.clone(), false));
+    }
+    let root = handle
+        .expect("at least one block")
+        .wait()
+        .expect("in-memory commit cannot fail");
+    (root, t0.elapsed())
+}
+
+/// `--threads` sweep over a many-account write-heavy workload: the same
+/// block sequence committed at 1/2/4/8 worker threads and in pipelined
+/// mode, asserting every configuration lands on the same root.
+pub fn threads_sweep() -> String {
+    let (genesis, blocks) = sweep_workload();
+    let per_block = |d: Duration| d.as_nanos() as u64 / SWEEP_BLOCKS as u64;
+
+    let (root1, base_wall) = run_sync(&genesis, &blocks, 1);
+    let mut rows = Vec::new();
+    rows.push(vec![
+        "1".to_string(),
+        format!("{base_wall:.2?}"),
+        format!("{}", per_block(base_wall)),
+        "1.00".to_string(),
+    ]);
+    let mut parity = true;
+    for threads in &SWEEP_THREADS[1..] {
+        let (root, wall) = run_sync(&genesis, &blocks, *threads);
+        parity &= root == root1;
+        assert_eq!(root, root1, "parallel commit diverged at {threads} threads");
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{wall:.2?}"),
+            format!("{}", per_block(wall)),
+            format!("{:.2}", base_wall.as_secs_f64() / wall.as_secs_f64()),
+        ]);
+    }
+    let (pipe_root, pipe_wall) = run_pipelined(&genesis, &blocks, 4);
+    parity &= pipe_root == root1;
+    assert_eq!(pipe_root, root1, "pipelined commit diverged");
+    rows.push(vec![
+        "4+pipe".to_string(),
+        format!("{pipe_wall:.2?}"),
+        format!("{}", per_block(pipe_wall)),
+        format!("{:.2}", base_wall.as_secs_f64() / pipe_wall.as_secs_f64()),
+    ]);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    render_table(
+        &format!(
+            "State-commit threads sweep ({SWEEP_ACCOUNTS} accounts, \
+             {SWEEP_BLOCKS} blocks x {SWEEP_TOUCHED} touched x {SWEEP_SLOTS} slots)"
+        ),
+        &["threads", "commit wall", "ns/block", "speedup"],
+        &rows,
+    ) + &format!(
+        "\nfinal root: {root1}\nroot parity: {} (thread counts {:?} + pipelined)\n\
+         host cores: {cores} (speedups are parity checks, not gains, below 2 cores)\n",
+        if parity { "OK" } else { "MISMATCH" },
+        SWEEP_THREADS,
     )
 }

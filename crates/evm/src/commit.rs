@@ -11,7 +11,12 @@
 use crate::overlay::{BlockDelta, OverlayedView, StateRead};
 use crate::state::{Account, State};
 use mtpu_primitives::{Address, B256};
-use mtpu_statedb::{AccountUpdate, MemStore, NodeStore, StateCommitter};
+use mtpu_statedb::AccountUpdate;
+pub use mtpu_statedb::{MemStore, NodeStore, StateCommitter};
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
 
 /// The [`AccountUpdate`] describing `account`'s full contents (storage
 /// replayed from scratch).
@@ -33,7 +38,14 @@ impl State {
     /// [`State::finalize_tx`]) are excluded, mirroring
     /// [`State::state_root`].
     pub fn merkle_root(&self) -> B256 {
-        let mut committer = StateCommitter::new(MemStore::new());
+        self.merkle_root_par(1)
+    }
+
+    /// [`State::merkle_root`] with storage-trie hashing fanned across up
+    /// to `threads` worker threads. The root is identical for every
+    /// thread count (see DESIGN.md §10).
+    pub fn merkle_root_par(&self, threads: usize) -> B256 {
+        let mut committer = StateCommitter::new(MemStore::new()).with_threads(threads);
         commit_full(&mut committer, self);
         committer.commit()
     }
@@ -48,6 +60,51 @@ pub fn commit_full<S: NodeStore>(committer: &mut StateCommitter<S>, state: &Stat
     }
 }
 
+/// One block's commitment work, fully resolved against the pre-block
+/// state: per-account updates in address order (`None` = delete). This
+/// is everything a commit needs — extracting it up front lets a
+/// background thread commit without borrowing `base` or `delta`.
+pub fn delta_updates(base: &State, delta: &BlockDelta) -> Vec<(Address, Option<AccountUpdate>)> {
+    let view = OverlayedView { base, delta };
+    let mut updates: Vec<(Address, Option<AccountUpdate>)> = delta
+        .iter()
+        .map(|(addr, d)| {
+            if d.deleted {
+                return (addr, None);
+            }
+            let up = AccountUpdate {
+                nonce: view.read_nonce(addr),
+                balance: view.read_balance(addr),
+                code_hash: effective_code_hash(&view, addr),
+                // A shadowing delta (re-)created the account inside this
+                // block: its storage map is the complete storage, so the
+                // old trie (if any) must be discarded.
+                reset_storage: d.shadows_base,
+                storage: d.storage.iter().map(|(k, v)| (*k, *v)).collect(),
+            };
+            (addr, Some(up))
+        })
+        .collect();
+    // BlockDelta iterates in HashMap order; sorting pins the committer's
+    // touch order — and with it the store's append order — to a pure
+    // function of the block's contents.
+    updates.sort_unstable_by_key(|(addr, _)| *addr);
+    updates
+}
+
+/// Replays pre-extracted [`delta_updates`] into `committer`.
+pub fn apply_updates<S: NodeStore>(
+    committer: &mut StateCommitter<S>,
+    updates: &[(Address, Option<AccountUpdate>)],
+) {
+    for (addr, up) in updates {
+        match up {
+            Some(up) => committer.update_account(addr, up),
+            None => committer.delete_account(addr),
+        }
+    }
+}
+
 /// Applies one block's accumulated [`BlockDelta`] to a persistent
 /// `committer` whose trie currently commits to `base`, and returns the
 /// post-block root. Only the touched accounts' trie paths are re-hashed.
@@ -59,24 +116,7 @@ pub fn commit_block_delta<S: NodeStore>(
     base: &State,
     delta: &BlockDelta,
 ) -> B256 {
-    let view = OverlayedView { base, delta };
-    for (addr, d) in delta.iter() {
-        if d.deleted {
-            committer.delete_account(&addr);
-            continue;
-        }
-        let up = AccountUpdate {
-            nonce: view.read_nonce(addr),
-            balance: view.read_balance(addr),
-            code_hash: effective_code_hash(&view, addr),
-            // A shadowing delta (re-)created the account inside this
-            // block: its storage map is the complete storage, so the old
-            // trie (if any) must be discarded.
-            reset_storage: d.shadows_base,
-            storage: d.storage.iter().map(|(k, v)| (*k, *v)).collect(),
-        };
-        committer.update_account(&addr, &up);
-    }
+    apply_updates(committer, &delta_updates(base, delta));
     committer.commit()
 }
 
@@ -100,6 +140,181 @@ pub fn delta_merkle_root(base: &State, delta: &BlockDelta) -> B256 {
     commit_full(&mut committer, base);
     committer.commit();
     commit_block_delta(&mut committer, base, delta)
+}
+
+/// A background-commit failure. Carries the store's I/O error rendered
+/// to text — [`std::io::Error`] is not `Clone`, and every clone of a
+/// [`CommitHandle`] must be able to report the result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitError(String);
+
+impl CommitError {
+    fn new(e: std::io::Error) -> CommitError {
+        CommitError(e.to_string())
+    }
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state commit failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+#[derive(Debug)]
+struct CommitSlot {
+    result: Mutex<Option<Result<B256, CommitError>>>,
+    ready: Condvar,
+}
+
+/// A claim check for one block's state root: returned immediately by
+/// [`AsyncCommitter::submit`] while the commitment runs on the
+/// background thread, redeemed with [`CommitHandle::wait`] at the point
+/// the root is actually needed (typically after the *next* block has
+/// executed — that window is the execute/commit overlap).
+///
+/// Clones share the same slot, so a producer can keep one for chaining
+/// while handing another to the caller.
+#[derive(Debug, Clone)]
+pub struct CommitHandle {
+    slot: Arc<CommitSlot>,
+}
+
+impl CommitHandle {
+    fn pending() -> CommitHandle {
+        CommitHandle {
+            slot: Arc::new(CommitSlot {
+                result: Mutex::new(None),
+                ready: Condvar::new(),
+            }),
+        }
+    }
+
+    /// An already-resolved handle — what synchronous commit paths return
+    /// so callers need not care which path produced a root.
+    pub fn ready(root: B256) -> CommitHandle {
+        let h = CommitHandle::pending();
+        h.resolve(Ok(root));
+        h
+    }
+
+    fn resolve(&self, result: Result<B256, CommitError>) {
+        let mut slot = self.slot.result.lock().expect("commit slot lock");
+        *slot = Some(result);
+        self.slot.ready.notify_all();
+    }
+
+    /// `true` once the commit has finished (never blocks).
+    pub fn is_ready(&self) -> bool {
+        self.slot.result.lock().expect("commit slot lock").is_some()
+    }
+
+    /// Blocks until the commit finishes and returns its root.
+    ///
+    /// # Errors
+    ///
+    /// Returns the store's persistence error, if the commit failed.
+    pub fn wait(&self) -> Result<B256, CommitError> {
+        let mut slot = self.slot.result.lock().expect("commit slot lock");
+        while slot.is_none() {
+            slot = self.slot.ready.wait(slot).expect("commit slot lock");
+        }
+        slot.clone().expect("checked Some")
+    }
+}
+
+struct CommitJob {
+    updates: Vec<(Address, Option<AccountUpdate>)>,
+    persist: bool,
+    handle: CommitHandle,
+}
+
+/// A [`StateCommitter`] moved onto a dedicated background thread.
+///
+/// [`AsyncCommitter::submit`] extracts a block's [`delta_updates`] on
+/// the calling thread (they borrow the base state, which the background
+/// thread must not), enqueues them, and returns a [`CommitHandle`]
+/// immediately — block N's trie hashing and `FileStore` sync overlap
+/// block N+1's execution. Jobs run strictly in submission order, so
+/// block-to-block root chaining is preserved.
+#[derive(Debug)]
+pub struct AsyncCommitter<S: NodeStore + Send + 'static> {
+    jobs: Option<mpsc::Sender<CommitJob>>,
+    worker: Option<thread::JoinHandle<StateCommitter<S>>>,
+}
+
+impl<S: NodeStore + Send + 'static> AsyncCommitter<S> {
+    /// Moves `committer` onto a freshly spawned commit thread.
+    pub fn new(mut committer: StateCommitter<S>) -> AsyncCommitter<S> {
+        let (tx, rx) = mpsc::channel::<CommitJob>();
+        let worker = thread::Builder::new()
+            .name("statedb-commit".into())
+            .spawn(move || {
+                mtpu_telemetry::name_thread("statedb-commit");
+                while let Ok(job) = rx.recv() {
+                    apply_updates(&mut committer, &job.updates);
+                    let result = if job.persist {
+                        committer.persist().map_err(CommitError::new)
+                    } else {
+                        Ok(committer.commit())
+                    };
+                    job.handle.resolve(result);
+                }
+                committer
+            })
+            .expect("spawn commit thread");
+        AsyncCommitter {
+            jobs: Some(tx),
+            worker: Some(worker),
+        }
+    }
+
+    /// Queues one block's commitment; `persist` additionally syncs the
+    /// store at the new root. `base` must be the pre-block state the
+    /// delta was built against.
+    pub fn submit(&self, base: &State, delta: &BlockDelta, persist: bool) -> CommitHandle {
+        self.submit_updates(delta_updates(base, delta), persist)
+    }
+
+    /// [`AsyncCommitter::submit`] for pre-extracted updates.
+    pub fn submit_updates(
+        &self,
+        updates: Vec<(Address, Option<AccountUpdate>)>,
+        persist: bool,
+    ) -> CommitHandle {
+        let handle = CommitHandle::pending();
+        self.jobs
+            .as_ref()
+            .expect("sender alive until drop")
+            .send(CommitJob {
+                updates,
+                persist,
+                handle: handle.clone(),
+            })
+            .expect("commit thread alive");
+        handle
+    }
+
+    /// Drains the queue and takes the committer back (ending the
+    /// background thread).
+    pub fn into_inner(mut self) -> StateCommitter<S> {
+        self.jobs = None; // closes the channel; the worker drains and exits
+        self.worker
+            .take()
+            .expect("worker present until drop")
+            .join()
+            .expect("commit thread panicked")
+    }
+}
+
+impl<S: NodeStore + Send + 'static> Drop for AsyncCommitter<S> {
+    fn drop(&mut self) {
+        self.jobs = None;
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
 }
 
 #[cfg(test)]

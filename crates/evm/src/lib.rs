@@ -44,7 +44,10 @@ pub mod trace;
 pub mod tx;
 
 pub use analysis::{AnalysisCache, CacheStats, CodeAnalysis};
-pub use commit::{commit_block_delta, commit_full, delta_merkle_root};
+pub use commit::{
+    apply_updates, commit_block_delta, commit_full, delta_merkle_root, delta_updates,
+    AsyncCommitter, CommitError, CommitHandle,
+};
 pub use executor::{execute_block, execute_transaction, trace_transaction, TxError};
 pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};
 pub use opcode::{OpCategory, Opcode};

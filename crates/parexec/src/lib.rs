@@ -155,6 +155,20 @@ impl BlockResult {
     pub fn delta_merkle_root(&self, base: &State) -> B256 {
         mtpu_evm::delta_merkle_root(base, &self.delta)
     }
+
+    /// Queues this block's incremental commitment on `committer`'s
+    /// background thread, returning a [`mtpu_evm::CommitHandle`]
+    /// immediately — the caller can start executing the next block while
+    /// this block's trie hashing (and, with `persist`, store sync) runs.
+    /// `base` must be the pre-block state this result was executed from.
+    pub fn submit_commit<S: mtpu_evm::commit::NodeStore + Send + 'static>(
+        &self,
+        committer: &mtpu_evm::AsyncCommitter<S>,
+        base: &State,
+        persist: bool,
+    ) -> mtpu_evm::CommitHandle {
+        committer.submit(base, &self.delta, persist)
+    }
 }
 
 /// A multi-threaded optimistic block executor.

@@ -15,6 +15,7 @@
 use crate::node::Node;
 use mtpu_primitives::B256;
 use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 
 /// Default capacity in nodes; at ~100–500 bytes a decoded node this
 /// bounds the cache to a few MiB.
@@ -110,6 +111,60 @@ impl NodeCache {
     }
 }
 
+/// A bounded FIFO memo map — [`NodeCache`]'s eviction policy generalised
+/// over key and value types. Used by the committer to memoize
+/// `keccak(address)` / `keccak(slot)` secure-key hashing, which would
+/// otherwise re-hash the same 20/32 bytes on every touch of a hot
+/// account or slot.
+#[derive(Debug, Clone)]
+pub struct BoundedMemo<K, V> {
+    map: HashMap<K, V>,
+    order: VecDeque<K>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> BoundedMemo<K, V> {
+    /// A memo holding at most `capacity` entries (0 disables memoizing).
+    pub fn new(capacity: usize) -> Self {
+        BoundedMemo {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+        }
+    }
+
+    /// Entries currently memoized.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The memoized value for `key`, computing and inserting it with `f`
+    /// on a miss (evicting the oldest entry at capacity).
+    pub fn get_or_insert_with(&mut self, key: &K, f: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.map.get(key) {
+            return v.clone();
+        }
+        let v = f();
+        if self.capacity == 0 {
+            return v;
+        }
+        while self.map.len() >= self.capacity {
+            let Some(old) = self.order.pop_front() else {
+                break;
+            };
+            self.map.remove(&old);
+        }
+        self.order.push_back(key.clone());
+        self.map.insert(key.clone(), v.clone());
+        v
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,5 +217,33 @@ mod tests {
         c.put(h(1), leaf(1));
         assert_eq!(c.len(), 1);
         assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn memo_computes_once_and_evicts_fifo() {
+        use std::cell::Cell;
+        let mut m: BoundedMemo<u32, u64> = BoundedMemo::new(2);
+        let calls = Cell::new(0u32);
+        let probe = |m: &mut BoundedMemo<u32, u64>, k: u32| {
+            m.get_or_insert_with(&k, || {
+                calls.set(calls.get() + 1);
+                u64::from(k) * 10
+            })
+        };
+        assert_eq!(probe(&mut m, 1), 10);
+        assert_eq!(probe(&mut m, 1), 10);
+        assert_eq!(calls.get(), 1, "second lookup must hit the memo");
+        probe(&mut m, 2);
+        probe(&mut m, 3); // evicts key 1
+        assert_eq!(m.len(), 2);
+        assert_eq!(probe(&mut m, 1), 10);
+        assert_eq!(calls.get(), 4, "evicted key is recomputed");
+    }
+
+    #[test]
+    fn zero_capacity_memo_still_computes() {
+        let mut m: BoundedMemo<u32, u64> = BoundedMemo::new(0);
+        assert_eq!(m.get_or_insert_with(&5, || 50), 50);
+        assert!(m.is_empty());
     }
 }

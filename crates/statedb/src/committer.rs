@@ -16,11 +16,22 @@
 //! account leaves, so a block that touches *k* accounts re-hashes only
 //! those accounts' paths.
 
+use crate::cache::BoundedMemo;
 use crate::store::NodeStore;
-use crate::trie::{empty_root, NodeDb, Trie, TrieStats};
+use crate::trie::{empty_root, NodeBatch, NodeDb, Trie, TrieStats};
 use mtpu_primitives::rlp::{self, Item};
 use mtpu_primitives::{Address, B256, U256};
+use std::collections::HashMap;
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Bound on each secure-key memo (addresses and slots memoized
+/// separately); at 52–64 bytes an entry this is a few hundred KiB.
+const SECURE_KEY_MEMO_CAPACITY: usize = 4096;
+
+/// Fewest dirty accounts worth fanning storage-trie commits across
+/// threads; below this the spawn cost dominates.
+const PAR_MIN_SUBTRIES: usize = 4;
 
 /// `keccak("")` — code hash of an account with no code.
 pub fn empty_code_hash() -> B256 {
@@ -132,6 +143,52 @@ impl AccountUpdate {
 pub struct StateCommitter<S: NodeStore> {
     db: NodeDb<S>,
     accounts: Trie,
+    /// Accounts with open (uncommitted) storage tries, in first-touch
+    /// order — the canonical order every commit path processes them in,
+    /// which is what makes the parallel merge deterministic.
+    dirty: Vec<(Address, OpenAccount)>,
+    /// Address → index into `dirty`.
+    dirty_index: HashMap<Address, usize>,
+    keys: SecureKeys,
+    threads: usize,
+}
+
+/// A buffered account: its pending record fields plus its open storage
+/// trie. The record's `storage_root` is stale until the trie commits.
+#[derive(Debug)]
+struct OpenAccount {
+    record: AccountRecord,
+    storage: Trie,
+}
+
+/// Bounded memos of the secure-trie key hashes (the keccak of every
+/// touched address and slot), so hot accounts and slots hash their keys
+/// once per eviction window instead of once per touch.
+#[derive(Debug)]
+struct SecureKeys {
+    addrs: BoundedMemo<Address, B256>,
+    slots: BoundedMemo<U256, B256>,
+}
+
+impl SecureKeys {
+    fn new() -> SecureKeys {
+        SecureKeys {
+            addrs: BoundedMemo::new(SECURE_KEY_MEMO_CAPACITY),
+            slots: BoundedMemo::new(SECURE_KEY_MEMO_CAPACITY),
+        }
+    }
+
+    /// Secure account-trie key: `keccak(address)`.
+    fn account(&mut self, addr: &Address) -> B256 {
+        self.addrs
+            .get_or_insert_with(addr, || B256::keccak(addr.as_bytes()))
+    }
+
+    /// Secure storage-trie key: `keccak(slot as 32 big-endian bytes)`.
+    fn slot(&mut self, slot: U256) -> B256 {
+        self.slots
+            .get_or_insert_with(&slot, || B256::keccak(&slot.to_be_bytes()))
+    }
 }
 
 impl<S: NodeStore> StateCommitter<S> {
@@ -145,24 +202,58 @@ impl<S: NodeStore> StateCommitter<S> {
         StateCommitter {
             db: NodeDb::new(store),
             accounts,
+            dirty: Vec::new(),
+            dirty_index: HashMap::new(),
+            keys: SecureKeys::new(),
+            threads: 1,
         }
     }
 
-    /// Reads an account record, if the account exists.
+    /// Sets the worker-thread count for [`StateCommitter::commit`]
+    /// (builder form). 1 (the default) commits serially; the root is
+    /// identical either way.
+    pub fn with_threads(mut self, threads: usize) -> StateCommitter<S> {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Sets the worker-thread count for subsequent commits.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured commit worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Reads an account record, if the account exists. For an account
+    /// with buffered changes this commits its open storage trie first so
+    /// the returned `storage_root` is live.
     pub fn account(&mut self, addr: &Address) -> Option<AccountRecord> {
-        let raw = self
-            .accounts
-            .get(&mut self.db, B256::keccak(addr.as_bytes()).as_bytes())?;
+        if let Some(&i) = self.dirty_index.get(addr) {
+            let entry = &mut self.dirty[i].1;
+            entry.record.storage_root = entry.storage.commit_into(&mut self.db);
+            return Some(entry.record);
+        }
+        let key = self.keys.account(addr);
+        let raw = self.accounts.get(&mut self.db, key.as_bytes())?;
         Some(AccountRecord::decode(&raw).expect("stored account record decodes"))
     }
 
-    /// Reads one storage slot (zero when absent).
+    /// Reads one storage slot (zero when absent); buffered writes are
+    /// visible immediately.
     pub fn storage_value(&mut self, addr: &Address, slot: U256) -> U256 {
-        let Some(record) = self.account(addr) else {
-            return U256::ZERO;
+        let key = self.keys.slot(slot);
+        let raw = if let Some(&i) = self.dirty_index.get(addr) {
+            self.dirty[i].1.storage.get(&mut self.db, key.as_bytes())
+        } else {
+            let Some(record) = self.account(addr) else {
+                return U256::ZERO;
+            };
+            Trie::from_root(record.storage_root).get(&mut self.db, key.as_bytes())
         };
-        let storage = Trie::from_root(record.storage_root);
-        match storage.get(&mut self.db, storage_key(slot).as_bytes()) {
+        match raw {
             Some(raw) => rlp::decode(&raw)
                 .ok()
                 .and_then(|item| item.to_u256().ok())
@@ -171,56 +262,135 @@ impl<S: NodeStore> StateCommitter<S> {
         }
     }
 
-    /// Applies one account's changes: updates its storage trie, commits
-    /// it, and re-inserts the account leaf with the fresh storage root.
+    /// Applies one account's changes to its buffered record and open
+    /// storage trie. Nothing is hashed here — the storage trie commits
+    /// (possibly on a worker thread) at the next
+    /// [`StateCommitter::commit`].
     pub fn update_account(&mut self, addr: &Address, up: &AccountUpdate) {
-        let prev = self.account(addr);
-        let prev_storage_root = match (&prev, up.reset_storage) {
-            (Some(rec), false) => rec.storage_root,
-            _ => empty_root(),
-        };
-
-        let storage_root = if up.storage.is_empty() && prev_storage_root == empty_root() {
-            empty_root()
-        } else if up.storage.is_empty() {
-            prev_storage_root
-        } else {
-            let mut storage = Trie::from_root(prev_storage_root);
-            for &(slot, value) in &up.storage {
-                let key = storage_key(slot);
-                if value.is_zero() {
-                    storage.remove(&mut self.db, key.as_bytes());
-                } else {
-                    let raw = rlp::encode(&Item::u256(value));
-                    storage.insert(&mut self.db, key.as_bytes(), &raw);
-                }
+        let i = match self.dirty_index.get(addr) {
+            Some(&i) => i,
+            None => {
+                let key = self.keys.account(addr);
+                let record = self
+                    .accounts
+                    .get(&mut self.db, key.as_bytes())
+                    .map(|raw| AccountRecord::decode(&raw).expect("stored account record decodes"))
+                    .unwrap_or_else(AccountRecord::empty);
+                let storage = Trie::from_root(record.storage_root);
+                let i = self.dirty.len();
+                self.dirty.push((*addr, OpenAccount { record, storage }));
+                self.dirty_index.insert(*addr, i);
+                i
             }
-            storage.commit(&mut self.db)
         };
-
-        let record = AccountRecord {
-            nonce: up.nonce,
-            balance: up.balance,
-            storage_root,
-            code_hash: up.code_hash,
-        };
-        self.accounts.insert(
-            &mut self.db,
-            B256::keccak(addr.as_bytes()).as_bytes(),
-            &record.encode(),
-        );
+        let entry = &mut self.dirty[i].1;
+        entry.record.nonce = up.nonce;
+        entry.record.balance = up.balance;
+        entry.record.code_hash = up.code_hash;
+        if up.reset_storage {
+            entry.storage = Trie::empty();
+        }
+        for &(slot, value) in &up.storage {
+            let key = self.keys.slot(slot);
+            let entry = &mut self.dirty[i].1;
+            if value.is_zero() {
+                entry.storage.remove(&mut self.db, key.as_bytes());
+            } else {
+                let raw = rlp::encode(&Item::u256(value));
+                entry.storage.insert(&mut self.db, key.as_bytes(), &raw);
+            }
+        }
     }
 
-    /// Removes an account (selfdestruct). Its storage nodes remain in the
-    /// archive store but are no longer reachable from the state root.
+    /// Removes an account (selfdestruct), discarding any buffered
+    /// changes. Its storage nodes remain in the archive store but are no
+    /// longer reachable from the state root.
     pub fn delete_account(&mut self, addr: &Address) {
-        self.accounts
-            .remove(&mut self.db, B256::keccak(addr.as_bytes()).as_bytes());
+        if let Some(i) = self.dirty_index.remove(addr) {
+            self.dirty.remove(i);
+            for idx in self.dirty_index.values_mut() {
+                if *idx > i {
+                    *idx -= 1;
+                }
+            }
+        }
+        let key = self.keys.account(addr);
+        self.accounts.remove(&mut self.db, key.as_bytes());
     }
 
     /// Commits every dirty path and returns the state root.
+    ///
+    /// Buffered storage tries commit first — across up to
+    /// [`StateCommitter::threads`] scoped workers when the dirty set is
+    /// large enough — then their account leaves are inserted in
+    /// first-touch order and the accounts trie commits (itself fanning
+    /// dirty root-branch children across the workers). Every path yields
+    /// the same root and the same store append order; see DESIGN.md §10.
     pub fn commit(&mut self) -> B256 {
-        self.accounts.commit(&mut self.db)
+        let _span = mtpu_telemetry::span("statedb.commit", "statedb");
+        self.flush_dirty();
+        if self.threads > 1 {
+            self.accounts.commit_parallel(&mut self.db, self.threads)
+        } else {
+            self.accounts.commit(&mut self.db)
+        }
+    }
+
+    /// Commits all open storage tries and inserts their account leaves.
+    fn flush_dirty(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut dirty = std::mem::take(&mut self.dirty);
+        self.dirty_index.clear();
+        let workers = self.threads.min(dirty.len());
+        if workers > 1 && dirty.len() >= PAR_MIN_SUBTRIES {
+            // Contiguous runs of the first-touch order, one per worker;
+            // absorbing the batches in run order reproduces the exact
+            // append order of the serial loop below.
+            let chunk = dirty.len().div_ceil(workers);
+            let mut busy_ns = 0u64;
+            let batches: Vec<NodeBatch> = std::thread::scope(|s| {
+                let handles: Vec<_> = dirty
+                    .chunks_mut(chunk)
+                    .map(|entries| {
+                        s.spawn(move || {
+                            let started = Instant::now();
+                            let mut batch = NodeBatch::new();
+                            for (_, entry) in entries.iter_mut() {
+                                entry.record.storage_root = entry.storage.commit_into(&mut batch);
+                            }
+                            (batch, started.elapsed().as_nanos() as u64)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        let (batch, ns) = h.join().expect("storage-commit worker panicked");
+                        busy_ns += ns;
+                        batch
+                    })
+                    .collect()
+            });
+            for batch in batches {
+                self.db.absorb_batch(batch);
+            }
+            if mtpu_telemetry::enabled() {
+                let m = crate::obs::metrics();
+                m.par_subtries.add(dirty.len() as u64);
+                m.par_busy_ns.add(busy_ns);
+            }
+        } else {
+            for (_, entry) in dirty.iter_mut() {
+                entry.record.storage_root = entry.storage.commit_into(&mut self.db);
+            }
+        }
+        for (addr, entry) in &dirty {
+            let key = self.keys.account(addr);
+            self.accounts
+                .insert(&mut self.db, key.as_bytes(), &entry.record.encode());
+        }
     }
 
     /// Commits, then durably syncs the store at the new root.
@@ -243,11 +413,6 @@ impl<S: NodeStore> StateCommitter<S> {
     pub fn store(&self) -> &S {
         self.db.store()
     }
-}
-
-/// Secure storage-trie key: `keccak(slot as 32 big-endian bytes)`.
-fn storage_key(slot: U256) -> B256 {
-    B256::keccak(&slot.to_be_bytes())
 }
 
 #[cfg(test)]

@@ -28,6 +28,16 @@ pub trait NodeStore {
     /// same hash twice is a no-op (content-addressed data never changes).
     fn put(&mut self, hash: B256, raw: Vec<u8>);
 
+    /// Stores a batch of nodes, preserving the slice order — for
+    /// append-only backends the log bytes must equal the same sequence
+    /// of [`NodeStore::put`] calls. Backends may override this to
+    /// amortise per-record overhead.
+    fn put_batch(&mut self, nodes: Vec<(B256, Vec<u8>)>) {
+        for (hash, raw) in nodes {
+            self.put(hash, raw);
+        }
+    }
+
     /// Number of distinct nodes stored.
     fn node_count(&self) -> usize;
 
@@ -222,6 +232,25 @@ impl NodeStore for FileStore {
             .expect("append to node log");
         self.written_len += 4 + raw.len() as u64;
         self.index.insert(hash, raw);
+    }
+
+    fn put_batch(&mut self, nodes: Vec<(B256, Vec<u8>)>) {
+        // One write_all for the whole batch; the log bytes are identical
+        // to the equivalent sequence of put() calls.
+        let mut buf = Vec::new();
+        for (hash, raw) in nodes {
+            if self.index.contains_key(&hash) {
+                continue;
+            }
+            buf.extend_from_slice(&(raw.len() as u32).to_be_bytes());
+            buf.extend_from_slice(&raw);
+            self.index.insert(hash, raw);
+        }
+        if buf.is_empty() {
+            return;
+        }
+        self.log.write_all(&buf).expect("append to node log");
+        self.written_len += buf.len() as u64;
     }
 
     fn node_count(&self) -> usize {

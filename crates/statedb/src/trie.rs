@@ -16,6 +16,11 @@ use crate::store::NodeStore;
 use mtpu_primitives::rlp::{self, Item};
 use mtpu_primitives::B256;
 use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Fewest dirty branch children worth fanning out across threads in
+/// [`Trie::commit_parallel`]; below this the spawn cost dominates.
+const PAR_MIN_CHILDREN: usize = 4;
 
 /// Root hash of the empty trie: `keccak(rlp(""))`.
 pub fn empty_root() -> B256 {
@@ -40,6 +45,50 @@ pub struct TrieStats {
     pub cache_evictions: u64,
     /// Root commits performed.
     pub commits: u64,
+}
+
+/// Receives the nodes a commit hashes, in bottom-up traversal order.
+///
+/// [`NodeDb`] sinks straight into its store; [`NodeBatch`] buffers them
+/// so a worker thread can hash a subtree without touching the shared
+/// store, to be merged later via [`NodeDb::absorb_batch`]. The order in
+/// which nodes reach a sink is a pure function of the trie contents
+/// (bottom-up, children before parents, branch children in nibble
+/// order), which is what makes the parallel merge deterministic.
+pub trait NodeSink {
+    /// Accepts one freshly encoded and hashed node.
+    fn sink_node(&mut self, hash: B256, raw: Vec<u8>, node: &Node);
+}
+
+/// An ordered buffer of committed nodes produced off-thread by
+/// [`Trie::commit_into`], merged into the shared [`NodeDb`] with
+/// [`NodeDb::absorb_batch`].
+#[derive(Debug, Default)]
+pub struct NodeBatch {
+    nodes: Vec<(B256, Vec<u8>, Node)>,
+}
+
+impl NodeBatch {
+    /// An empty batch.
+    pub fn new() -> NodeBatch {
+        NodeBatch::default()
+    }
+
+    /// Nodes buffered so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` when no nodes are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl NodeSink for NodeBatch {
+    fn sink_node(&mut self, hash: B256, raw: Vec<u8>, node: &Node) {
+        self.nodes.push((hash, raw, node.clone()));
+    }
 }
 
 /// A node store wrapped with the decoded-node cache and work counters;
@@ -143,6 +192,36 @@ impl<S: NodeStore> NodeDb<S> {
             m.nodes_stored.inc();
         }
     }
+
+    /// Merges a worker-produced [`NodeBatch`] into the store and cache,
+    /// preserving the batch's insertion order — callers absorb batches in
+    /// job order, so the store sees the exact byte sequence a sequential
+    /// commit of the same tries would have appended.
+    pub fn absorb_batch(&mut self, batch: NodeBatch) {
+        let n = batch.nodes.len() as u64;
+        if n == 0 {
+            return;
+        }
+        self.nodes_hashed += n;
+        let mut raws = Vec::with_capacity(batch.nodes.len());
+        for (hash, raw, node) in batch.nodes {
+            self.cache.put(hash, node);
+            raws.push((hash, raw));
+        }
+        self.store.put_batch(raws);
+        if mtpu_telemetry::enabled() {
+            let m = crate::obs::metrics();
+            m.nodes_hashed.add(n);
+            m.nodes_stored.add(n);
+            m.par_batch_nodes.add(n);
+        }
+    }
+}
+
+impl<S: NodeStore> NodeSink for NodeDb<S> {
+    fn sink_node(&mut self, hash: B256, raw: Vec<u8>, node: &Node) {
+        self.store_node(hash, raw, node);
+    }
 }
 
 /// A Merkle Patricia Trie rooted at one link.
@@ -230,29 +309,134 @@ impl Trie {
     /// without touching the store.
     pub fn commit<S: NodeStore>(&mut self, db: &mut NodeDb<S>) -> B256 {
         let hashed_before = db.nodes_hashed;
-        let root = match &mut self.root {
+        let root = self.commit_into(db);
+        db.commits += 1;
+        if mtpu_telemetry::enabled() {
+            let m = crate::obs::metrics();
+            m.commits.inc();
+            m.commit_nodes.record(db.nodes_hashed - hashed_before);
+        }
+        root
+    }
+
+    /// The commit core: hashes every dirty path into an arbitrary
+    /// [`NodeSink`] and returns the root hash.
+    ///
+    /// Committing a dirty trie never *reads* the store — mutations only
+    /// ever splice in-memory [`Link::Node`]s, and everything below a
+    /// [`Link::Hash`] is already committed — so a worker thread can run
+    /// this against a private [`NodeBatch`] with no access to the shared
+    /// [`NodeDb`] at all. Unlike [`Trie::commit`] this does not bump the
+    /// commits counter or record telemetry; wrappers do.
+    pub fn commit_into<K: NodeSink>(&mut self, sink: &mut K) -> B256 {
+        match &mut self.root {
             None => empty_root(),
             Some(Link::Hash(h)) => *h,
             Some(link) => {
                 let Link::Node(node) = link else {
                     unreachable!("hash case handled above")
                 };
-                commit_children(db, node);
+                commit_children(sink, node);
                 // The root node is always hashed and stored, even when
                 // its encoding is shorter than 32 bytes.
                 let item = encode_committed(node);
                 let raw = rlp::encode(&item);
                 let h = B256::keccak(&raw);
-                db.store_node(h, raw, node);
+                sink.sink_node(h, raw, node);
                 *link = Link::Hash(h);
                 h
             }
+        }
+    }
+
+    /// The root hash if the trie is clean, `None` while mutations are
+    /// pending (commit first to learn the root).
+    pub fn committed_root(&self) -> Option<B256> {
+        match &self.root {
+            None => Some(empty_root()),
+            Some(Link::Hash(h)) => Some(*h),
+            Some(Link::Node(_)) => None,
+        }
+    }
+
+    /// Like [`Trie::commit`], but hashes dirty children of the root
+    /// branch on up to `threads` scoped worker threads.
+    ///
+    /// Produces a store byte-stream — and therefore a root — identical
+    /// to the serial commit: each worker hashes a contiguous run of
+    /// dirty children (taken in nibble order) into a private
+    /// [`NodeBatch`], the batches are absorbed in run order, and the
+    /// root node is hashed last, which is exactly the serial traversal
+    /// order. Falls back to [`Trie::commit`] when the fan-out is too
+    /// small to pay for the spawns.
+    pub fn commit_parallel<S: NodeStore>(&mut self, db: &mut NodeDb<S>, threads: usize) -> B256 {
+        let fan_out = match &self.root {
+            Some(Link::Node(node)) => match node.as_ref() {
+                Node::Branch { children, .. } => children
+                    .iter()
+                    .flatten()
+                    .filter(|c| matches!(c, Link::Node(_)))
+                    .count(),
+                _ => 0,
+            },
+            _ => 0,
         };
+        if threads <= 1 || fan_out < PAR_MIN_CHILDREN {
+            return self.commit(db);
+        }
+        let hashed_before = db.nodes_hashed;
+        let mut busy_ns = 0u64;
+        {
+            let Some(Link::Node(node)) = &mut self.root else {
+                unreachable!("fan_out > 0 implies a dirty root")
+            };
+            let Node::Branch { children, .. } = node.as_mut() else {
+                unreachable!("fan_out > 0 implies a branch root")
+            };
+            let mut dirty: Vec<&mut Link> = children
+                .iter_mut()
+                .flatten()
+                .filter(|c| matches!(c, Link::Node(_)))
+                .collect();
+            let workers = threads.min(dirty.len());
+            let chunk = dirty.len().div_ceil(workers);
+            let batches: Vec<NodeBatch> = std::thread::scope(|s| {
+                let handles: Vec<_> = dirty
+                    .as_mut_slice()
+                    .chunks_mut(chunk)
+                    .map(|links| {
+                        s.spawn(move || {
+                            let started = Instant::now();
+                            let mut batch = NodeBatch::new();
+                            for link in links.iter_mut() {
+                                commit_link(&mut batch, link);
+                            }
+                            (batch, started.elapsed().as_nanos() as u64)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        let (batch, ns) = h.join().expect("commit worker panicked");
+                        busy_ns += ns;
+                        batch
+                    })
+                    .collect()
+            });
+            for batch in batches {
+                db.absorb_batch(batch);
+            }
+        }
+        // Children are now hash links (or sub-32-byte inlines); this
+        // hashes and stores just the root node.
+        let root = self.commit_into(db);
         db.commits += 1;
         if mtpu_telemetry::enabled() {
             let m = crate::obs::metrics();
             m.commits.inc();
             m.commit_nodes.record(db.nodes_hashed - hashed_before);
+            m.par_busy_ns.add(busy_ns);
         }
         root
     }
@@ -265,31 +449,32 @@ fn encode_committed(node: &Node) -> Item {
 }
 
 /// Recursively replaces every in-memory child whose encoding reaches 32
-/// bytes with a hash link, writing it to the store.
-fn commit_children<S: NodeStore>(db: &mut NodeDb<S>, node: &mut Node) {
+/// bytes with a hash link, sinking it (store reads are never needed —
+/// see [`Trie::commit_into`]).
+fn commit_children<K: NodeSink>(sink: &mut K, node: &mut Node) {
     match node {
         Node::Leaf { .. } => {}
-        Node::Extension { child, .. } => commit_link(db, child),
+        Node::Extension { child, .. } => commit_link(sink, child),
         Node::Branch { children, .. } => {
             for child in children.iter_mut().flatten() {
-                commit_link(db, child);
+                commit_link(sink, child);
             }
         }
     }
 }
 
-fn commit_link<S: NodeStore>(db: &mut NodeDb<S>, link: &mut Link) {
+fn commit_link<K: NodeSink>(sink: &mut K, link: &mut Link) {
     let Link::Node(node) = link else {
         return; // already committed
     };
-    commit_children(db, node);
+    commit_children(sink, node);
     let item = encode_committed(node);
     let raw = rlp::encode(&item);
     if raw.len() < 32 {
         return; // stays inline in the parent's encoding
     }
     let h = B256::keccak(&raw);
-    db.store_node(h, raw, node);
+    sink.sink_node(h, raw, node);
     *link = Link::Hash(h);
 }
 

@@ -4,16 +4,19 @@
 //!
 //! Each block is additionally executed in parallel (`parexec`) and its
 //! delta committed *incrementally* into a file-backed Merkle Patricia
-//! Trie; the resulting root must match the node's from-scratch
-//! commitment, and roots chain parent-to-child block to block. After the
-//! run the store is reopened to show the chain survives restart.
+//! Trie. Both commitments are **pipelined**: block N's trie hashing and
+//! store sync run on background commit threads while block N+1 is
+//! generated and executed, and the roots are only joined one block later
+//! — where they must match the node's chained commitment bit for bit.
+//! After the run the store is reopened to show the chain survives
+//! restart.
 //!
 //! ```sh
 //! cargo run --release --example chain_sim [blocks]
 //! ```
 
-use mtpu_repro::evm::commit_block_delta;
-use mtpu_repro::mtpu::{MtpuConfig, Node};
+use mtpu_repro::evm::{AsyncCommitter, CommitHandle};
+use mtpu_repro::mtpu::{MtpuConfig, Node, PendingBlock};
 use mtpu_repro::parexec::ParExecutor;
 use mtpu_repro::statedb::{FileStore, StateCommitter};
 use mtpu_repro::workloads::{BlockConfig, Generator};
@@ -21,6 +24,43 @@ use mtpu_repro::workloads::{BlockConfig, Generator};
 fn short(root: mtpu_repro::primitives::B256) -> String {
     let s = root.to_string();
     format!("{}..{}", &s[..10], &s[s.len() - 4..])
+}
+
+/// One fully executed block whose two commitments (the node's in-memory
+/// chain root and the file store's incremental root) are still in
+/// flight.
+struct InFlight {
+    pending: PendingBlock,
+    store_root: CommitHandle,
+    txs: usize,
+}
+
+/// Joins both commitments of the previous block, checks the chain
+/// linkage and the sequential/parallel root agreement, and prints the
+/// row.
+fn flush(inflight: InFlight, parent_root: &mut mtpu_repro::primitives::B256) {
+    let report = inflight.pending.wait();
+    let incremental = inflight.store_root.wait().expect("persist block");
+
+    // Parent linkage: the chain of commitments must be unbroken.
+    assert_eq!(report.parent_merkle_root, *parent_root, "root chain broken");
+    *parent_root = report.merkle_root;
+
+    // Parallel execution + incremental trie commit must land on the
+    // same 32 bytes as the node's pipelined incremental commitment.
+    assert_eq!(incremental, report.merkle_root, "trie commit diverged");
+
+    println!(
+        "{:>5} {:>6} {:>7.0}% {:>10} {:>8.2}x {:>8.0}% {:>7.0}%  {:<16}",
+        report.height,
+        inflight.txs,
+        100.0 * report.dependent_ratio,
+        report.schedule.makespan,
+        report.speedup(),
+        100.0 * report.hotspot_coverage,
+        100.0 * report.schedule.utilization(),
+        short(report.merkle_root),
+    );
 }
 
 fn main() {
@@ -40,17 +80,22 @@ fn main() {
 
     let store_dir = std::env::temp_dir().join(format!("mtpu-chain-sim-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&store_dir);
-    let mut committer = StateCommitter::new(FileStore::open(&store_dir).expect("open node store"));
+    let mut committer =
+        StateCommitter::new(FileStore::open(&store_dir).expect("open node store")).with_threads(4);
     // Seed the trie with genesis so block deltas commit incrementally.
     mtpu_repro::evm::commit_full(&mut committer, &node.state);
     let genesis_root = committer.persist().expect("persist genesis");
     assert_eq!(genesis_root, node.merkle_root());
+    // From here on the file-backed committer lives on its own thread;
+    // each block's hashing + fsync overlaps the next block's execution.
+    let committer = AsyncCommitter::new(committer);
 
     println!(
         "{:>5} {:>6} {:>8} {:>10} {:>9} {:>9} {:>8}  {:<16}",
         "block", "txs", "dep%", "cycles", "speedup", "hotspot%", "util%", "state root"
     );
     let mut parent_root = genesis_root;
+    let mut inflight: Option<InFlight> = None;
     for _ in 0..blocks {
         let block = generator.block(&BlockConfig {
             tx_count: 96,
@@ -61,37 +106,32 @@ fn main() {
             focus: None,
         });
         let base = node.state.clone();
-        let report = node.process_block(&block).expect("valid block");
+        // The node's state advances synchronously; only the merkle
+        // commitment is left running on its commit thread.
+        let pending = node.process_block_pipelined(&block).expect("valid block");
         // Keep the generator's fixture state in sync with the chain.
         generator.fx.state = node.state.clone();
 
-        // Parent linkage: the chain of commitments must be unbroken.
-        assert_eq!(report.parent_merkle_root, parent_root, "root chain broken");
-        parent_root = report.merkle_root;
-
-        // Parallel execution + incremental trie commit must land on the
-        // same 32 bytes as the node's sequential from-scratch commitment.
-        let hashed_before = committer.stats().nodes_hashed;
         let result = executor.execute_block(&base, &block);
-        let incremental = commit_block_delta(&mut committer, &base, &result.delta);
-        committer.persist().expect("persist block");
-        assert_eq!(incremental, report.merkle_root, "trie commit diverged");
-        let dirty = committer.stats().nodes_hashed - hashed_before;
+        let store_root = result.submit_commit(&committer, &base, true);
 
-        println!(
-            "{:>5} {:>6} {:>7.0}% {:>10} {:>8.2}x {:>8.0}% {:>7.0}%  {:<16} ({dirty} nodes rehashed)",
-            report.height,
-            block.transactions.len(),
-            100.0 * report.dependent_ratio,
-            report.schedule.makespan,
-            report.speedup(),
-            100.0 * report.hotspot_coverage,
-            100.0 * report.schedule.utilization(),
-            short(report.merkle_root),
-        );
+        // Only now join the *previous* block — its two commitments have
+        // been hashing while this block executed.
+        if let Some(prev) = inflight.take() {
+            flush(prev, &mut parent_root);
+        }
+        inflight = Some(InFlight {
+            pending,
+            store_root,
+            txs: block.transactions.len(),
+        });
+    }
+    if let Some(last) = inflight.take() {
+        flush(last, &mut parent_root);
     }
 
     // Restart survival: reopen the store and resume at the same root.
+    let committer = committer.into_inner();
     let total_nodes = {
         use mtpu_repro::statedb::NodeStore;
         committer.store().node_count()

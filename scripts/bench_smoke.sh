@@ -5,8 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> bench smoke: all --only table1,stateroot,interp_hot --telemetry"
-cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,interp_hot --telemetry --json BENCH_RESULTS.json
+echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot --telemetry"
+cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot --telemetry --json BENCH_RESULTS.json
 
 echo "==> validating BENCH_RESULTS.json"
 python3 - <<'EOF'
@@ -22,8 +22,16 @@ assert "table1" in d["experiments"], list(d["experiments"])
 assert "stateroot" in d["experiments"], list(d["experiments"])
 assert "interp_hot" in d["experiments"], list(d["experiments"])
 assert "speedup" in d["experiments"]["interp_hot"], "interp_hot table lost its speedup columns"
+assert "stateroot_par" in d["experiments"], list(d["experiments"])
+# The sweep commits the same blocks at 1/2/4/8 threads and pipelined,
+# and asserts (in-process) that every configuration lands on the same
+# root; "root parity: OK" is that assertion's rendered verdict.
+assert "root parity: OK" in d["experiments"]["stateroot_par"], \
+    "parallel commit root mismatch:\n" + d["experiments"]["stateroot_par"]
+assert d["experiments"]["stateroot_par"].count("final root: 0x") == 1
 assert d["wall_ns"]["table1"] > 0
 assert d["wall_ns"]["stateroot"] > 0
+assert d["wall_ns"]["stateroot_par"] > 0
 assert d["wall_ns"]["interp_hot"] > 0
 assert d["telemetry"] is not None, "telemetry snapshot missing despite --telemetry"
 assert "counters" in d["telemetry"]

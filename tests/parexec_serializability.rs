@@ -5,7 +5,10 @@
 //! precise consensus-stage conflict DAG.
 
 use mtpu_repro::evm::execute_block as sequential;
+use mtpu_repro::evm::{commit_block_delta, commit_full, AsyncCommitter};
 use mtpu_repro::parexec::ParExecutor;
+use mtpu_repro::primitives::B256;
+use mtpu_repro::statedb::{MemStore, StateCommitter};
 use mtpu_repro::workloads::{BlockConfig, Generator};
 
 const RATIOS: [f64; 4] = [0.0, 0.2, 0.5, 1.0];
@@ -132,6 +135,80 @@ fn merkle_root_matches_across_threads_and_retry_caps() {
                     "incremental merkle root diverged at threads {threads} cap {cap}"
                 );
             }
+        }
+    }
+}
+
+/// The execute/commit-overlap oracle: a multi-block chain is executed
+/// across the thread-count × retry-cap grid and committed two ways —
+/// synchronously after each block, and pipelined through the background
+/// commit thread (`BlockResult::submit_commit` / `AsyncCommitter`) with
+/// the handles only joined after every block was submitted. Every
+/// configuration must produce the same per-block root sequence as the
+/// sequential reference.
+#[test]
+fn async_commit_pipeline_matches_synchronous_roots() {
+    const CHAIN: usize = 3;
+
+    // Build the chain once; the sequential executor is the oracle.
+    let mut generator = Generator::new(0xA57C);
+    let genesis = generator.fx.state.clone();
+    let mut blocks = Vec::new();
+    let mut oracle_roots = Vec::new();
+    let mut seq_state = genesis.clone();
+    for _ in 0..CHAIN {
+        let block = generator.block(&config(32, 0.4));
+        sequential(&mut seq_state, &block);
+        generator.fx.state = seq_state.clone();
+        oracle_roots.push(seq_state.merkle_root());
+        blocks.push(block);
+    }
+
+    let seeded = |threads: usize| {
+        let mut c = StateCommitter::new(MemStore::new()).with_threads(threads);
+        commit_full(&mut c, &genesis);
+        c.commit();
+        c
+    };
+
+    for &threads in &[1usize, 4, 8] {
+        for &cap in &[0usize, 8] {
+            let exec = ParExecutor::new(threads).with_retry_cap(cap);
+
+            // Synchronous: commit each block's delta before executing
+            // the next.
+            let mut committer = seeded(threads);
+            let mut state = genesis.clone();
+            let mut sync_roots = Vec::new();
+            for block in &blocks {
+                let result = exec.execute_block(&state, block);
+                sync_roots.push(commit_block_delta(&mut committer, &state, &result.delta));
+                state = result.state;
+            }
+            assert_eq!(
+                sync_roots, oracle_roots,
+                "synchronous roots diverged at threads {threads} cap {cap}"
+            );
+
+            // Pipelined: submit every block's commit to the background
+            // thread, joining the handles only at the end — block N+1
+            // executes while block N hashes.
+            let committer = AsyncCommitter::new(seeded(threads));
+            let mut state = genesis.clone();
+            let mut handles = Vec::new();
+            for block in &blocks {
+                let result = exec.execute_block(&state, block);
+                handles.push(result.submit_commit(&committer, &state, false));
+                state = result.state;
+            }
+            let pipe_roots: Vec<B256> = handles
+                .iter()
+                .map(|h| h.wait().expect("in-memory commit cannot fail"))
+                .collect();
+            assert_eq!(
+                pipe_roots, oracle_roots,
+                "pipelined roots diverged at threads {threads} cap {cap}"
+            );
         }
     }
 }

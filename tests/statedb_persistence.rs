@@ -95,14 +95,67 @@ fn chain_survives_restart_and_continues() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The deterministic-merge guarantee, at the byte level: committing the
+/// same chain with 1 and 4 worker threads must produce **byte-identical**
+/// `nodes.log` files — the parallel path batches per worker but absorbs
+/// the batches in canonical order, so the store append order (and the
+/// manifest-vouched length) never depends on the thread count. See
+/// DESIGN.md §10.
 #[test]
-fn unsynced_commits_are_dropped_on_reopen() {
-    let dir = scratch_dir("crash");
+fn parallel_commit_store_bytes_match_serial() {
+    let executor = ParExecutor::new(4);
+    let mut generator = Generator::new(0xBA7C);
+    let genesis = generator.fx.state.clone();
+
+    // Execute the chain once; replay the same (base, delta) steps into
+    // every store so the inputs are identical.
+    let mut steps = Vec::new();
+    let mut state = genesis.clone();
+    for _ in 0..3 {
+        let block = generator.block(&block_config(48));
+        let result = executor.execute_block(&state, &block);
+        steps.push((state.clone(), result.delta.clone()));
+        state = result.state;
+        generator.fx.state = state.clone();
+    }
+
+    let run = |tag: &str, threads: usize| -> (PathBuf, B256) {
+        let dir = scratch_dir(tag);
+        let mut committer =
+            StateCommitter::new(FileStore::open(&dir).expect("open store")).with_threads(threads);
+        commit_full(&mut committer, &genesis);
+        committer.persist().expect("persist genesis");
+        let mut head = B256::ZERO;
+        for (base, delta) in &steps {
+            head = commit_block_delta(&mut committer, base, delta);
+            committer.persist().expect("persist block");
+        }
+        (dir, head)
+    };
+
+    let (dir1, head1) = run("bytes-serial", 1);
+    let (dir4, head4) = run("bytes-par", 4);
+    assert_eq!(head1, head4, "parallel commit diverged from serial");
+    assert_eq!(head1, state.merkle_root());
+    let log1 = std::fs::read(dir1.join("nodes.log")).expect("read serial log");
+    let log4 = std::fs::read(dir4.join("nodes.log")).expect("read parallel log");
+    assert!(!log1.is_empty());
+    assert_eq!(log1, log4, "parallel commit changed the store append order");
+    let _ = std::fs::remove_dir_all(&dir1);
+    let _ = std::fs::remove_dir_all(&dir4);
+}
+
+/// Crash-semantics body, shared by the serial and multi-worker variants:
+/// a commit whose manifest never synced must vanish on reopen, and the
+/// lost block must replay to the same head.
+fn crash_drops_unsynced_tail(tag: &str, threads: usize) {
+    let dir = scratch_dir(tag);
     let executor = ParExecutor::new(2);
     let mut generator = Generator::new(0xC4A5);
     let mut state = generator.fx.state.clone();
 
-    let mut committer = StateCommitter::new(FileStore::open(&dir).expect("open store"));
+    let mut committer =
+        StateCommitter::new(FileStore::open(&dir).expect("open store")).with_threads(threads);
     commit_full(&mut committer, &state);
     let durable = committer.persist().expect("persist genesis");
 
@@ -115,7 +168,8 @@ fn unsynced_commits_are_dropped_on_reopen() {
 
     // Reopen: the store is back at the last durable root, and the lost
     // block can be re-committed to reach the same head.
-    let mut reopened = StateCommitter::new(FileStore::open(&dir).expect("reopen store"));
+    let mut reopened =
+        StateCommitter::new(FileStore::open(&dir).expect("reopen store")).with_threads(threads);
     assert_eq!(
         reopened.commit(),
         durable,
@@ -126,4 +180,16 @@ fn unsynced_commits_are_dropped_on_reopen() {
     state = result.state;
     assert_eq!(replayed, state.merkle_root());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unsynced_commits_are_dropped_on_reopen() {
+    crash_drops_unsynced_tail("crash", 1);
+}
+
+/// Same crash semantics when the lost commit was hashed by a 4-worker
+/// pool: batched appends past the manifest are equally invisible.
+#[test]
+fn unsynced_parallel_commits_are_dropped_on_reopen() {
+    crash_drops_unsynced_tail("crash-par", 4);
 }
