@@ -30,6 +30,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("table9", compare::table9),
     ("stateroot", stateroot::per_block),
     ("stateroot_par", stateroot::threads_sweep),
+    ("block_pipeline", pipeline::block_pipeline),
     ("interp_hot", interp_hot::hot_paths),
     ("hotspot", stat::hotspot_loading),
     ("hotspot-drift", drift::hotspot_drift),

@@ -7,6 +7,7 @@ pub mod drift;
 pub mod ilp;
 pub mod interp_hot;
 pub mod parexec;
+pub mod pipeline;
 pub mod sched;
 pub mod stat;
 pub mod stateroot;

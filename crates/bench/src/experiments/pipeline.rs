@@ -1,0 +1,179 @@
+//! Sustained node-pipeline throughput: the mempool → packer → parexec →
+//! pipelined-commit loop running for a hundred-plus blocks with
+//! ingestion overlapped against execution and commitment.
+//!
+//! Two packing policies are compared over the same Zipfian stream:
+//! *fee-only* (the classic revenue-greedy baseline) and *conflict-aware*
+//! (independent front first, fee fill second). The conflict-aware packer
+//! should hand `parexec` blocks with a larger independent fraction and
+//! fewer validation-failure re-executions at the same sustained tx/s
+//! accounting.
+//!
+//! Before timing, two short inline-ingest sessions over the same seed
+//! must produce bit-identical per-block merkle root sequences — the
+//! determinism half of the packer's contract.
+
+use crate::harness::render_table;
+use mtpu_evm::tx::BlockHeader;
+use mtpu_evm::tx::Transaction;
+use mtpu_mempool::{
+    BlockPacker, DriverConfig, DriverReport, Mempool, NodeDriver, PackerConfig, PoolConfig,
+    TxSource,
+};
+use mtpu_primitives::B256;
+use mtpu_workloads::{ZipfConfig, ZipfGen};
+
+/// Blocks per timed session (the "sustained" criterion: >100).
+const BLOCKS: usize = 104;
+/// Transactions per packed block.
+const BLOCK_TXS: usize = 96;
+/// Blocks per determinism check run (inline ingest, slower).
+const DET_BLOCKS: usize = 6;
+
+/// A Zipf stream truncated to `left` transactions.
+struct Bounded {
+    gen: ZipfGen,
+    left: usize,
+}
+
+impl TxSource for Bounded {
+    fn next_tx(&mut self) -> Option<Transaction> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        Some(self.gen.next_tx())
+    }
+}
+
+fn stream(seed: u64, left: usize) -> Bounded {
+    Bounded {
+        gen: ZipfGen::new(
+            seed,
+            ZipfConfig {
+                senders: 256,
+                theta: 1.0,
+                hot_ratio: 0.2,
+                hot_slots: 4,
+                sct_ratio: 0.7,
+                max_fee: 100,
+            },
+        ),
+        left,
+    }
+}
+
+fn header(height: u64) -> BlockHeader {
+    BlockHeader {
+        height,
+        ..Default::default()
+    }
+}
+
+fn session(seed: u64, blocks: usize, fee_only: bool, background: bool) -> DriverReport {
+    // Calls carry a 2M gas limit, so the gas budget must clear
+    // BLOCK_TXS * 2M for max_txs to be the binding constraint.
+    let packer = BlockPacker::new(PackerConfig {
+        max_txs: BLOCK_TXS,
+        gas_limit: 256_000_000,
+        fee_only,
+        ..PackerConfig::default()
+    });
+    // A dropped transaction (sender cap, eviction) leaves a permanent
+    // nonce gap that parks the rest of that sender's stream — fatal for a
+    // Zipf stream whose rank-0 sender carries ~16% of all transactions.
+    // The sustained session therefore lifts the per-sender cap and relies
+    // on the driver's ingestion backpressure to bound the pool instead.
+    let pool = Mempool::new(PoolConfig {
+        max_txs: 4096,
+        max_per_sender: 4096,
+        ..PoolConfig::default()
+    });
+    let driver = NodeDriver::new(
+        pool,
+        packer,
+        DriverConfig {
+            blocks,
+            threads: 4,
+            commit_threads: 4,
+            ingest_batch: 128,
+            prefill: 2048.min(blocks * BLOCK_TXS / 2),
+            background_ingest: background,
+        },
+    );
+    // Head-room over blocks*BLOCK_TXS: rejections and unpackable parked
+    // tails must not starve the session short of its block target.
+    let source = stream(seed, blocks * BLOCK_TXS * 2);
+    let genesis = source.gen.genesis_state().clone();
+    driver.run(genesis, source, header)
+}
+
+/// Sustained multi-block pipeline: fee-only vs conflict-aware packing
+/// over the same Zipfian stream, with a determinism pre-check.
+pub fn block_pipeline() -> String {
+    // Determinism: two identical inline-ingest sessions must agree on
+    // every per-block root.
+    let det_a = session(0xD17E, DET_BLOCKS, false, false);
+    let det_b = session(0xD17E, DET_BLOCKS, false, false);
+    let roots =
+        |r: &DriverReport| -> Vec<B256> { r.blocks.iter().map(|b| b.merkle_root).collect() };
+    assert_eq!(
+        roots(&det_a),
+        roots(&det_b),
+        "identical sessions packed different chains"
+    );
+    let determinism = if roots(&det_a) == roots(&det_b) && det_a.blocks.len() == DET_BLOCKS {
+        "OK"
+    } else {
+        "MISMATCH"
+    };
+
+    let mut rows = Vec::new();
+    let mut linkage_ok = true;
+    let mut sustained = usize::MAX;
+    for (label, fee_only) in [("fee-only", true), ("conflict-aware", false)] {
+        let r = session(0xB10C, BLOCKS, fee_only, true);
+        assert_eq!(r.blocks.len(), BLOCKS, "{label}: session fell short");
+        sustained = sustained.min(r.blocks.len());
+        // Root linkage: every block moved the chain, and the session's
+        // final root is the last block's.
+        let rs = roots(&r);
+        linkage_ok &= r.final_root == *rs.last().expect("blocks nonempty");
+        linkage_ok &= rs.first() != Some(&r.genesis_root);
+        linkage_ok &= rs.windows(2).all(|w| w[0] != w[1]);
+
+        let skips: usize = r.blocks.iter().map(|b| b.conflict_skips).sum();
+        rows.push(vec![
+            label.to_string(),
+            format!("{}", r.blocks.len()),
+            format!("{}", r.chain.txs),
+            format!("{:.0}", r.tx_per_sec()),
+            format!("{:.2}", r.independent_ratio()),
+            format!("{:.3}", r.chain.reexec_ratio()),
+            format!("{skips}"),
+            format!("{}", r.pool.parked),
+            format!("{}", r.pool.evicted),
+            format!("{:.2?}", r.wall),
+        ]);
+    }
+
+    render_table(
+        &format!(
+            "Sustained node pipeline ({BLOCKS} blocks x {BLOCK_TXS} txs, \
+             Zipf senders, overlapped ingest/execute/commit)"
+        ),
+        &[
+            "packing", "blocks", "txs", "tx/s", "indep", "reexec", "skips", "parked", "evicted",
+            "wall",
+        ],
+        &rows,
+    ) + &format!(
+        "\nsustained: {sustained} blocks with ingestion, execution and commit overlapped\n\
+         root linkage: {}\ndeterminism: {determinism} \
+         ({DET_BLOCKS}-block inline-ingest sessions agree root-for-root)\n\
+         The conflict-aware packer fills the block front with footprint-disjoint\n\
+         transactions, so parexec sees a wider DAG (higher indep, fewer re-executions)\n\
+         than revenue-greedy packing of the same stream.\n",
+        if linkage_ok { "OK" } else { "BROKEN" },
+    )
+}

@@ -41,6 +41,44 @@ impl core::fmt::Display for TxError {
 
 impl std::error::Error for TxError {}
 
+/// The most wei `tx` can cost its sender: the full gas prepayment plus
+/// the transferred value — what a mempool must see covered by the
+/// sender's committed balance before admitting the transaction.
+pub fn max_tx_cost(tx: &Transaction) -> U256 {
+    U256::from(tx.gas_limit) * tx.gas_price + tx.value
+}
+
+/// Admission-time preflight a mempool runs against *committed* state:
+/// intrinsic gas, balance cover for [`max_tx_cost`], and nonce
+/// freshness. Unlike [`execute_transaction`]'s check, a nonce *above*
+/// the account's is accepted — the pool parks such transactions until
+/// the gap fills — and is reported via `Ok(true)`.
+///
+/// # Errors
+///
+/// Returns [`TxError::NonceMismatch`] only for *stale* nonces (below the
+/// account nonce), plus the same funds/intrinsic-gas errors execution
+/// would raise.
+pub fn admission_preflight<S: crate::overlay::StateRead>(
+    state: &S,
+    tx: &Transaction,
+) -> Result<bool, TxError> {
+    let expected = state.read_nonce(tx.from);
+    if tx.nonce < expected {
+        return Err(TxError::NonceMismatch {
+            expected,
+            got: tx.nonce,
+        });
+    }
+    if tx.gas_limit < gas::intrinsic_gas(&tx.data, tx.to.is_none()) {
+        return Err(TxError::IntrinsicGasTooLow);
+    }
+    if state.read_balance(tx.from) < max_tx_cost(tx) {
+        return Err(TxError::InsufficientFunds);
+    }
+    Ok(tx.nonce > expected)
+}
+
 /// Executes one transaction against `state`, observing with `tracer`.
 ///
 /// On success the state is committed (journal cleared); validation errors
@@ -214,6 +252,40 @@ mod tests {
         assert_eq!(st.nonce(from), 1);
         // Miner got the fee.
         assert_eq!(st.balance(header.coinbase), U256::from(21_000u64));
+    }
+
+    #[test]
+    fn admission_preflight_accepts_future_nonces() {
+        let from = Address::from_low_u64(1);
+        let to = Address::from_low_u64(2);
+        let st = funded_state(&[from]);
+        let now = Transaction::transfer(from, to, U256::ONE, 0);
+        assert_eq!(admission_preflight(&st, &now), Ok(false));
+        let future = Transaction::transfer(from, to, U256::ONE, 3);
+        assert_eq!(admission_preflight(&st, &future), Ok(true));
+        // Stale nonces, unaffordable cost and too-low gas are rejected.
+        let mut bumped = st.clone();
+        bumped.bump_nonce(from);
+        bumped.finalize_tx();
+        assert_eq!(
+            admission_preflight(&bumped, &now),
+            Err(TxError::NonceMismatch {
+                expected: 1,
+                got: 0
+            })
+        );
+        let rich = Transaction::transfer(from, to, U256::from(u64::MAX), 0);
+        assert_eq!(
+            admission_preflight(&st, &rich),
+            Err(TxError::InsufficientFunds)
+        );
+        let mut starved = now.clone();
+        starved.gas_limit = 100;
+        assert_eq!(
+            admission_preflight(&st, &starved),
+            Err(TxError::IntrinsicGasTooLow)
+        );
+        assert_eq!(max_tx_cost(&now), U256::from(21_001u64));
     }
 
     #[test]

@@ -48,7 +48,10 @@ pub use commit::{
     apply_updates, commit_block_delta, commit_full, delta_merkle_root, delta_updates,
     AsyncCommitter, CommitError, CommitHandle,
 };
-pub use executor::{execute_block, execute_transaction, trace_transaction, TxError};
+pub use executor::{
+    admission_preflight, execute_block, execute_transaction, max_tx_cost, trace_transaction,
+    TxError,
+};
 pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};
 pub use opcode::{OpCategory, Opcode};
 pub use overlay::{

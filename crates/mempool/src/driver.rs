@@ -1,0 +1,336 @@
+//! The sustained node pipeline: ingestion → packing → parallel
+//! execution → pipelined commitment, all overlapped.
+//!
+//! One [`NodeDriver::run`] call drives a multi-block session the way a
+//! validating node's front half would: an ingestion worker admits
+//! transactions into the shared [`Mempool`] against the latest committed
+//! state snapshot while the main loop packs a block, executes it on the
+//! `parexec` worker pool, hands the state commitment to the background
+//! [`AsyncCommitter`] thread, and only joins each block's root one block
+//! behind — so at steady state the pool is being refilled, block *h* is
+//! executing, and block *h−1* is still hashing, simultaneously.
+
+use crate::packer::{BlockPacker, PackedBlock};
+use crate::pool::{Mempool, PoolStats};
+use mtpu_evm::commit::{MemStore, StateCommitter};
+use mtpu_evm::state::State;
+use mtpu_evm::tx::{BlockHeader, Transaction};
+use mtpu_evm::{commit_full, AsyncCommitter, CommitHandle};
+use mtpu_parexec::{ChainStats, ParExecutor};
+use mtpu_primitives::B256;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+/// A stream of transactions entering the node. `None` ends the stream
+/// (the driver drains the pool and stops).
+pub trait TxSource: Send {
+    /// The next transaction, or `None` when the source is exhausted.
+    fn next_tx(&mut self) -> Option<Transaction>;
+}
+
+impl<F: FnMut() -> Option<Transaction> + Send> TxSource for F {
+    fn next_tx(&mut self) -> Option<Transaction> {
+        self()
+    }
+}
+
+/// Knobs of one driver session.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Blocks to produce before stopping (the session may end earlier if
+    /// the source runs dry and the pool empties).
+    pub blocks: usize,
+    /// `parexec` worker threads.
+    pub threads: usize,
+    /// Worker threads the state committer fans subtrie hashing across.
+    pub commit_threads: usize,
+    /// Transactions admitted per ingestion slice.
+    pub ingest_batch: usize,
+    /// Transactions to admit before the first block is packed (keeps the
+    /// pool warm from block one).
+    pub prefill: usize,
+    /// `true` runs ingestion on its own thread, overlapped with
+    /// execution and commitment; `false` ingests inline between blocks —
+    /// slower, but fully deterministic for a deterministic source.
+    pub background_ingest: bool,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            blocks: 16,
+            threads: 4,
+            commit_threads: 4,
+            ingest_batch: 256,
+            prefill: 512,
+            background_ingest: true,
+        }
+    }
+}
+
+/// What one block of the session did.
+#[derive(Debug, Clone)]
+pub struct BlockSummary {
+    /// Block height (1-based).
+    pub height: u64,
+    /// Transactions packed.
+    pub txs: usize,
+    /// Transactions in the conflict-free front.
+    pub independent: usize,
+    /// Phase-1 candidates skipped for conflicting with the packed set.
+    pub conflict_skips: usize,
+    /// Realized dependent-transaction ratio of the packed DAG.
+    pub dependent_ratio: f64,
+    /// Merkle root after the block (resolved from the pipelined commit).
+    pub merkle_root: B256,
+}
+
+/// Outcome of a driver session.
+#[derive(Debug)]
+pub struct DriverReport {
+    /// Per-block summaries, in height order.
+    pub blocks: Vec<BlockSummary>,
+    /// Aggregated execution statistics.
+    pub chain: ChainStats,
+    /// Pool lifetime counters at session end.
+    pub pool: PoolStats,
+    /// Merkle root of the genesis state.
+    pub genesis_root: B256,
+    /// Merkle root after the last block.
+    pub final_root: B256,
+    /// Wall-clock time of the whole session (ingestion through last
+    /// commit resolution).
+    pub wall: Duration,
+    /// `true` when the source ran dry before `blocks` were produced.
+    pub source_exhausted: bool,
+}
+
+impl DriverReport {
+    /// Committed transactions per wall-clock second, over the whole
+    /// overlapped session.
+    pub fn tx_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.chain.txs as f64 / secs
+    }
+
+    /// Mean conflict-free-front fraction across blocks.
+    pub fn independent_ratio(&self) -> f64 {
+        let txs: usize = self.blocks.iter().map(|b| b.txs).sum();
+        if txs == 0 {
+            return 0.0;
+        }
+        let ind: usize = self.blocks.iter().map(|b| b.independent).sum();
+        ind as f64 / txs as f64
+    }
+}
+
+/// The front half of the node: pool + packer + executor + committer.
+#[derive(Debug)]
+pub struct NodeDriver {
+    pool: Mempool,
+    packer: BlockPacker,
+    executor: ParExecutor,
+    cfg: DriverConfig,
+}
+
+impl NodeDriver {
+    /// A driver over the given pool and packer.
+    pub fn new(pool: Mempool, packer: BlockPacker, cfg: DriverConfig) -> Self {
+        let executor = ParExecutor::new(cfg.threads);
+        NodeDriver {
+            pool,
+            packer,
+            executor,
+            cfg,
+        }
+    }
+
+    /// Shared access to the pool (e.g. to pre-seed it).
+    pub fn pool(&self) -> &Mempool {
+        &self.pool
+    }
+
+    /// Runs a session from `genesis`, consuming `source`.
+    pub fn run<S: TxSource>(
+        &self,
+        genesis: State,
+        source: S,
+        header_of: impl Fn(u64) -> BlockHeader,
+    ) -> DriverReport {
+        let started = Instant::now();
+        let mut committer =
+            StateCommitter::new(MemStore::new()).with_threads(self.cfg.commit_threads);
+        commit_full(&mut committer, &genesis);
+        let genesis_root = committer.commit();
+        let committer = AsyncCommitter::new(committer);
+
+        let snapshot: RwLock<Arc<State>> = RwLock::new(Arc::new(genesis));
+        let stop = AtomicBool::new(false);
+        let exhausted = AtomicBool::new(false);
+
+        let mut report = DriverReport {
+            blocks: Vec::with_capacity(self.cfg.blocks),
+            chain: ChainStats::default(),
+            pool: PoolStats::default(),
+            genesis_root,
+            final_root: genesis_root,
+            wall: Duration::ZERO,
+            source_exhausted: false,
+        };
+
+        std::thread::scope(|scope| {
+            let mut source = source;
+            let mut inline_source: Option<&mut S> = None;
+            if self.cfg.background_ingest {
+                let pool = &self.pool;
+                let snapshot = &snapshot;
+                let stop = &stop;
+                let exhausted = &exhausted;
+                let batch = self.cfg.ingest_batch.max(1);
+                let high_water = self.pool_high_water();
+                scope.spawn(move || {
+                    if mtpu_telemetry::enabled() {
+                        mtpu_telemetry::name_thread("ingest");
+                    }
+                    while !stop.load(Ordering::Relaxed) {
+                        if pool.len() >= high_water {
+                            // Backpressure: the packer is behind; admitting
+                            // more now would just evict what we admitted.
+                            std::thread::sleep(Duration::from_micros(200));
+                            continue;
+                        }
+                        if !ingest_slice(pool, snapshot, &mut source, batch) {
+                            exhausted.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                });
+            } else {
+                inline_source = Some(&mut source);
+            }
+
+            // Prefill so block 1 packs from a warm pool.
+            if let Some(src) = inline_source.as_deref_mut() {
+                if !ingest_slice(&self.pool, &snapshot, src, self.cfg.prefill) {
+                    exhausted.store(true, Ordering::Relaxed);
+                }
+            } else {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while self.pool.len() < self.cfg.prefill
+                    && !exhausted.load(Ordering::Relaxed)
+                    && Instant::now() < deadline
+                {
+                    std::thread::yield_now();
+                }
+            }
+
+            let mut pending: Option<(usize, CommitHandle)> = None;
+            while report.blocks.len() < self.cfg.blocks {
+                let height = report.blocks.len() as u64 + 1;
+                let packed = self.packer.pack(&self.pool, header_of(height));
+                if packed.block.transactions.is_empty() {
+                    if let Some(src) = inline_source.as_deref_mut() {
+                        if !ingest_slice(&self.pool, &snapshot, src, self.cfg.ingest_batch.max(1)) {
+                            exhausted.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    if exhausted.load(Ordering::Relaxed) && self.pool.ready_chains().is_empty() {
+                        break; // drained: parked leftovers can never run
+                    }
+                    if !self.cfg.background_ingest && !exhausted.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+
+                let base = snapshot.read().expect("snapshot poisoned").clone();
+                let result =
+                    self.executor
+                        .execute_block_with_dag(&base, &packed.block, &packed.graph);
+                // Pipeline the commitment; resolve the *previous* block's
+                // root now that its hashing had a whole block to overlap.
+                let handle = result.submit_commit(&committer, &base, false);
+                if let Some((idx, h)) = pending.take() {
+                    report.blocks[idx].merkle_root =
+                        h.wait().expect("in-memory commit cannot fail");
+                }
+                pending = Some((report.blocks.len(), handle));
+
+                let new_state = Arc::new(result.state);
+                *snapshot.write().expect("snapshot poisoned") = new_state.clone();
+                self.pool.observe_committed(new_state.as_ref());
+
+                report.chain.absorb(&result.stats);
+                report.blocks.push(summary_of(height, &packed));
+
+                // Inline mode: refill between blocks (background mode
+                // refills concurrently the whole time).
+                if let Some(src) = inline_source.as_deref_mut() {
+                    if !ingest_slice(&self.pool, &snapshot, src, self.cfg.ingest_batch.max(1)) {
+                        exhausted.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            if let Some((idx, h)) = pending.take() {
+                report.blocks[idx].merkle_root = h.wait().expect("in-memory commit cannot fail");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        report.pool = self.pool.stats();
+        report.source_exhausted = exhausted.load(Ordering::Relaxed);
+        if let Some(last) = report.blocks.last() {
+            report.final_root = last.merkle_root;
+        }
+        report.wall = started.elapsed();
+        report
+    }
+
+    /// Ingestion backpressure threshold: leave one batch of headroom
+    /// under the pool's count budget, so a full pool pauses ingestion
+    /// instead of grinding through pointless fee evictions.
+    fn pool_high_water(&self) -> usize {
+        self.pool
+            .config()
+            .max_txs
+            .saturating_sub(self.cfg.ingest_batch)
+            .max(1)
+    }
+}
+
+fn summary_of(height: u64, packed: &PackedBlock) -> BlockSummary {
+    BlockSummary {
+        height,
+        txs: packed.block.transactions.len(),
+        independent: packed.independent,
+        conflict_skips: packed.conflict_skips,
+        dependent_ratio: packed.graph.dependent_ratio(),
+        merkle_root: B256::ZERO,
+    }
+}
+
+/// Admits up to `batch` transactions against the current snapshot.
+/// Returns `false` when the source ran dry.
+fn ingest_slice<S: TxSource>(
+    pool: &Mempool,
+    snapshot: &RwLock<Arc<State>>,
+    source: &mut S,
+    batch: usize,
+) -> bool {
+    let state = snapshot.read().expect("snapshot poisoned").clone();
+    let span = mtpu_telemetry::span("node.ingest", "mempool");
+    for _ in 0..batch {
+        let Some(tx) = source.next_tx() else {
+            drop(span);
+            return false;
+        };
+        let _ = pool.admit(tx, state.as_ref());
+    }
+    drop(span);
+    true
+}

@@ -1,0 +1,55 @@
+//! Telemetry wiring for the mempool, packer and node driver: cached
+//! handles into the global [`mtpu_telemetry`] registry.
+//!
+//! All recording is gated on [`mtpu_telemetry::enabled`]; admission and
+//! packing hot paths pay one relaxed atomic load per instrumented point
+//! when disabled. Metric names are documented in DESIGN.md §7.
+
+use mtpu_telemetry::{Counter, Gauge};
+use std::sync::OnceLock;
+
+/// Cached handles for the front-half-of-the-node metrics.
+pub struct MempoolMetrics {
+    /// Transactions admitted into the pool (`mempool.admit`).
+    pub admit: Counter,
+    /// Transactions rejected at admission (`mempool.reject`).
+    pub reject: Counter,
+    /// Transactions evicted under the byte/count budget (`mempool.evict`).
+    pub evict: Counter,
+    /// Future-nonce transactions parked at admission (`mempool.parked`).
+    pub parked: Counter,
+    /// Replace-by-fee replacements (`mempool.replaced`).
+    pub replaced: Counter,
+    /// Transactions purged because a committed block made their nonce
+    /// stale (`mempool.stale_purged`).
+    pub stale_purged: Counter,
+    /// Current pool depth in transactions (`mempool.depth`).
+    pub depth: Gauge,
+    /// Blocks packed (`packer.blocks`).
+    pub packer_blocks: Counter,
+    /// Transactions packed into blocks (`packer.txs`).
+    pub packer_txs: Counter,
+    /// Candidates skipped in the independent phase because they conflict
+    /// with the packed set (`packer.conflict_skips`).
+    pub conflict_skips: Counter,
+}
+
+/// The process-wide cached handle set.
+pub fn metrics() -> &'static MempoolMetrics {
+    static METRICS: OnceLock<MempoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = mtpu_telemetry::global();
+        MempoolMetrics {
+            admit: reg.counter("mempool.admit"),
+            reject: reg.counter("mempool.reject"),
+            evict: reg.counter("mempool.evict"),
+            parked: reg.counter("mempool.parked"),
+            replaced: reg.counter("mempool.replaced"),
+            stale_purged: reg.counter("mempool.stale_purged"),
+            depth: reg.gauge("mempool.depth"),
+            packer_blocks: reg.counter("packer.blocks"),
+            packer_txs: reg.counter("packer.txs"),
+            conflict_skips: reg.counter("packer.conflict_skips"),
+        }
+    })
+}

@@ -1,0 +1,527 @@
+//! A bounded, sharded transaction pool with per-sender nonce chains.
+//!
+//! The pool is the node's admission layer (ROADMAP item 1): transactions
+//! arrive one at a time, are preflighted against *committed* state
+//! (nonce freshness, balance cover, intrinsic gas), speculatively
+//! executed once to extract their read/write conflict footprint
+//! ([`mtpu::sched::rwset`]), and then filed under their sender in nonce
+//! order. Future-nonce transactions are parked until the gap fills;
+//! same-nonce resubmissions follow replace-by-fee; and a byte/count
+//! budget is enforced by evicting the lowest-fee sender tail.
+//!
+//! Senders are sharded by address so ingestion can run concurrently with
+//! packing: each shard has its own lock, and a sender's whole nonce chain
+//! lives in exactly one shard.
+
+use crate::obs;
+use mtpu::sched::{static_rw_set, tx_rw_set, Footprint, RwSet};
+use mtpu_evm::overlay::{StateOverlay, StateRead};
+use mtpu_evm::tx::{BlockHeader, Transaction};
+use mtpu_evm::{admission_preflight, trace_transaction, TxError};
+use mtpu_primitives::{Address, B256, U256};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Shape and limits of a [`Mempool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Maximum transactions held (count budget).
+    pub max_txs: usize,
+    /// Maximum summed RLP bytes held (byte budget).
+    pub max_bytes: usize,
+    /// Shard count (rounded up to a power of two, at least 1).
+    pub shards: usize,
+    /// Maximum queued transactions per sender (nonce-chain length cap).
+    pub max_per_sender: usize,
+    /// Minimum percentage gas-price bump a replacement must carry over
+    /// the transaction it replaces (replace-by-fee threshold).
+    pub rbf_bump_pct: u64,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_txs: 8_192,
+            max_bytes: 8 << 20,
+            shards: 16,
+            max_per_sender: 64,
+            rbf_bump_pct: 10,
+        }
+    }
+}
+
+/// How an admitted transaction was filed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admitted {
+    /// Executable now: extends the sender's contiguous nonce chain.
+    Ready,
+    /// Future nonce: parked until the gap back-fills.
+    Parked,
+    /// Replaced a same-nonce transaction under replace-by-fee.
+    Replaced,
+}
+
+/// Why a transaction was turned away.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// Nonce below the sender's committed account nonce.
+    StaleNonce,
+    /// Committed balance cannot cover `gas_limit * gas_price + value`.
+    Unaffordable,
+    /// Gas limit below intrinsic gas.
+    IntrinsicGas,
+    /// Same-nonce replacement without the required fee bump.
+    Underpriced,
+    /// Pool at capacity and this transaction's fee is the lowest.
+    PoolFull,
+    /// Sender already queues `max_per_sender` transactions.
+    SenderLimit,
+}
+
+impl Rejected {
+    /// Short stable label for logs and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rejected::StaleNonce => "stale_nonce",
+            Rejected::Unaffordable => "unaffordable",
+            Rejected::IntrinsicGas => "intrinsic_gas",
+            Rejected::Underpriced => "underpriced",
+            Rejected::PoolFull => "pool_full",
+            Rejected::SenderLimit => "sender_limit",
+        }
+    }
+}
+
+/// A pooled transaction: the transaction plus everything admission-time
+/// analysis derived once, so the packer and executor never re-derive it.
+#[derive(Debug, Clone)]
+pub struct PooledTx {
+    /// The transaction.
+    pub tx: Transaction,
+    /// Conflict keys observed by the admission-time speculative run.
+    pub rw: RwSet,
+    /// The compiled sorted-slice form the packer's inner loop probes.
+    pub footprint: Footprint,
+    /// RLP-encoded size, charged against the byte budget.
+    pub bytes: usize,
+    /// `true` when the footprint came from the static fallback instead of
+    /// a successful speculative execution.
+    pub approximate: bool,
+}
+
+/// Lifetime counters (monotonic; survive purges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Transactions admitted (including replacements).
+    pub admitted: u64,
+    /// Transactions rejected.
+    pub rejected: u64,
+    /// Transactions evicted under the byte/count budget.
+    pub evicted: u64,
+    /// Admissions that were parked on a future nonce.
+    pub parked: u64,
+    /// Replace-by-fee replacements.
+    pub replaced: u64,
+    /// Transactions purged as stale after a block committed.
+    pub stale_purged: u64,
+}
+
+/// One sender's nonce-ordered queue.
+#[derive(Debug, Default)]
+struct SenderQueue {
+    /// Queued transactions keyed by nonce.
+    txs: BTreeMap<u64, PooledTx>,
+    /// The sender's committed account nonce as of the last observation —
+    /// the nonce the next executable transaction must carry.
+    next_nonce: u64,
+}
+
+impl SenderQueue {
+    /// Number of leading queue entries forming a contiguous nonce run
+    /// starting at `next_nonce` (the executable prefix).
+    fn ready_len(&self) -> usize {
+        self.txs
+            .keys()
+            .zip(self.next_nonce..)
+            .take_while(|&(&nonce, expect)| nonce == expect)
+            .count()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    senders: HashMap<Address, SenderQueue>,
+}
+
+/// A contiguous, executable run of one sender's pooled transactions,
+/// snapshot for the packer.
+#[derive(Debug, Clone)]
+pub struct ReadyChain {
+    /// The sender.
+    pub sender: Address,
+    /// Transactions in nonce order, starting at the committed nonce.
+    pub txs: Vec<PooledTx>,
+}
+
+/// The bounded, sharded transaction pool.
+#[derive(Debug)]
+pub struct Mempool {
+    cfg: PoolConfig,
+    shards: Vec<Mutex<Shard>>,
+    shard_mask: usize,
+    /// Transactions currently held (all shards).
+    count: AtomicUsize,
+    /// Summed RLP bytes currently held.
+    bytes: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    evicted: AtomicU64,
+    parked: AtomicU64,
+    replaced: AtomicU64,
+    stale_purged: AtomicU64,
+    /// Header the admission-time speculative execution runs under.
+    extraction_header: BlockHeader,
+}
+
+impl Mempool {
+    /// An empty pool with the given limits.
+    pub fn new(cfg: PoolConfig) -> Self {
+        let shards = cfg.shards.max(1).next_power_of_two();
+        Mempool {
+            cfg,
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_mask: shards - 1,
+            count: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+            replaced: AtomicU64::new(0),
+            stale_purged: AtomicU64::new(0),
+            extraction_header: BlockHeader::default(),
+        }
+    }
+
+    /// The pool's limits.
+    pub fn config(&self) -> &PoolConfig {
+        &self.cfg
+    }
+
+    /// Transactions currently pooled.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// `true` when no transactions are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Summed RLP bytes currently pooled.
+    pub fn pooled_bytes(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
+            replaced: self.replaced.load(Ordering::Relaxed),
+            stale_purged: self.stale_purged.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shard_of(&self, sender: Address) -> &Mutex<Shard> {
+        // Low address bytes are well-distributed for both fixture users
+        // and keccak-derived addresses.
+        let b = sender.as_bytes();
+        let h = u64::from_le_bytes([b[12], b[13], b[14], b[15], b[16], b[17], b[18], b[19]]);
+        &self.shards[(h as usize) & self.shard_mask]
+    }
+
+    fn update_depth_gauge(&self) {
+        if mtpu_telemetry::enabled() {
+            obs::metrics().depth.set(self.len() as f64);
+        }
+    }
+
+    fn reject(&self, why: Rejected) -> Result<Admitted, Rejected> {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+        if mtpu_telemetry::enabled() {
+            obs::metrics().reject.inc();
+        }
+        Err(why)
+    }
+
+    /// Validates `tx` against `state` (the committed state), extracts its
+    /// conflict footprint, and files it. See the module docs for the
+    /// admission pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Rejected`] reason; the pool is unchanged except that a
+    /// full pool may still have evicted cheaper tail transactions to make
+    /// room before discovering the incoming one is itself the cheapest.
+    pub fn admit<S: StateRead>(&self, tx: Transaction, state: &S) -> Result<Admitted, Rejected> {
+        match admission_preflight(state, &tx) {
+            Ok(_future) => {}
+            Err(TxError::NonceMismatch { .. }) => return self.reject(Rejected::StaleNonce),
+            Err(TxError::InsufficientFunds) => return self.reject(Rejected::Unaffordable),
+            Err(TxError::IntrinsicGasTooLow) => return self.reject(Rejected::IntrinsicGas),
+        };
+
+        let bytes = tx.rlp_encode().len();
+        // Budget enforcement happens before taking the sender's shard
+        // lock (the victim scan visits every shard). The incoming fee
+        // must beat the cheapest tail it displaces.
+        if !self.make_room(bytes, tx.gas_price) {
+            return self.reject(Rejected::PoolFull);
+        }
+
+        let pooled = self.extract(tx, state, bytes);
+        let sender = pooled.tx.from;
+        let nonce = pooled.tx.nonce;
+        let mut shard = self.shard_of(sender).lock().expect("shard poisoned");
+        let queue = shard.senders.entry(sender).or_insert_with(|| SenderQueue {
+            next_nonce: state.read_nonce(sender),
+            ..Default::default()
+        });
+
+        if let Some(old) = queue.txs.get(&nonce) {
+            // Replace-by-fee: the bump threshold keeps gossip-level
+            // replacement spam from grinding the pool.
+            let bump = old.tx.gas_price * U256::from(self.cfg.rbf_bump_pct) / U256::from(100u64);
+            if pooled.tx.gas_price <= old.tx.gas_price + bump {
+                drop(shard);
+                return self.reject(Rejected::Underpriced);
+            }
+            let old_bytes = old.bytes;
+            queue.txs.insert(nonce, pooled);
+            drop(shard);
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.bytes.fetch_sub(old_bytes, Ordering::Relaxed);
+            self.admitted.fetch_add(1, Ordering::Relaxed);
+            self.replaced.fetch_add(1, Ordering::Relaxed);
+            if mtpu_telemetry::enabled() {
+                let m = obs::metrics();
+                m.admit.inc();
+                m.replaced.inc();
+            }
+            self.update_depth_gauge();
+            return Ok(Admitted::Replaced);
+        }
+
+        if queue.txs.len() >= self.cfg.max_per_sender {
+            drop(shard);
+            return self.reject(Rejected::SenderLimit);
+        }
+
+        queue.txs.insert(nonce, pooled);
+        // Ready iff the transaction landed inside the contiguous
+        // executable prefix (a back-fill can make it *and* its parked
+        // successors ready at once).
+        let ready =
+            nonce >= queue.next_nonce && ((nonce - queue.next_nonce) as usize) < queue.ready_len();
+        drop(shard);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        if mtpu_telemetry::enabled() {
+            obs::metrics().admit.inc();
+        }
+        self.update_depth_gauge();
+        if ready {
+            Ok(Admitted::Ready)
+        } else {
+            self.parked.fetch_add(1, Ordering::Relaxed);
+            if mtpu_telemetry::enabled() {
+                obs::metrics().parked.inc();
+            }
+            Ok(Admitted::Parked)
+        }
+    }
+
+    /// Admission-time footprint extraction: one speculative execution on
+    /// an overlay over committed state (with the sender's nonce pinned to
+    /// the transaction's, so parked chain members still execute). A
+    /// failed execution falls back to the static value-transfer footprint
+    /// — an under-approximation that only costs parallelism, never
+    /// correctness, because parexec re-validates every read at commit.
+    fn extract<S: StateRead>(&self, tx: Transaction, state: &S, bytes: usize) -> PooledTx {
+        let view = NonceView {
+            base: state,
+            sender: tx.from,
+            nonce: tx.nonce,
+        };
+        let mut overlay = StateOverlay::new(&view);
+        let (rw, approximate) = match trace_transaction(&mut overlay, &self.extraction_header, &tx)
+        {
+            Ok((_, trace)) => (tx_rw_set(&tx, &trace), false),
+            Err(_) => (static_rw_set(&tx), true),
+        };
+        let footprint = rw.footprint();
+        PooledTx {
+            tx,
+            rw,
+            footprint,
+            bytes,
+            approximate,
+        }
+    }
+
+    /// Evicts lowest-fee sender tails until one more transaction of
+    /// `incoming_bytes` fits the budgets. Returns `false` when the
+    /// incoming fee does not beat the cheapest tail (the incoming
+    /// transaction is the right victim).
+    fn make_room(&self, incoming_bytes: usize, incoming_fee: U256) -> bool {
+        loop {
+            let over_count = self.len() + 1 > self.cfg.max_txs;
+            let over_bytes = self.pooled_bytes() + incoming_bytes > self.cfg.max_bytes;
+            if !over_count && !over_bytes {
+                return true;
+            }
+            let Some((victim_fee, sender, nonce)) = self.cheapest_tail() else {
+                // Nothing to evict: the pool is empty yet the incoming
+                // transaction alone busts the byte budget.
+                return false;
+            };
+            if victim_fee >= incoming_fee {
+                return false;
+            }
+            self.remove(sender, nonce);
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            if mtpu_telemetry::enabled() {
+                obs::metrics().evict.inc();
+            }
+        }
+    }
+
+    /// The globally cheapest sender-tail transaction: each sender's
+    /// highest-nonce entry is evictable without stranding a gap; among
+    /// those, minimum `(gas_price, sender)` — a deterministic victim.
+    fn cheapest_tail(&self) -> Option<(U256, Address, u64)> {
+        let mut best: Option<(U256, Address, u64)> = None;
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for (&sender, queue) in &shard.senders {
+                if let Some((&nonce, tail)) = queue.txs.iter().next_back() {
+                    let key = (tail.tx.gas_price, sender, nonce);
+                    if best.as_ref().is_none_or(|b| (key.0, key.1) < (b.0, b.1)) {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Removes one transaction; returns it if present.
+    pub fn remove(&self, sender: Address, nonce: u64) -> Option<PooledTx> {
+        let mut shard = self.shard_of(sender).lock().expect("shard poisoned");
+        let queue = shard.senders.get_mut(&sender)?;
+        let removed = queue.txs.remove(&nonce)?;
+        if queue.txs.is_empty() {
+            shard.senders.remove(&sender);
+        }
+        drop(shard);
+        self.count.fetch_sub(1, Ordering::Relaxed);
+        self.bytes.fetch_sub(removed.bytes, Ordering::Relaxed);
+        self.update_depth_gauge();
+        Some(removed)
+    }
+
+    /// Snapshot of every sender's executable prefix (contiguous nonces
+    /// starting at the committed account nonce), sorted by sender — the
+    /// packer's deterministic candidate view.
+    pub fn ready_chains(&self) -> Vec<ReadyChain> {
+        let mut chains = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard poisoned");
+            for (&sender, queue) in &shard.senders {
+                let n = queue.ready_len();
+                if n == 0 {
+                    continue;
+                }
+                chains.push(ReadyChain {
+                    sender,
+                    txs: queue.txs.values().take(n).cloned().collect(),
+                });
+            }
+        }
+        chains.sort_by_key(|c| c.sender);
+        chains
+    }
+
+    /// Re-synchronizes the pool after a block committed: every sender's
+    /// transactions whose nonce fell below the new committed account
+    /// nonce are purged (they were either packed or invalidated), and the
+    /// remaining queue re-anchors so parked successors become ready.
+    pub fn observe_committed<S: StateRead>(&self, state: &S) {
+        let mut purged = 0u64;
+        let mut freed_bytes = 0usize;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("shard poisoned");
+            shard.senders.retain(|&sender, queue| {
+                let committed = state.read_nonce(sender);
+                while let Some((&nonce, _)) = queue.txs.iter().next() {
+                    if nonce >= committed {
+                        break;
+                    }
+                    let dropped = queue.txs.remove(&nonce).expect("key just seen");
+                    purged += 1;
+                    freed_bytes += dropped.bytes;
+                }
+                queue.next_nonce = committed;
+                !queue.txs.is_empty()
+            });
+        }
+        if purged > 0 {
+            self.count.fetch_sub(purged as usize, Ordering::Relaxed);
+            self.bytes.fetch_sub(freed_bytes, Ordering::Relaxed);
+            self.stale_purged.fetch_add(purged, Ordering::Relaxed);
+            if mtpu_telemetry::enabled() {
+                obs::metrics().stale_purged.add(purged);
+            }
+        }
+        self.update_depth_gauge();
+    }
+}
+
+/// A read view that pins one sender's nonce — the admission-time
+/// speculative execution runs a parked transaction as if its
+/// predecessors had already committed.
+struct NonceView<'a, S: StateRead> {
+    base: &'a S,
+    sender: Address,
+    nonce: u64,
+}
+
+impl<S: StateRead> StateRead for NonceView<'_, S> {
+    fn read_exists(&self, addr: Address) -> bool {
+        self.base.read_exists(addr)
+    }
+    fn read_balance(&self, addr: Address) -> U256 {
+        self.base.read_balance(addr)
+    }
+    fn read_nonce(&self, addr: Address) -> u64 {
+        if addr == self.sender {
+            self.nonce
+        } else {
+            self.base.read_nonce(addr)
+        }
+    }
+    fn read_code(&self, addr: Address) -> Vec<u8> {
+        self.base.read_code(addr)
+    }
+    fn read_code_hash(&self, addr: Address) -> B256 {
+        self.base.read_code_hash(addr)
+    }
+    fn read_storage(&self, addr: Address, key: U256) -> U256 {
+        self.base.read_storage(addr, key)
+    }
+}

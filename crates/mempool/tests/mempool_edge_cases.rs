@@ -1,0 +1,206 @@
+//! Mempool admission edge cases: nonce gaps and back-fill, replace-by-fee
+//! thresholds, budget eviction, and post-commit purge/re-anchoring — the
+//! lifecycle states a real pool must get right under churn.
+
+use mtpu_evm::execute_block;
+use mtpu_evm::state::State;
+use mtpu_evm::tx::{Block, BlockHeader, Transaction};
+use mtpu_mempool::{Admitted, BlockPacker, Mempool, PackerConfig, PoolConfig, Rejected};
+use mtpu_parexec::ParExecutor;
+use mtpu_primitives::{Address, U256};
+
+fn genesis(users: u64) -> State {
+    let mut st = State::new();
+    for u in 0..users {
+        st.credit(user(u), U256::from(1_000_000_000u64));
+    }
+    st.finalize_tx();
+    st
+}
+
+fn user(i: u64) -> Address {
+    Address::from_low_u64(i + 1)
+}
+
+/// A transfer from `from` with the given nonce and gas price (recipients
+/// are disjoint from senders so only nonces relate the transactions).
+fn tx(from: u64, nonce: u64, fee: u64) -> Transaction {
+    let mut t = Transaction::transfer(user(from), user(900 + from), U256::ONE, nonce);
+    t.gas_price = U256::from(fee);
+    t
+}
+
+#[test]
+fn future_nonce_parks_until_backfilled() {
+    let state = genesis(4);
+    let pool = Mempool::new(PoolConfig::default());
+
+    // Nonce 2 with the account at 0: parked, not executable.
+    assert_eq!(pool.admit(tx(1, 2, 10), &state), Ok(Admitted::Parked));
+    assert!(pool.ready_chains().is_empty());
+    assert_eq!(pool.stats().parked, 1);
+
+    // Nonce 0 arrives: ready, but the chain still stops at the gap.
+    assert_eq!(pool.admit(tx(1, 0, 10), &state), Ok(Admitted::Ready));
+    let chains = pool.ready_chains();
+    assert_eq!(chains.len(), 1);
+    assert_eq!(chains[0].txs.len(), 1);
+
+    // Back-filling nonce 1 promotes the parked tail in the same breath.
+    assert_eq!(pool.admit(tx(1, 1, 10), &state), Ok(Admitted::Ready));
+    let chains = pool.ready_chains();
+    assert_eq!(chains[0].txs.len(), 3);
+    let nonces: Vec<u64> = chains[0].txs.iter().map(|p| p.tx.nonce).collect();
+    assert_eq!(nonces, [0, 1, 2]);
+}
+
+#[test]
+fn replace_by_fee_requires_a_real_bump() {
+    let state = genesis(2);
+    let pool = Mempool::new(PoolConfig {
+        rbf_bump_pct: 10,
+        ..PoolConfig::default()
+    });
+
+    assert_eq!(pool.admit(tx(1, 0, 100), &state), Ok(Admitted::Ready));
+    // At or below the 10% bump threshold: underpriced.
+    assert_eq!(
+        pool.admit(tx(1, 0, 100), &state),
+        Err(Rejected::Underpriced)
+    );
+    assert_eq!(
+        pool.admit(tx(1, 0, 105), &state),
+        Err(Rejected::Underpriced)
+    );
+    assert_eq!(
+        pool.admit(tx(1, 0, 110), &state),
+        Err(Rejected::Underpriced)
+    );
+    // Above it: replaced in place, no size change.
+    assert_eq!(pool.admit(tx(1, 0, 111), &state), Ok(Admitted::Replaced));
+    assert_eq!(pool.len(), 1);
+    let chains = pool.ready_chains();
+    assert_eq!(chains[0].txs[0].tx.gas_price, U256::from(111u64));
+    assert_eq!(pool.stats().replaced, 1);
+}
+
+#[test]
+fn count_budget_evicts_the_lowest_fee_tail() {
+    let state = genesis(8);
+    let pool = Mempool::new(PoolConfig {
+        max_txs: 3,
+        ..PoolConfig::default()
+    });
+    assert_eq!(pool.admit(tx(1, 0, 10), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.admit(tx(2, 0, 20), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.admit(tx(3, 0, 30), &state), Ok(Admitted::Ready));
+
+    // Cheaper than every tail: the incoming transaction is the victim.
+    assert_eq!(pool.admit(tx(4, 0, 5), &state), Err(Rejected::PoolFull));
+    assert_eq!(pool.stats().evicted, 0);
+    assert_eq!(pool.len(), 3);
+
+    // Rich enough: the fee-10 tail goes, the newcomer stays.
+    assert_eq!(pool.admit(tx(4, 0, 50), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.stats().evicted, 1);
+    assert_eq!(pool.len(), 3);
+    let senders: Vec<Address> = pool.ready_chains().iter().map(|c| c.sender).collect();
+    assert_eq!(senders, [user(2), user(3), user(4)]);
+
+    // A cheap extension of a surviving chain cannot displace others.
+    assert_eq!(pool.admit(tx(2, 1, 1), &state), Err(Rejected::PoolFull));
+}
+
+#[test]
+fn byte_budget_evicts_like_the_count_budget() {
+    let state = genesis(4);
+    let one = tx(1, 0, 10).rlp_encode().len();
+    let pool = Mempool::new(PoolConfig {
+        max_bytes: 2 * one,
+        ..PoolConfig::default()
+    });
+    assert_eq!(pool.admit(tx(1, 0, 10), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.admit(tx(2, 0, 20), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.pooled_bytes(), 2 * one);
+
+    // Fees 10..100 RLP-encode to the same length, so the third transfer
+    // must displace exactly one pooled transaction — the fee-10 tail.
+    assert_eq!(pool.admit(tx(3, 0, 30), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.stats().evicted, 1);
+    assert_eq!(pool.pooled_bytes(), 2 * one);
+    let senders: Vec<Address> = pool.ready_chains().iter().map(|c| c.sender).collect();
+    assert_eq!(senders, [user(2), user(3)]);
+}
+
+#[test]
+fn sender_limit_caps_one_chain() {
+    let state = genesis(2);
+    let pool = Mempool::new(PoolConfig {
+        max_per_sender: 2,
+        ..PoolConfig::default()
+    });
+    assert_eq!(pool.admit(tx(1, 0, 10), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.admit(tx(1, 1, 10), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.admit(tx(1, 2, 10), &state), Err(Rejected::SenderLimit));
+}
+
+#[test]
+fn commit_reanchors_chains_and_rejects_stale_readmission() {
+    let state = genesis(4);
+    let pool = Mempool::new(PoolConfig::default());
+    assert_eq!(pool.admit(tx(1, 0, 10), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.admit(tx(1, 1, 10), &state), Ok(Admitted::Ready));
+    assert_eq!(pool.admit(tx(1, 3, 10), &state), Ok(Admitted::Parked));
+    assert_eq!(pool.admit(tx(2, 0, 10), &state), Ok(Admitted::Ready));
+
+    // Pack and execute: the ready prefix goes in, the parked tail stays.
+    let packer = BlockPacker::new(PackerConfig::default());
+    let packed = packer.pack(&pool, BlockHeader::default());
+    assert_eq!(packed.block.transactions.len(), 3);
+    let result = ParExecutor::new(2).execute_block_with_dag(&state, &packed.block, &packed.graph);
+    assert!(result.receipts.iter().all(|r| r.success));
+
+    pool.observe_committed(&result.state);
+    // The gap at nonce 2 still blocks the parked nonce 3.
+    assert!(pool.ready_chains().is_empty());
+    assert_eq!(pool.len(), 1);
+
+    // Back-fill against the *new* committed state: both become ready.
+    assert_eq!(pool.admit(tx(1, 2, 10), &result.state), Ok(Admitted::Ready));
+    let chains = pool.ready_chains();
+    assert_eq!(chains.len(), 1);
+    let nonces: Vec<u64> = chains[0].txs.iter().map(|p| p.tx.nonce).collect();
+    assert_eq!(nonces, [2, 3]);
+
+    // Consumed nonces can never re-enter.
+    assert_eq!(
+        pool.admit(tx(1, 0, 10), &result.state),
+        Err(Rejected::StaleNonce)
+    );
+}
+
+#[test]
+fn external_block_purges_stale_pooled_transactions() {
+    let state = genesis(2);
+    let pool = Mempool::new(PoolConfig::default());
+    for n in 0..3 {
+        assert_eq!(pool.admit(tx(1, n, 10), &state), Ok(Admitted::Ready));
+    }
+
+    // Another node's block consumes nonces 0 and 1 with different
+    // transactions; the pooled copies are now stale.
+    let mut committed = state.clone();
+    execute_block(
+        &mut committed,
+        &Block {
+            header: BlockHeader::default(),
+            transactions: vec![tx(1, 0, 99), tx(1, 1, 99)],
+        },
+    );
+    pool.observe_committed(&committed);
+
+    assert_eq!(pool.stats().stale_purged, 2);
+    assert_eq!(pool.len(), 1);
+    let chains = pool.ready_chains();
+    assert_eq!(chains[0].txs[0].tx.nonce, 2);
+}

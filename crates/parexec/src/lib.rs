@@ -124,6 +124,60 @@ impl BlockStats {
     }
 }
 
+/// Aggregate statistics over a sustained multi-block run — what the node
+/// driver and the `block_pipeline` bench accumulate while blocks stream
+/// through the execute/commit pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct ChainStats {
+    /// Blocks absorbed.
+    pub blocks: usize,
+    /// Transactions committed across all blocks.
+    pub txs: usize,
+    /// Total speculative executions.
+    pub executions: u64,
+    /// Re-executions caused by conflicts.
+    pub reexecutions: u64,
+    /// Read-set validation failures.
+    pub conflicts: u64,
+    /// Bounded speculative re-executions.
+    pub spec_retries: u64,
+    /// Canonical-order blocking re-executions.
+    pub fallbacks: u64,
+    /// Summed per-block execution wall time (excludes inter-block work).
+    pub exec_wall: Duration,
+}
+
+impl ChainStats {
+    /// Folds one block's stats into the running totals.
+    pub fn absorb(&mut self, s: &BlockStats) {
+        self.blocks += 1;
+        self.txs += s.txs;
+        self.executions += s.executions;
+        self.reexecutions += s.reexecutions;
+        self.conflicts += s.conflicts;
+        self.spec_retries += s.spec_retries;
+        self.fallbacks += s.fallbacks;
+        self.exec_wall += s.wall;
+    }
+
+    /// Committed transactions per second of summed execution wall time.
+    pub fn tx_per_exec_sec(&self) -> f64 {
+        let secs = self.exec_wall.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.txs as f64 / secs
+    }
+
+    /// Fraction of executions that were conflict repairs.
+    pub fn reexec_ratio(&self) -> f64 {
+        if self.executions == 0 {
+            return 0.0;
+        }
+        self.reexecutions as f64 / self.executions as f64
+    }
+}
+
 /// The outcome of one parallel block execution.
 #[derive(Debug)]
 pub struct BlockResult {
@@ -800,6 +854,31 @@ mod tests {
             assert_eq!(result.merkle_root(), want);
             assert_eq!(result.delta_merkle_root(&base), want);
         }
+    }
+
+    #[test]
+    fn chain_stats_accumulate_across_blocks() {
+        let users: Vec<Address> = (1..=8).map(Address::from_low_u64).collect();
+        let base = funded(&users);
+        let exec = ParExecutor::new(2);
+        let mut chain = ChainStats::default();
+        let mut state = base.clone();
+        for nonce in 0..3u64 {
+            let block = Block {
+                header: BlockHeader::default(),
+                transactions: (0..4)
+                    .map(|i| Transaction::transfer(users[i], users[i + 4], U256::from(7u64), nonce))
+                    .collect(),
+            };
+            let result = exec.execute_block(&state, &block);
+            chain.absorb(&result.stats);
+            state = result.state;
+        }
+        assert_eq!(chain.blocks, 3);
+        assert_eq!(chain.txs, 12);
+        assert_eq!(chain.executions, 12 + chain.reexecutions);
+        assert!(chain.tx_per_exec_sec() > 0.0);
+        assert!(chain.reexec_ratio() < 1.0);
     }
 
     #[test]

@@ -3,9 +3,11 @@
 
 mod gen;
 mod prepare;
+mod zipf;
 
 pub use gen::{BlockConfig, Generator};
 pub use prepare::{prepare_block, PreparedBlock};
+pub use zipf::{ZipfConfig, ZipfGen};
 
 impl Generator {
     /// Generates a block, prepares it against the current fixture state,

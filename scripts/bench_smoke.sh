@@ -5,8 +5,8 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot --telemetry"
-cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot --telemetry --json BENCH_RESULTS.json
+echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,block_pipeline --telemetry"
+cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,block_pipeline --telemetry --json BENCH_RESULTS.json
 
 echo "==> validating BENCH_RESULTS.json"
 python3 - <<'EOF'
@@ -29,10 +29,19 @@ assert "stateroot_par" in d["experiments"], list(d["experiments"])
 assert "root parity: OK" in d["experiments"]["stateroot_par"], \
     "parallel commit root mismatch:\n" + d["experiments"]["stateroot_par"]
 assert d["experiments"]["stateroot_par"].count("final root: 0x") == 1
+assert "block_pipeline" in d["experiments"], list(d["experiments"])
+# The pipeline session packs blocks from a live mempool with ingestion,
+# execution and pipelined commitment overlapped; the experiment asserts
+# (in-process) per-block root linkage and repacking determinism.
+bp = d["experiments"]["block_pipeline"]
+assert "root linkage: OK" in bp, "pipeline root linkage broken:\n" + bp
+assert "determinism: OK" in bp, "pipeline repacking nondeterministic:\n" + bp
+assert "tx/s" in bp, "pipeline table lost its throughput column"
 assert d["wall_ns"]["table1"] > 0
 assert d["wall_ns"]["stateroot"] > 0
 assert d["wall_ns"]["stateroot_par"] > 0
 assert d["wall_ns"]["interp_hot"] > 0
+assert d["wall_ns"]["block_pipeline"] > 0
 assert d["telemetry"] is not None, "telemetry snapshot missing despite --telemetry"
 assert "counters" in d["telemetry"]
 print(f"BENCH_RESULTS.json OK: {len(d['experiments'])} experiment(s), "

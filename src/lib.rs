@@ -13,6 +13,7 @@ pub use mtpu_asm as asm;
 pub use mtpu_bpu as bpu;
 pub use mtpu_contracts as contracts;
 pub use mtpu_evm as evm;
+pub use mtpu_mempool as mempool;
 pub use mtpu_parexec as parexec;
 pub use mtpu_primitives as primitives;
 pub use mtpu_statedb as statedb;

@@ -1,0 +1,194 @@
+//! The serializability oracle, extended to the front half of the node:
+//! blocks *produced by the mempool + conflict-aware packer* must execute
+//! on `parexec` — any thread count, synchronous or pipelined commit — to
+//! receipts and merkle roots bit-identical to the sequential reference,
+//! and packing itself must be a deterministic function of the pool state.
+
+use mtpu_repro::evm::execute_block as sequential;
+use mtpu_repro::evm::state::State;
+use mtpu_repro::evm::tx::{BlockHeader, Transaction};
+use mtpu_repro::evm::{commit_full, AsyncCommitter};
+use mtpu_repro::mempool::{
+    BlockPacker, DriverConfig, Mempool, NodeDriver, PackedBlock, PackerConfig, PoolConfig, TxSource,
+};
+use mtpu_repro::parexec::ParExecutor;
+use mtpu_repro::primitives::B256;
+use mtpu_repro::statedb::{MemStore, StateCommitter};
+use mtpu_repro::workloads::{ZipfConfig, ZipfGen};
+
+const THREADS: [usize; 3] = [1, 4, 8];
+
+fn stream(seed: u64) -> ZipfGen {
+    ZipfGen::new(
+        seed,
+        ZipfConfig {
+            senders: 64,
+            hot_ratio: 0.3,
+            ..ZipfConfig::default()
+        },
+    )
+}
+
+/// A Zipf stream truncated to `left` transactions.
+struct Bounded {
+    gen: ZipfGen,
+    left: usize,
+}
+
+impl TxSource for Bounded {
+    fn next_tx(&mut self) -> Option<Transaction> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        Some(self.gen.next_tx())
+    }
+}
+
+fn header(height: u64) -> BlockHeader {
+    BlockHeader {
+        height,
+        ..Default::default()
+    }
+}
+
+/// Packs a short chain of blocks the way the node would — admit, pack,
+/// commit sequentially, observe — and returns the packed blocks plus the
+/// sequential oracle (receipts, merkle roots) and the genesis state.
+fn packed_chain(
+    seed: u64,
+    txs: usize,
+    blocks: usize,
+) -> (
+    State,
+    Vec<PackedBlock>,
+    Vec<Vec<mtpu_repro::evm::Receipt>>,
+    Vec<B256>,
+) {
+    let mut gen = stream(seed);
+    let genesis = gen.genesis_state().clone();
+    let pool = Mempool::new(PoolConfig::default());
+    for _ in 0..txs {
+        let _ = pool.admit(gen.next_tx(), &genesis);
+    }
+
+    let packer = BlockPacker::new(PackerConfig::default());
+    let mut state = genesis.clone();
+    let mut packed = Vec::new();
+    let mut receipts = Vec::new();
+    let mut roots = Vec::new();
+    for h in 1..=blocks as u64 {
+        let p = packer.pack(&pool, header(h));
+        assert!(
+            !p.block.transactions.is_empty(),
+            "pool drained after {h} blocks"
+        );
+        receipts.push(sequential(&mut state, &p.block));
+        roots.push(state.merkle_root());
+        pool.observe_committed(&state);
+        packed.push(p);
+    }
+    (genesis, packed, receipts, roots)
+}
+
+/// Packer-produced blocks execute identically in parallel — with the
+/// packer's admission-time DAG — across thread counts, with both
+/// synchronous root computation and the pipelined background committer.
+#[test]
+fn packed_blocks_parallel_equals_sequential() {
+    let (genesis, packed, oracle_receipts, oracle_roots) = packed_chain(0x21F0, 400, 3);
+
+    for &threads in &THREADS {
+        let exec = ParExecutor::new(threads);
+
+        // Synchronous: recompute the full root after every block.
+        let mut state = genesis.clone();
+        for (i, p) in packed.iter().enumerate() {
+            let result = exec.execute_block_with_dag(&state, &p.block, &p.graph);
+            assert_eq!(
+                result.receipts, oracle_receipts[i],
+                "receipts diverged at block {i} threads {threads}"
+            );
+            state = result.state;
+            assert_eq!(
+                state.merkle_root(),
+                oracle_roots[i],
+                "root diverged at block {i} threads {threads}"
+            );
+        }
+
+        // Pipelined: all commits submitted to the background thread,
+        // handles joined only at the end.
+        let mut committer = StateCommitter::new(MemStore::new()).with_threads(threads);
+        commit_full(&mut committer, &genesis);
+        committer.commit();
+        let committer = AsyncCommitter::new(committer);
+        let mut state = genesis.clone();
+        let mut handles = Vec::new();
+        for p in &packed {
+            let result = exec.execute_block_with_dag(&state, &p.block, &p.graph);
+            handles.push(result.submit_commit(&committer, &state, false));
+            state = result.state;
+        }
+        let roots: Vec<B256> = handles
+            .iter()
+            .map(|h| h.wait().expect("in-memory commit cannot fail"))
+            .collect();
+        assert_eq!(
+            roots, oracle_roots,
+            "pipelined roots diverged at threads {threads}"
+        );
+    }
+}
+
+/// Packing is a pure function of the pool snapshot: identically built
+/// pools pack identical blocks, transaction for transaction.
+#[test]
+fn packing_is_deterministic_for_a_given_pool_state() {
+    let (_, a, _, _) = packed_chain(0xDE7, 300, 2);
+    let (_, b, _, _) = packed_chain(0xDE7, 300, 2);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.block.transactions, y.block.transactions);
+        assert_eq!(x.independent, y.independent);
+        assert_eq!(x.conflict_skips, y.conflict_skips);
+    }
+    // And the conflict-aware phase actually engages on a hot workload.
+    assert!(a.iter().any(|p| p.independent > 0));
+}
+
+/// The end-to-end driver in deterministic (inline-ingest) mode: same
+/// source, same configuration → the same per-block merkle root sequence,
+/// with the final root chained from genesis.
+#[test]
+fn driver_is_deterministic_with_inline_ingest() {
+    let run = |seed: u64| {
+        let driver = NodeDriver::new(
+            Mempool::new(PoolConfig::default()),
+            BlockPacker::new(PackerConfig::default()),
+            DriverConfig {
+                blocks: 4,
+                threads: 4,
+                ingest_batch: 64,
+                prefill: 256,
+                background_ingest: false,
+                ..DriverConfig::default()
+            },
+        );
+        let source = Bounded {
+            gen: stream(seed),
+            left: 600,
+        };
+        let genesis = source.gen.genesis_state().clone();
+        driver.run(genesis, source, header)
+    };
+
+    let a = run(0xFEED);
+    let b = run(0xFEED);
+    assert_eq!(a.blocks.len(), 4);
+    assert!(a.chain.txs > 0);
+    assert_ne!(a.genesis_root, a.final_root);
+    assert_eq!(a.final_root, a.blocks.last().unwrap().merkle_root);
+    let roots_a: Vec<B256> = a.blocks.iter().map(|s| s.merkle_root).collect();
+    let roots_b: Vec<B256> = b.blocks.iter().map(|s| s.merkle_root).collect();
+    assert_eq!(roots_a, roots_b, "driver runs diverged");
+}
