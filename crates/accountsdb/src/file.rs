@@ -1,0 +1,336 @@
+//! The append-only account-storage file format.
+//!
+//! Each flush of the write cache produces one immutable, numbered file
+//! (`storage/NNNNNN.acc`): an 16-byte header followed by a sequence of
+//! records. Files are replayed in id order on open; within and across
+//! files, the *latest* record for a location wins — the in-memory index
+//! only ever points at the newest one.
+//!
+//! Record wire format (all integers big-endian):
+//!
+//! | tag | layout                                            | meaning            |
+//! |-----|---------------------------------------------------|--------------------|
+//! | 1   | `addr(20) flags(1) nonce(8) balance(32) hash(32)` | account upsert     |
+//! | 2   | `addr(20)`                                        | account tombstone  |
+//! | 3   | `addr(20) key(32) value(32)`                      | storage slot write |
+//! | 4   | `hash(32) len(4) code(len)`                       | code blob          |
+//!
+//! Account `flags` bit 0 marks a storage reset: the account was
+//! (re-)created, so every slot written under an earlier generation is
+//! invisible from this record on. A zero-valued slot record is a
+//! tombstone masking any older value of the same slot. Code blobs are
+//! content-addressed and written at most once per file set.
+
+use mtpu_primitives::{Address, B256, U256};
+
+/// File magic: first 8 header bytes of every storage file.
+pub const MAGIC: &[u8; 8] = b"mtpuacc1";
+/// Header size: magic plus the u64 flush height.
+pub const HEADER_LEN: u64 = 16;
+
+/// Account-record flag bit: prior storage generations are invisible.
+pub const FLAG_RESET_STORAGE: u8 = 1;
+
+/// Byte length of an account record's payload (`flags..code_hash`).
+pub const ACCOUNT_PAYLOAD_LEN: usize = 1 + 8 + 32 + 32;
+
+const TAG_ACCOUNT: u8 = 1;
+const TAG_TOMBSTONE: u8 = 2;
+const TAG_SLOT: u8 = 3;
+const TAG_CODE: u8 = 4;
+
+/// The location of one record payload inside the file set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Loc {
+    /// Storage-file id (position in the manifest's file list).
+    pub file: u32,
+    /// Byte offset of the payload within that file.
+    pub offset: u64,
+}
+
+/// The resolved per-account metadata stored in an account record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccountMeta {
+    /// Storage-reset marker (flag bit 0).
+    pub reset_storage: bool,
+    /// Account nonce.
+    pub nonce: u64,
+    /// Account balance.
+    pub balance: U256,
+    /// Code hash exactly as the execution layer reports it (`ZERO` for
+    /// never-coded accounts, per EXTCODEHASH semantics).
+    pub code_hash: B256,
+}
+
+/// Appends the file header for a flush at `height`.
+pub fn encode_header(buf: &mut Vec<u8>, height: u64) {
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&height.to_be_bytes());
+}
+
+/// Appends an account record; returns the payload offset (of the flags
+/// byte) within `buf`.
+pub fn encode_account(buf: &mut Vec<u8>, addr: Address, meta: &AccountMeta) -> u64 {
+    buf.push(TAG_ACCOUNT);
+    buf.extend_from_slice(addr.as_bytes());
+    let payload = buf.len() as u64;
+    buf.push(if meta.reset_storage {
+        FLAG_RESET_STORAGE
+    } else {
+        0
+    });
+    buf.extend_from_slice(&meta.nonce.to_be_bytes());
+    buf.extend_from_slice(&meta.balance.to_be_bytes());
+    buf.extend_from_slice(meta.code_hash.as_bytes());
+    payload
+}
+
+/// Appends an account tombstone record.
+pub fn encode_tombstone(buf: &mut Vec<u8>, addr: Address) {
+    buf.push(TAG_TOMBSTONE);
+    buf.extend_from_slice(addr.as_bytes());
+}
+
+/// Appends a storage-slot record; returns the payload offset (of the
+/// 32-byte value) within `buf`.
+pub fn encode_slot(buf: &mut Vec<u8>, addr: Address, key: U256, value: U256) -> u64 {
+    buf.push(TAG_SLOT);
+    buf.extend_from_slice(addr.as_bytes());
+    buf.extend_from_slice(&key.to_be_bytes());
+    let payload = buf.len() as u64;
+    buf.extend_from_slice(&value.to_be_bytes());
+    payload
+}
+
+/// Appends a code-blob record; returns the payload offset (of the first
+/// code byte) within `buf`.
+pub fn encode_code(buf: &mut Vec<u8>, hash: B256, code: &[u8]) -> u64 {
+    buf.push(TAG_CODE);
+    buf.extend_from_slice(hash.as_bytes());
+    buf.extend_from_slice(&(code.len() as u32).to_be_bytes());
+    let payload = buf.len() as u64;
+    buf.extend_from_slice(code);
+    payload
+}
+
+/// Decodes an account payload previously written by [`encode_account`].
+pub fn decode_account_payload(bytes: &[u8; ACCOUNT_PAYLOAD_LEN]) -> AccountMeta {
+    AccountMeta {
+        reset_storage: bytes[0] & FLAG_RESET_STORAGE != 0,
+        nonce: u64::from_be_bytes(bytes[1..9].try_into().expect("8 bytes")),
+        balance: U256::from_be_bytes(bytes[9..41].try_into().expect("32 bytes")),
+        code_hash: B256::new(bytes[41..73].try_into().expect("32 bytes")),
+    }
+}
+
+/// One replayed record plus the in-file offset of its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// Account upsert: payload offset names the meta bytes.
+    Account {
+        /// Account address.
+        addr: Address,
+        /// Decoded metadata.
+        meta: AccountMeta,
+        /// Payload offset for the index.
+        payload: u64,
+    },
+    /// Account deletion.
+    Tombstone {
+        /// Account address.
+        addr: Address,
+    },
+    /// Storage-slot write: payload offset names the 32-byte value.
+    Slot {
+        /// Account address.
+        addr: Address,
+        /// Slot key.
+        key: U256,
+        /// Slot value (zero = cleared).
+        value: U256,
+        /// Payload offset for the index.
+        payload: u64,
+    },
+    /// Code blob: payload offset names the first code byte.
+    Code {
+        /// keccak(code).
+        hash: B256,
+        /// Blob length in bytes.
+        len: u32,
+        /// Payload offset for the index.
+        payload: u64,
+    },
+}
+
+fn corrupt(msg: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Replays a storage file's committed bytes, yielding every record in
+/// write order.
+///
+/// # Errors
+///
+/// Fails when the header or any record is malformed or truncated —
+/// manifested file contents are complete, so damage here is real
+/// corruption, not a crash artifact.
+pub fn replay(bytes: &[u8]) -> std::io::Result<Vec<Record>> {
+    if bytes.len() < HEADER_LEN as usize || &bytes[..8] != MAGIC {
+        return Err(corrupt("bad storage file header"));
+    }
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN as usize;
+    while pos < bytes.len() {
+        let tag = bytes[pos];
+        pos += 1;
+        match tag {
+            TAG_ACCOUNT => {
+                let addr = read_addr(bytes, pos)?;
+                pos += 20;
+                let payload = pos as u64;
+                let meta: &[u8; ACCOUNT_PAYLOAD_LEN] = bytes
+                    .get(pos..pos + ACCOUNT_PAYLOAD_LEN)
+                    .and_then(|s| s.try_into().ok())
+                    .ok_or_else(|| corrupt("truncated account record"))?;
+                records.push(Record::Account {
+                    addr,
+                    meta: decode_account_payload(meta),
+                    payload,
+                });
+                pos += ACCOUNT_PAYLOAD_LEN;
+            }
+            TAG_TOMBSTONE => {
+                let addr = read_addr(bytes, pos)?;
+                pos += 20;
+                records.push(Record::Tombstone { addr });
+            }
+            TAG_SLOT => {
+                let addr = read_addr(bytes, pos)?;
+                pos += 20;
+                let key = read_u256(bytes, pos)?;
+                pos += 32;
+                let payload = pos as u64;
+                let value = read_u256(bytes, pos)?;
+                pos += 32;
+                records.push(Record::Slot {
+                    addr,
+                    key,
+                    value,
+                    payload,
+                });
+            }
+            TAG_CODE => {
+                let hash = bytes
+                    .get(pos..pos + 32)
+                    .map(|s| B256::new(s.try_into().expect("32 bytes")))
+                    .ok_or_else(|| corrupt("truncated code hash"))?;
+                pos += 32;
+                let len = bytes
+                    .get(pos..pos + 4)
+                    .map(|s| u32::from_be_bytes(s.try_into().expect("4 bytes")))
+                    .ok_or_else(|| corrupt("truncated code length"))?;
+                pos += 4;
+                let payload = pos as u64;
+                if bytes.len() < pos + len as usize {
+                    return Err(corrupt("truncated code blob"));
+                }
+                records.push(Record::Code { hash, len, payload });
+                pos += len as usize;
+            }
+            other => return Err(corrupt(format!("unknown record tag {other}"))),
+        }
+    }
+    Ok(records)
+}
+
+fn read_addr(bytes: &[u8], pos: usize) -> std::io::Result<Address> {
+    bytes
+        .get(pos..pos + 20)
+        .map(|s| Address::new(s.try_into().expect("20 bytes")))
+        .ok_or_else(|| corrupt("truncated address"))
+}
+
+fn read_u256(bytes: &[u8], pos: usize) -> std::io::Result<U256> {
+    bytes
+        .get(pos..pos + 32)
+        .map(|s| U256::from_be_bytes(s.try_into().expect("32 bytes")))
+        .ok_or_else(|| corrupt("truncated word"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_round_trip_through_replay() {
+        let addr = Address::from_low_u64(7);
+        let meta = AccountMeta {
+            reset_storage: true,
+            nonce: 3,
+            balance: U256::from(999u64),
+            code_hash: B256::keccak(b"code"),
+        };
+        let mut buf = Vec::new();
+        encode_header(&mut buf, 42);
+        let code_off = encode_code(&mut buf, B256::keccak(b"code"), b"code");
+        let meta_off = encode_account(&mut buf, addr, &meta);
+        encode_tombstone(&mut buf, Address::from_low_u64(8));
+        let slot_off = encode_slot(&mut buf, addr, U256::from(1u64), U256::from(55u64));
+
+        let records = replay(&buf).unwrap();
+        assert_eq!(records.len(), 4);
+        assert_eq!(
+            records[0],
+            Record::Code {
+                hash: B256::keccak(b"code"),
+                len: 4,
+                payload: code_off,
+            }
+        );
+        assert_eq!(
+            records[1],
+            Record::Account {
+                addr,
+                meta,
+                payload: meta_off,
+            }
+        );
+        assert_eq!(
+            records[2],
+            Record::Tombstone {
+                addr: Address::from_low_u64(8)
+            }
+        );
+        assert_eq!(
+            records[3],
+            Record::Slot {
+                addr,
+                key: U256::from(1u64),
+                value: U256::from(55u64),
+                payload: slot_off,
+            }
+        );
+
+        // Payload offsets decode back to the encoded values.
+        let meta_bytes: &[u8; ACCOUNT_PAYLOAD_LEN] = buf
+            [meta_off as usize..meta_off as usize + ACCOUNT_PAYLOAD_LEN]
+            .try_into()
+            .unwrap();
+        assert_eq!(decode_account_payload(meta_bytes), meta);
+        assert_eq!(&buf[code_off as usize..code_off as usize + 4], b"code");
+    }
+
+    #[test]
+    fn damaged_input_is_rejected() {
+        assert!(replay(b"not-a-file").is_err());
+        let mut buf = Vec::new();
+        encode_header(&mut buf, 0);
+        encode_tombstone(&mut buf, Address::from_low_u64(1));
+        buf.truncate(buf.len() - 1);
+        assert!(replay(&buf).is_err());
+        let mut buf2 = Vec::new();
+        encode_header(&mut buf2, 0);
+        buf2.push(99); // unknown tag
+        assert!(replay(&buf2).is_err());
+    }
+}

@@ -31,6 +31,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("stateroot", stateroot::per_block),
     ("stateroot_par", stateroot::threads_sweep),
     ("block_pipeline", pipeline::block_pipeline),
+    ("accountsdb", accountsdb::flat_store),
     ("interp_hot", interp_hot::hot_paths),
     ("hotspot", stat::hotspot_loading),
     ("hotspot-drift", drift::hotspot_drift),

@@ -2,6 +2,7 @@
 //! a formatted report comparing measured numbers with the published ones.
 
 pub mod ablation;
+pub mod accountsdb;
 pub mod compare;
 pub mod drift;
 pub mod ilp;

@@ -57,6 +57,7 @@ fn stream(seed: u64, left: usize) -> Bounded {
                 hot_slots: 4,
                 sct_ratio: 0.7,
                 max_fee: 100,
+                ..ZipfConfig::default()
             },
         ),
         left,
@@ -99,6 +100,7 @@ fn session(seed: u64, blocks: usize, fee_only: bool, background: bool) -> Driver
             ingest_batch: 128,
             prefill: 2048.min(blocks * BLOCK_TXS / 2),
             background_ingest: background,
+            ..DriverConfig::default()
         },
     );
     // Head-room over blocks*BLOCK_TXS: rejections and unpackable parked

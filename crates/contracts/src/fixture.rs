@@ -334,9 +334,40 @@ impl Fixture {
         }
     }
 
-    /// Address of fixture user `i` (`i < USER_COUNT`).
+    /// Address of fixture user `i`. The first [`USER_COUNT`] users exist
+    /// from [`Fixture::new`]; larger ids are valid once provisioned via
+    /// [`Fixture::ensure_users`].
     pub fn user_address(i: u64) -> Address {
         Address::from_low_u64(0x10_0000 + i)
+    }
+
+    /// Number of provisioned (nonce-tracked) users.
+    pub fn user_count(&self) -> u64 {
+        self.nonces.len() as u64
+    }
+
+    /// Extends the user universe to at least `n` accounts. New users get
+    /// a tracked nonce, an ether balance and a TetherUSD balance — enough
+    /// for transfer-heavy streams over millions of distinct accounts. The
+    /// full multi-contract seeding (allowances, AMM ledgers, NFTs) stays
+    /// with the first [`USER_COUNT`] users; token total supplies are not
+    /// restated.
+    pub fn ensure_users(&mut self, n: u64) {
+        let from = self.user_count();
+        if n <= from {
+            return;
+        }
+        for u in from..n {
+            let user = Self::user_address(u);
+            self.state.credit(user, U256::from(SEED_ETHER));
+            self.state.set_storage(
+                addresses::tether(),
+                mapping_slot(user.to_u256(), erc20::SLOT_BALANCES),
+                U256::from(SEED_BALANCE),
+            );
+        }
+        self.nonces.resize(n as usize, 0);
+        self.state.finalize_tx();
     }
 
     /// The token pair user `i` holds AMM ledger balance in: disjoint per

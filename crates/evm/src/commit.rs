@@ -64,7 +64,13 @@ pub fn commit_full<S: NodeStore>(committer: &mut StateCommitter<S>, state: &Stat
 /// state: per-account updates in address order (`None` = delete). This
 /// is everything a commit needs — extracting it up front lets a
 /// background thread commit without borrowing `base` or `delta`.
-pub fn delta_updates(base: &State, delta: &BlockDelta) -> Vec<(Address, Option<AccountUpdate>)> {
+///
+/// Generic over the base view: the in-memory [`State`] map and the flat
+/// accounts-DB backend extract identical updates for the same delta.
+pub fn delta_updates<B: StateRead>(
+    base: &B,
+    delta: &BlockDelta,
+) -> Vec<(Address, Option<AccountUpdate>)> {
     let view = OverlayedView { base, delta };
     let mut updates: Vec<(Address, Option<AccountUpdate>)> = delta
         .iter()
@@ -111,16 +117,16 @@ pub fn apply_updates<S: NodeStore>(
 ///
 /// `base` must be the same pre-block state the delta was built against —
 /// unwritten account fields fall back to it via [`OverlayedView`].
-pub fn commit_block_delta<S: NodeStore>(
+pub fn commit_block_delta<S: NodeStore, B: StateRead>(
     committer: &mut StateCommitter<S>,
-    base: &State,
+    base: &B,
     delta: &BlockDelta,
 ) -> B256 {
     apply_updates(committer, &delta_updates(base, delta));
     committer.commit()
 }
 
-fn effective_code_hash(view: &OverlayedView<'_>, addr: Address) -> B256 {
+fn effective_code_hash<B: StateRead>(view: &OverlayedView<'_, B>, addr: Address) -> B256 {
     let h = view.read_code_hash(addr);
     // State::code_hash reports ZERO for never-coded accounts (EXTCODEHASH
     // semantics); the trie stores keccak("") for code-less accounts.
@@ -273,7 +279,12 @@ impl<S: NodeStore + Send + 'static> AsyncCommitter<S> {
     /// Queues one block's commitment; `persist` additionally syncs the
     /// store at the new root. `base` must be the pre-block state the
     /// delta was built against.
-    pub fn submit(&self, base: &State, delta: &BlockDelta, persist: bool) -> CommitHandle {
+    pub fn submit<B: StateRead>(
+        &self,
+        base: &B,
+        delta: &BlockDelta,
+        persist: bool,
+    ) -> CommitHandle {
         self.submit_updates(delta_updates(base, delta), persist)
     }
 

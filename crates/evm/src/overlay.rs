@@ -42,6 +42,48 @@ pub trait StateRead {
     fn read_storage(&self, addr: Address, key: U256) -> U256;
 }
 
+impl<T: StateRead + ?Sized> StateRead for &T {
+    fn read_exists(&self, addr: Address) -> bool {
+        (**self).read_exists(addr)
+    }
+    fn read_balance(&self, addr: Address) -> U256 {
+        (**self).read_balance(addr)
+    }
+    fn read_nonce(&self, addr: Address) -> u64 {
+        (**self).read_nonce(addr)
+    }
+    fn read_code(&self, addr: Address) -> Vec<u8> {
+        (**self).read_code(addr)
+    }
+    fn read_code_hash(&self, addr: Address) -> B256 {
+        (**self).read_code_hash(addr)
+    }
+    fn read_storage(&self, addr: Address, key: U256) -> U256 {
+        (**self).read_storage(addr, key)
+    }
+}
+
+impl<T: StateRead + ?Sized> StateRead for std::sync::Arc<T> {
+    fn read_exists(&self, addr: Address) -> bool {
+        (**self).read_exists(addr)
+    }
+    fn read_balance(&self, addr: Address) -> U256 {
+        (**self).read_balance(addr)
+    }
+    fn read_nonce(&self, addr: Address) -> u64 {
+        (**self).read_nonce(addr)
+    }
+    fn read_code(&self, addr: Address) -> Vec<u8> {
+        (**self).read_code(addr)
+    }
+    fn read_code_hash(&self, addr: Address) -> B256 {
+        (**self).read_code_hash(addr)
+    }
+    fn read_storage(&self, addr: Address, key: U256) -> U256 {
+        (**self).read_storage(addr, key)
+    }
+}
+
 impl StateRead for State {
     fn read_exists(&self, addr: Address) -> bool {
         self.exists(addr)
@@ -436,19 +478,23 @@ impl BlockDelta {
 
 /// An immutable base snapshot combined with the committed [`BlockDelta`]:
 /// the view a speculative or validating transaction reads through.
+///
+/// Generic over the base so the same machinery works on an in-memory
+/// [`State`] map (the default) or any other [`StateRead`] backend — e.g.
+/// the flat accounts-DB store.
 #[derive(Debug, Clone, Copy)]
-pub struct OverlayedView<'a> {
+pub struct OverlayedView<'a, B: StateRead = State> {
     /// The pre-block state snapshot.
-    pub base: &'a State,
+    pub base: &'a B,
     /// Deltas of the committed transaction prefix.
     pub delta: &'a BlockDelta,
 }
 
-impl StateRead for OverlayedView<'_> {
+impl<B: StateRead> StateRead for OverlayedView<'_, B> {
     fn read_exists(&self, addr: Address) -> bool {
         match self.delta.account(addr) {
             Some(d) => !d.deleted,
-            None => self.base.exists(addr),
+            None => self.base.read_exists(addr),
         }
     }
 
@@ -459,10 +505,10 @@ impl StateRead for OverlayedView<'_> {
                 if d.shadows_base {
                     U256::ZERO
                 } else {
-                    self.base.balance(addr)
+                    self.base.read_balance(addr)
                 }
             }),
-            None => self.base.balance(addr),
+            None => self.base.read_balance(addr),
         }
     }
 
@@ -473,10 +519,10 @@ impl StateRead for OverlayedView<'_> {
                 if d.shadows_base {
                     0
                 } else {
-                    self.base.nonce(addr)
+                    self.base.read_nonce(addr)
                 }
             }),
-            None => self.base.nonce(addr),
+            None => self.base.read_nonce(addr),
         }
     }
 
@@ -486,9 +532,9 @@ impl StateRead for OverlayedView<'_> {
             Some(d) => match &d.code {
                 Some((c, _)) => c.clone(),
                 None if d.shadows_base => Vec::new(),
-                None => self.base.code(addr).to_vec(),
+                None => self.base.read_code(addr),
             },
-            None => self.base.code(addr).to_vec(),
+            None => self.base.read_code(addr),
         }
     }
 
@@ -498,9 +544,9 @@ impl StateRead for OverlayedView<'_> {
             Some(d) => match &d.code {
                 Some((_, h)) => *h,
                 None if d.shadows_base => keccak_empty(),
-                None => self.base.code_hash(addr),
+                None => self.base.read_code_hash(addr),
             },
-            None => self.base.code_hash(addr),
+            None => self.base.read_code_hash(addr),
         }
     }
 
@@ -510,9 +556,9 @@ impl StateRead for OverlayedView<'_> {
             Some(d) => match d.storage.get(&key) {
                 Some(v) => *v,
                 None if d.shadows_base => U256::ZERO,
-                None => self.base.storage(addr, key),
+                None => self.base.read_storage(addr, key),
             },
-            None => self.base.storage(addr, key),
+            None => self.base.read_storage(addr, key),
         }
     }
 }

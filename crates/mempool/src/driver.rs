@@ -12,7 +12,8 @@
 
 use crate::packer::{BlockPacker, PackedBlock};
 use crate::pool::{Mempool, PoolStats};
-use mtpu_evm::commit::{MemStore, StateCommitter};
+use mtpu_accountsdb::{AccountsDb, DbStats, FlushService};
+use mtpu_evm::commit::{delta_updates, MemStore, StateCommitter};
 use mtpu_evm::state::State;
 use mtpu_evm::tx::{BlockHeader, Transaction};
 use mtpu_evm::{commit_full, AsyncCommitter, CommitHandle};
@@ -54,6 +55,10 @@ pub struct DriverConfig {
     /// execution and commitment; `false` ingests inline between blocks —
     /// slower, but fully deterministic for a deterministic source.
     pub background_ingest: bool,
+    /// Flat-backend sessions ([`NodeDriver::run_flat`]): how many blocks
+    /// the background write-cache flush trails the head. Larger values
+    /// batch more writes per storage file.
+    pub flush_lag: u64,
 }
 
 impl Default for DriverConfig {
@@ -65,6 +70,7 @@ impl Default for DriverConfig {
             ingest_batch: 256,
             prefill: 512,
             background_ingest: true,
+            flush_lag: 2,
         }
     }
 }
@@ -104,6 +110,9 @@ pub struct DriverReport {
     pub wall: Duration,
     /// `true` when the source ran dry before `blocks` were produced.
     pub source_exhausted: bool,
+    /// Flat-store statistics at session end ([`NodeDriver::run_flat`]
+    /// sessions only).
+    pub flat: Option<DbStats>,
 }
 
 impl DriverReport {
@@ -180,6 +189,7 @@ impl NodeDriver {
             final_root: genesis_root,
             wall: Duration::ZERO,
             source_exhausted: false,
+            flat: None,
         };
 
         std::thread::scope(|scope| {
@@ -291,6 +301,155 @@ impl NodeDriver {
         report
     }
 
+    /// Runs a session against the flat accounts store: execution reads
+    /// hit `db` (write cache → index → storage files) instead of a cloned
+    /// in-memory `State`, the MPT is maintained commitment-only behind
+    /// the pipelined [`AsyncCommitter`], and the write cache drains
+    /// through `flush` in the background, [`DriverConfig::flush_lag`]
+    /// blocks behind the head.
+    ///
+    /// `genesis` seeds the commitment trie; `db` must already hold the
+    /// same state (freshly bootstrapped via
+    /// [`AccountsDb::bootstrap_from_state`] or restored from a snapshot
+    /// of it). Per-block merkle roots are bit-identical to
+    /// [`NodeDriver::run`] over the same stream.
+    pub fn run_flat<S: TxSource>(
+        &self,
+        genesis: &State,
+        db: &Arc<AccountsDb>,
+        flush: &FlushService,
+        source: S,
+        header_of: impl Fn(u64) -> BlockHeader,
+    ) -> DriverReport {
+        let started = Instant::now();
+        let mut committer =
+            StateCommitter::new(MemStore::new()).with_threads(self.cfg.commit_threads);
+        commit_full(&mut committer, genesis);
+        let genesis_root = committer.commit();
+        let committer = AsyncCommitter::new(committer);
+
+        let stop = AtomicBool::new(false);
+        let exhausted = AtomicBool::new(false);
+
+        let mut report = DriverReport {
+            blocks: Vec::with_capacity(self.cfg.blocks),
+            chain: ChainStats::default(),
+            pool: PoolStats::default(),
+            genesis_root,
+            final_root: genesis_root,
+            wall: Duration::ZERO,
+            source_exhausted: false,
+            flat: None,
+        };
+
+        std::thread::scope(|scope| {
+            let mut source = source;
+            let mut inline_source: Option<&mut S> = None;
+            if self.cfg.background_ingest {
+                let pool = &self.pool;
+                let db = db.clone();
+                let stop = &stop;
+                let exhausted = &exhausted;
+                let batch = self.cfg.ingest_batch.max(1);
+                let high_water = self.pool_high_water();
+                scope.spawn(move || {
+                    if mtpu_telemetry::enabled() {
+                        mtpu_telemetry::name_thread("ingest");
+                    }
+                    while !stop.load(Ordering::Relaxed) {
+                        if pool.len() >= high_water {
+                            std::thread::sleep(Duration::from_micros(200));
+                            continue;
+                        }
+                        if !ingest_slice_flat(pool, &db, &mut source, batch) {
+                            exhausted.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                });
+            } else {
+                inline_source = Some(&mut source);
+            }
+
+            if let Some(src) = inline_source.as_deref_mut() {
+                if !ingest_slice_flat(&self.pool, db, src, self.cfg.prefill) {
+                    exhausted.store(true, Ordering::Relaxed);
+                }
+            } else {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while self.pool.len() < self.cfg.prefill
+                    && !exhausted.load(Ordering::Relaxed)
+                    && Instant::now() < deadline
+                {
+                    std::thread::yield_now();
+                }
+            }
+
+            let mut pending: Option<(usize, CommitHandle)> = None;
+            while report.blocks.len() < self.cfg.blocks {
+                let height = report.blocks.len() as u64 + 1;
+                let packed = self.packer.pack(&self.pool, header_of(height));
+                if packed.block.transactions.is_empty() {
+                    if let Some(src) = inline_source.as_deref_mut() {
+                        if !ingest_slice_flat(&self.pool, db, src, self.cfg.ingest_batch.max(1)) {
+                            exhausted.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    if exhausted.load(Ordering::Relaxed) && self.pool.ready_chains().is_empty() {
+                        break;
+                    }
+                    if !self.cfg.background_ingest && !exhausted.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    std::thread::yield_now();
+                    continue;
+                }
+
+                // Execute against the flat store; the db stays at the
+                // pre-block state until absorb, so the delta's base reads
+                // and the trie updates both see exactly block h-1.
+                let result = self.executor.execute_block_delta_with_dag(
+                    db.as_ref(),
+                    &packed.block,
+                    &packed.graph,
+                );
+                let updates = delta_updates(db.as_ref(), &result.delta);
+                let handle = committer.submit_updates(updates, false);
+                if let Some((idx, h)) = pending.take() {
+                    report.blocks[idx].merkle_root =
+                        h.wait().expect("in-memory commit cannot fail");
+                }
+                pending = Some((report.blocks.len(), handle));
+
+                db.absorb(&result.delta, height);
+                self.pool.observe_committed(db.as_ref());
+                flush.request_flush(height.saturating_sub(self.cfg.flush_lag));
+
+                report.chain.absorb(&result.stats);
+                report.blocks.push(summary_of(height, &packed));
+
+                if let Some(src) = inline_source.as_deref_mut() {
+                    if !ingest_slice_flat(&self.pool, db, src, self.cfg.ingest_batch.max(1)) {
+                        exhausted.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
+            if let Some((idx, h)) = pending.take() {
+                report.blocks[idx].merkle_root = h.wait().expect("in-memory commit cannot fail");
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        report.pool = self.pool.stats();
+        report.source_exhausted = exhausted.load(Ordering::Relaxed);
+        if let Some(last) = report.blocks.last() {
+            report.final_root = last.merkle_root;
+        }
+        report.flat = Some(db.stats());
+        report.wall = started.elapsed();
+        report
+    }
+
     /// Ingestion backpressure threshold: leave one batch of headroom
     /// under the pool's count budget, so a full pool pauses ingestion
     /// instead of grinding through pointless fee evictions.
@@ -330,6 +489,27 @@ fn ingest_slice<S: TxSource>(
             return false;
         };
         let _ = pool.admit(tx, state.as_ref());
+    }
+    drop(span);
+    true
+}
+
+/// Flat-backend ingestion: the store itself is the committed snapshot
+/// (absorbed deltas are immediately visible), so admission reads go
+/// straight to it.
+fn ingest_slice_flat<S: TxSource>(
+    pool: &Mempool,
+    db: &AccountsDb,
+    source: &mut S,
+    batch: usize,
+) -> bool {
+    let span = mtpu_telemetry::span("node.ingest", "mempool");
+    for _ in 0..batch {
+        let Some(tx) = source.next_tx() else {
+            drop(span);
+            return false;
+        };
+        let _ = pool.admit(tx, db);
     }
     drop(span);
     true

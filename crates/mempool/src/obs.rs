@@ -23,6 +23,8 @@ pub struct MempoolMetrics {
     /// Transactions purged because a committed block made their nonce
     /// stale (`mempool.stale_purged`).
     pub stale_purged: Counter,
+    /// Parked transactions expired by the TTL (`mempool.expired`).
+    pub expired: Counter,
     /// Current pool depth in transactions (`mempool.depth`).
     pub depth: Gauge,
     /// Blocks packed (`packer.blocks`).
@@ -46,6 +48,7 @@ pub fn metrics() -> &'static MempoolMetrics {
             parked: reg.counter("mempool.parked"),
             replaced: reg.counter("mempool.replaced"),
             stale_purged: reg.counter("mempool.stale_purged"),
+            expired: reg.counter("mempool.expired"),
             depth: reg.gauge("mempool.depth"),
             packer_blocks: reg.counter("packer.blocks"),
             packer_txs: reg.counter("packer.txs"),

@@ -37,6 +37,12 @@ pub struct PoolConfig {
     /// Minimum percentage gas-price bump a replacement must carry over
     /// the transaction it replaces (replace-by-fee threshold).
     pub rbf_bump_pct: u64,
+    /// How many committed blocks a *parked* (nonce-gapped) transaction
+    /// may outlive before [`Mempool::observe_committed`] expires it. A
+    /// dead sender whose gap never back-fills would otherwise squat its
+    /// pool share forever (DESIGN.md §11). Ready transactions never
+    /// expire. `0` disables expiry.
+    pub parked_ttl: u64,
 }
 
 impl Default for PoolConfig {
@@ -47,6 +53,7 @@ impl Default for PoolConfig {
             shards: 16,
             max_per_sender: 64,
             rbf_bump_pct: 10,
+            parked_ttl: 64,
         }
     }
 }
@@ -108,6 +115,9 @@ pub struct PooledTx {
     /// `true` when the footprint came from the static fallback instead of
     /// a successful speculative execution.
     pub approximate: bool,
+    /// Pool epoch (committed-block count) at admission; drives the
+    /// parked-transaction TTL.
+    pub admitted_epoch: u64,
 }
 
 /// Lifetime counters (monotonic; survive purges).
@@ -125,6 +135,8 @@ pub struct PoolStats {
     pub replaced: u64,
     /// Transactions purged as stale after a block committed.
     pub stale_purged: u64,
+    /// Parked transactions expired by the TTL (dead-sender cleanup).
+    pub expired: u64,
 }
 
 /// One sender's nonce-ordered queue.
@@ -180,6 +192,9 @@ pub struct Mempool {
     parked: AtomicU64,
     replaced: AtomicU64,
     stale_purged: AtomicU64,
+    expired: AtomicU64,
+    /// Committed-block observations so far — the TTL clock.
+    epoch: AtomicU64,
     /// Header the admission-time speculative execution runs under.
     extraction_header: BlockHeader,
 }
@@ -200,6 +215,8 @@ impl Mempool {
             parked: AtomicU64::new(0),
             replaced: AtomicU64::new(0),
             stale_purged: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
             extraction_header: BlockHeader::default(),
         }
     }
@@ -233,6 +250,7 @@ impl Mempool {
             parked: self.parked.load(Ordering::Relaxed),
             replaced: self.replaced.load(Ordering::Relaxed),
             stale_purged: self.stale_purged.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
         }
     }
 
@@ -371,6 +389,7 @@ impl Mempool {
             footprint,
             bytes,
             approximate,
+            admitted_epoch: self.epoch.load(Ordering::Relaxed),
         }
     }
 
@@ -459,10 +478,16 @@ impl Mempool {
 
     /// Re-synchronizes the pool after a block committed: every sender's
     /// transactions whose nonce fell below the new committed account
-    /// nonce are purged (they were either packed or invalidated), and the
-    /// remaining queue re-anchors so parked successors become ready.
+    /// nonce are purged (they were either packed or invalidated), the
+    /// remaining queue re-anchors so parked successors become ready, and
+    /// parked entries that out-lived [`PoolConfig::parked_ttl`] committed
+    /// blocks expire — a sender that dies with a nonce gap open cannot
+    /// squat its pool share forever.
     pub fn observe_committed<S: StateRead>(&self, state: &S) {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let ttl = self.cfg.parked_ttl;
         let mut purged = 0u64;
+        let mut expired = 0u64;
         let mut freed_bytes = 0usize;
         for shard in &self.shards {
             let mut shard = shard.lock().expect("shard poisoned");
@@ -477,15 +502,35 @@ impl Mempool {
                     freed_bytes += dropped.bytes;
                 }
                 queue.next_nonce = committed;
+                if ttl > 0 {
+                    // Everything past the contiguous ready prefix is
+                    // parked behind a nonce gap; age it against the TTL.
+                    let aged: Vec<u64> = queue
+                        .txs
+                        .iter()
+                        .skip(queue.ready_len())
+                        .filter(|(_, p)| epoch.saturating_sub(p.admitted_epoch) >= ttl)
+                        .map(|(&nonce, _)| nonce)
+                        .collect();
+                    for nonce in aged {
+                        let dropped = queue.txs.remove(&nonce).expect("key just seen");
+                        expired += 1;
+                        freed_bytes += dropped.bytes;
+                    }
+                }
                 !queue.txs.is_empty()
             });
         }
-        if purged > 0 {
-            self.count.fetch_sub(purged as usize, Ordering::Relaxed);
+        if purged + expired > 0 {
+            self.count
+                .fetch_sub((purged + expired) as usize, Ordering::Relaxed);
             self.bytes.fetch_sub(freed_bytes, Ordering::Relaxed);
             self.stale_purged.fetch_add(purged, Ordering::Relaxed);
+            self.expired.fetch_add(expired, Ordering::Relaxed);
             if mtpu_telemetry::enabled() {
-                obs::metrics().stale_purged.add(purged);
+                let m = obs::metrics();
+                m.stale_purged.add(purged);
+                m.expired.add(expired);
             }
         }
         self.update_depth_gauge();

@@ -180,6 +180,58 @@ fn commit_reanchors_chains_and_rejects_stale_readmission() {
 }
 
 #[test]
+fn parked_ttl_expires_dead_sender_gaps() {
+    let state = genesis(4);
+    let pool = Mempool::new(PoolConfig {
+        parked_ttl: 3,
+        ..PoolConfig::default()
+    });
+    // Sender 1 dies with a gap open: nonce 0 never arrives, 1 and 2 park.
+    assert_eq!(pool.admit(tx(1, 1, 10), &state), Ok(Admitted::Parked));
+    assert_eq!(pool.admit(tx(1, 2, 10), &state), Ok(Admitted::Parked));
+    // Sender 2 is alive and ready; its chain must never expire.
+    assert_eq!(pool.admit(tx(2, 0, 10), &state), Ok(Admitted::Ready));
+    let bytes_before = pool.pooled_bytes();
+    assert!(bytes_before > 0);
+
+    // Blocks commit without ever back-filling the gap.
+    for _ in 0..2 {
+        pool.observe_committed(&state);
+    }
+    assert_eq!(pool.len(), 3, "still under the TTL");
+    assert_eq!(pool.stats().expired, 0);
+
+    pool.observe_committed(&state); // third epoch: the gap ages out
+    assert_eq!(pool.stats().expired, 2);
+    assert_eq!(pool.len(), 1, "only the ready chain survives");
+    let chains = pool.ready_chains();
+    assert_eq!(chains.len(), 1);
+    assert_eq!(chains[0].sender, user(2));
+    assert!(pool.pooled_bytes() < bytes_before, "bytes were released");
+
+    // The sender is not banned: a fresh, complete chain re-admits fine.
+    assert_eq!(pool.admit(tx(1, 0, 10), &state), Ok(Admitted::Ready));
+}
+
+#[test]
+fn backfilled_chains_do_not_expire() {
+    let state = genesis(2);
+    let pool = Mempool::new(PoolConfig {
+        parked_ttl: 2,
+        ..PoolConfig::default()
+    });
+    assert_eq!(pool.admit(tx(1, 1, 10), &state), Ok(Admitted::Parked));
+    pool.observe_committed(&state);
+    // Back-fill before the TTL hits: the whole chain is ready and immune.
+    assert_eq!(pool.admit(tx(1, 0, 10), &state), Ok(Admitted::Ready));
+    for _ in 0..5 {
+        pool.observe_committed(&state);
+    }
+    assert_eq!(pool.stats().expired, 0);
+    assert_eq!(pool.len(), 2);
+}
+
+#[test]
 fn external_block_purges_stale_pooled_transactions() {
     let state = genesis(2);
     let pool = Mempool::new(PoolConfig::default());

@@ -178,6 +178,22 @@ impl ChainStats {
     }
 }
 
+/// The outcome of one parallel block execution when the caller only
+/// needs the *delta* — receipts plus the merged [`BlockDelta`] — and not
+/// a materialized post-block [`State`]. This is the result shape for
+/// backends (like the flat accounts-DB) where cloning a full in-memory
+/// state map per block would defeat the point.
+#[derive(Debug)]
+pub struct DeltaResult {
+    /// Receipts in canonical block order — identical to the sequential
+    /// executor's.
+    pub receipts: Vec<Receipt>,
+    /// The merged block delta, to be absorbed by the caller's backend.
+    pub delta: BlockDelta,
+    /// Execution statistics.
+    pub stats: BlockStats,
+}
+
 /// The outcome of one parallel block execution.
 #[derive(Debug)]
 pub struct BlockResult {
@@ -288,6 +304,38 @@ impl ParExecutor {
         block: &Block,
         dag: &DepGraph,
     ) -> BlockResult {
+        let r = self.execute_block_delta_with_dag(base, block, dag);
+        let mut state = base.clone();
+        r.delta.apply_to(&mut state);
+        BlockResult {
+            receipts: r.receipts,
+            state,
+            delta: r.delta,
+            stats: r.stats,
+        }
+    }
+
+    /// [`ParExecutor::execute_block`] against an arbitrary [`StateRead`]
+    /// backend, returning only receipts + delta (no state clone).
+    pub fn execute_block_delta<B: StateRead + Sync>(&self, base: &B, block: &Block) -> DeltaResult {
+        let dag = DepGraph::sender_order(&block.transactions);
+        self.execute_block_delta_with_dag(base, block, &dag)
+    }
+
+    /// [`ParExecutor::execute_block_with_dag`] against an arbitrary
+    /// [`StateRead`] backend (an in-memory [`State`], the flat accounts-DB,
+    /// …), returning only receipts + delta. The base is never cloned; the
+    /// caller absorbs the delta into its backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dag.len() != block.transactions.len()`.
+    pub fn execute_block_delta_with_dag<B: StateRead + Sync>(
+        &self,
+        base: &B,
+        block: &Block,
+        dag: &DepGraph,
+    ) -> DeltaResult {
         assert_eq!(
             dag.len(),
             block.transactions.len(),
@@ -296,9 +344,8 @@ impl ParExecutor {
         let n = block.transactions.len();
         let started = Instant::now();
         if n == 0 {
-            return BlockResult {
+            return DeltaResult {
                 receipts: Vec::new(),
-                state: base.clone(),
                 delta: BlockDelta::new(),
                 stats: BlockStats {
                     threads: self.threads,
@@ -339,12 +386,9 @@ impl ParExecutor {
             .into_iter()
             .map(|r| r.expect("committed transactions have receipts"))
             .collect();
-        let mut state = base.clone();
-        delta.apply_to(&mut state);
 
-        BlockResult {
+        DeltaResult {
             receipts,
-            state,
             delta,
             stats: BlockStats {
                 threads: self.threads,
@@ -399,8 +443,8 @@ struct CommitCursor {
 }
 
 /// Everything the workers share for one block.
-struct Shared<'a> {
-    base: &'a State,
+struct Shared<'a, B: StateRead + Sync> {
+    base: &'a B,
     header: &'a BlockHeader,
     txs: &'a [Transaction],
     dag: &'a DepGraph,
@@ -426,9 +470,9 @@ struct Shared<'a> {
     fallbacks: AtomicU64,
 }
 
-impl<'a> Shared<'a> {
+impl<'a, B: StateRead + Sync> Shared<'a, B> {
     fn new(
-        base: &'a State,
+        base: &'a B,
         header: &'a BlockHeader,
         txs: &'a [Transaction],
         dag: &'a DepGraph,
@@ -502,13 +546,13 @@ impl<'a> Shared<'a> {
 /// *between* reads — [`ReadSet`] poisoning catches executions that
 /// observed an inconsistent cut, and commit-time validation catches the
 /// rest.
-struct LockingView<'a> {
-    base: &'a State,
+struct LockingView<'a, B: StateRead> {
+    base: &'a B,
     committed: &'a RwLock<BlockDelta>,
 }
 
-impl LockingView<'_> {
-    fn with_view<R>(&self, f: impl FnOnce(&OverlayedView<'_>) -> R) -> R {
+impl<B: StateRead> LockingView<'_, B> {
+    fn with_view<R>(&self, f: impl FnOnce(&OverlayedView<'_, B>) -> R) -> R {
         let guard = self.committed.read().expect("committed delta poisoned");
         f(&OverlayedView {
             base: self.base,
@@ -517,7 +561,7 @@ impl LockingView<'_> {
     }
 }
 
-impl StateRead for LockingView<'_> {
+impl<B: StateRead> StateRead for LockingView<'_, B> {
     fn read_exists(&self, addr: Address) -> bool {
         self.with_view(|v| v.read_exists(addr))
     }
@@ -562,7 +606,7 @@ fn run_tx<B: StateRead>(view: &B, header: &BlockHeader, tx: &Transaction) -> TxO
     }
 }
 
-fn worker_loop(shared: &Shared<'_>, slot: &WorkerSlot, worker: usize) {
+fn worker_loop<B: StateRead + Sync>(shared: &Shared<'_, B>, slot: &WorkerSlot, worker: usize) {
     if mtpu_telemetry::enabled() {
         mtpu_telemetry::name_thread(&format!("worker{worker}"));
     }
@@ -638,7 +682,7 @@ fn worker_loop(shared: &Shared<'_>, slot: &WorkerSlot, worker: usize) {
 /// outcomes, in canonical order. Validation failures re-execute under the
 /// gate against the frozen prefix view, which is exactly the sequential
 /// prefix state — so the repaired outcome is definitively correct.
-fn drain_commits(shared: &Shared<'_>, slot: &WorkerSlot) {
+fn drain_commits<B: StateRead + Sync>(shared: &Shared<'_, B>, slot: &WorkerSlot) {
     let mut cursor = shared.gate.lock().expect("commit gate poisoned");
     loop {
         let i = cursor.next;

@@ -11,15 +11,22 @@
 //! After the run the store is reopened to show the chain survives
 //! restart.
 //!
+//! The flat accounts store rides along: every committed delta is also
+//! absorbed into an [`AccountsDb`] whose background flush trails the
+//! chain, and at the end a snapshot → restore round-trip shows the flat
+//! store reopens at the same head as the trie.
+//!
 //! ```sh
 //! cargo run --release --example chain_sim [blocks]
 //! ```
 
+use mtpu_repro::accountsdb::{AccountsDb, FlushService};
 use mtpu_repro::evm::{AsyncCommitter, CommitHandle};
 use mtpu_repro::mtpu::{MtpuConfig, Node, PendingBlock};
 use mtpu_repro::parexec::ParExecutor;
 use mtpu_repro::statedb::{FileStore, StateCommitter};
 use mtpu_repro::workloads::{BlockConfig, Generator};
+use std::sync::Arc;
 
 fn short(root: mtpu_repro::primitives::B256) -> String {
     let s = root.to_string();
@@ -90,13 +97,21 @@ fn main() {
     // each block's hashing + fsync overlaps the next block's execution.
     let committer = AsyncCommitter::new(committer);
 
+    // The flat accounts store shadows the chain: deltas absorb after
+    // each block, the write cache drains in the background.
+    let flat_dir = std::env::temp_dir().join(format!("mtpu-chain-sim-flat-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&flat_dir);
+    let flat = Arc::new(AccountsDb::open(&flat_dir).expect("open accounts db"));
+    flat.bootstrap_from_state(&node.state, 0);
+    let flat_flush = FlushService::start(flat.clone());
+
     println!(
         "{:>5} {:>6} {:>8} {:>10} {:>9} {:>9} {:>8}  {:<16}",
         "block", "txs", "dep%", "cycles", "speedup", "hotspot%", "util%", "state root"
     );
     let mut parent_root = genesis_root;
     let mut inflight: Option<InFlight> = None;
-    for _ in 0..blocks {
+    for height in 1..=blocks as u64 {
         let block = generator.block(&BlockConfig {
             tx_count: 96,
             dependent_ratio: 0.25,
@@ -114,6 +129,8 @@ fn main() {
 
         let result = executor.execute_block(&base, &block);
         let store_root = result.submit_commit(&committer, &base, true);
+        flat.absorb(&result.delta, height);
+        flat_flush.request_flush(height.saturating_sub(1));
 
         // Only now join the *previous* block — its two commitments have
         // been hashing while this block executed.
@@ -146,6 +163,27 @@ fn main() {
         short(resumed),
     );
     let _ = std::fs::remove_dir_all(&store_dir);
+
+    // Flat-store snapshot → restore: the reopened accounts DB resumes at
+    // the same head (and remembers the trie root it was snapshotted at).
+    flat_flush.quiesce();
+    flat.snapshot(Some(parent_root))
+        .expect("snapshot flat store");
+    let flat_stats = flat.stats();
+    drop(flat_flush);
+    drop(flat);
+    let restored = AccountsDb::open(&flat_dir).expect("restore accounts db");
+    assert_eq!(restored.snapshot_root(), Some(parent_root));
+    assert_eq!(restored.head_height(), blocks as u64);
+    println!(
+        "flat store restored at height {}: root {} ({} accounts, {} files, {} KiB)",
+        restored.head_height(),
+        short(parent_root),
+        flat_stats.indexed_accounts,
+        flat_stats.files,
+        flat_stats.file_bytes / 1024,
+    );
+    let _ = std::fs::remove_dir_all(&flat_dir);
 
     println!(
         "\nBlock 1 runs with a cold Contract Table; from block 2 on the block\n\

@@ -5,8 +5,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,block_pipeline --telemetry"
-cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,block_pipeline --telemetry --json BENCH_RESULTS.json
+echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,block_pipeline,accountsdb --telemetry"
+# The accountsdb experiment defaults to a 1M-account universe; the smoke
+# run scales it down so the whole script stays interactive.
+MTPU_ACCOUNTSDB_ACCOUNTS="${MTPU_ACCOUNTSDB_ACCOUNTS:-20000}" \
+cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,block_pipeline,accountsdb --telemetry --json BENCH_RESULTS.json
 
 echo "==> validating BENCH_RESULTS.json"
 python3 - <<'EOF'
@@ -37,6 +40,16 @@ bp = d["experiments"]["block_pipeline"]
 assert "root linkage: OK" in bp, "pipeline root linkage broken:\n" + bp
 assert "determinism: OK" in bp, "pipeline repacking nondeterministic:\n" + bp
 assert "tx/s" in bp, "pipeline table lost its throughput column"
+assert "accountsdb" in d["experiments"], list(d["experiments"])
+# The flat-backend experiment asserts (in-process) that State and flat
+# sessions agree root-for-root and that snapshot → restore keeps the
+# head; "parity: OK" is that assertion's rendered verdict.
+adb = d["experiments"]["accountsdb"]
+assert "parity: OK" in adb, "flat backend parity broken:\n" + adb
+assert "tx/s" in adb, "accountsdb table lost its throughput line"
+assert "flush lag" in adb, "accountsdb report lost its flush-lag line"
+assert "restore" in adb, "accountsdb report lost its restore row"
+assert d["wall_ns"]["accountsdb"] > 0
 assert d["wall_ns"]["table1"] > 0
 assert d["wall_ns"]["stateroot"] > 0
 assert d["wall_ns"]["stateroot_par"] > 0

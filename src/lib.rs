@@ -9,6 +9,7 @@
 //! ```
 
 pub use mtpu;
+pub use mtpu_accountsdb as accountsdb;
 pub use mtpu_asm as asm;
 pub use mtpu_bpu as bpu;
 pub use mtpu_contracts as contracts;

@@ -4,10 +4,11 @@
 //! receipts and merkle roots bit-identical to the sequential reference,
 //! and packing itself must be a deterministic function of the pool state.
 
+use mtpu_repro::accountsdb::{AccountsDb, FlushService};
 use mtpu_repro::evm::execute_block as sequential;
 use mtpu_repro::evm::state::State;
 use mtpu_repro::evm::tx::{BlockHeader, Transaction};
-use mtpu_repro::evm::{commit_full, AsyncCommitter};
+use mtpu_repro::evm::{apply_updates, commit_full, delta_updates, AsyncCommitter};
 use mtpu_repro::mempool::{
     BlockPacker, DriverConfig, Mempool, NodeDriver, PackedBlock, PackerConfig, PoolConfig, TxSource,
 };
@@ -15,6 +16,7 @@ use mtpu_repro::parexec::ParExecutor;
 use mtpu_repro::primitives::B256;
 use mtpu_repro::statedb::{MemStore, StateCommitter};
 use mtpu_repro::workloads::{ZipfConfig, ZipfGen};
+use std::sync::Arc;
 
 const THREADS: [usize; 3] = [1, 4, 8];
 
@@ -191,4 +193,117 @@ fn driver_is_deterministic_with_inline_ingest() {
     let roots_a: Vec<B256> = a.blocks.iter().map(|s| s.merkle_root).collect();
     let roots_b: Vec<B256> = b.blocks.iter().map(|s| s.merkle_root).collect();
     assert_eq!(roots_a, roots_b, "driver runs diverged");
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtpu-node-pipeline-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The flat accounts-DB read path replaces the in-memory `State` as the
+/// execution base: receipts and merkle roots must be bit-identical to
+/// the sequential oracle at every thread count, with flushes racing
+/// execution so reads cross the cache/index/file boundary mid-chain.
+#[test]
+fn flat_backend_receipts_and_roots_match_across_thread_counts() {
+    let (genesis, packed, oracle_receipts, oracle_roots) = packed_chain(0x21F0, 400, 3);
+
+    for &threads in &THREADS {
+        let exec = ParExecutor::new(threads);
+        let dir = scratch_dir(&format!("flat-{threads}"));
+        let db = AccountsDb::open(&dir).expect("open accounts db");
+        db.bootstrap_from_state(&genesis, 0);
+
+        // The trie stays commitment-only: updates derive from the delta
+        // against the flat base, never from a materialized `State`.
+        let mut committer = StateCommitter::new(MemStore::new()).with_threads(threads);
+        commit_full(&mut committer, &genesis);
+        assert_eq!(committer.commit(), genesis.merkle_root());
+
+        for (i, p) in packed.iter().enumerate() {
+            let height = i as u64 + 1;
+            let result = exec.execute_block_delta_with_dag(&db, &p.block, &p.graph);
+            assert_eq!(
+                result.receipts, oracle_receipts[i],
+                "flat receipts diverged at block {i} threads {threads}"
+            );
+            let updates = delta_updates(&db, &result.delta);
+            apply_updates(&mut committer, &updates);
+            assert_eq!(
+                committer.commit(),
+                oracle_roots[i],
+                "flat root diverged at block {i} threads {threads}"
+            );
+            db.absorb(&result.delta, height);
+            // Flush behind the head so later blocks read flushed files
+            // through the index, not just the write cache.
+            db.flush_up_to(height.saturating_sub(1)).expect("flush");
+        }
+
+        let stats = db.stats();
+        assert!(stats.flushes > 0, "flushes never ran at threads {threads}");
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// End-to-end driver parity: the same deterministic (inline-ingest)
+/// session on the `State` backend and on the flat accounts-DB backend
+/// packs and commits the identical chain, and a snapshot → restore of
+/// the flat store reopens at the same head root.
+#[test]
+fn flat_driver_matches_state_driver_and_survives_snapshot_restore() {
+    let make_driver = || {
+        NodeDriver::new(
+            Mempool::new(PoolConfig::default()),
+            BlockPacker::new(PackerConfig::default()),
+            DriverConfig {
+                blocks: 4,
+                threads: 4,
+                ingest_batch: 64,
+                prefill: 256,
+                background_ingest: false,
+                ..DriverConfig::default()
+            },
+        )
+    };
+    let make_source = || Bounded {
+        gen: stream(0xF1A7),
+        left: 600,
+    };
+    let genesis = make_source().gen.genesis_state().clone();
+
+    let baseline = make_driver().run(genesis.clone(), make_source(), header);
+
+    let dir = scratch_dir("driver");
+    let db = Arc::new(AccountsDb::open(&dir).expect("open accounts db"));
+    db.bootstrap_from_state(&genesis, 0);
+    let flush = FlushService::start(db.clone());
+    let flat = make_driver().run_flat(&genesis, &db, &flush, make_source(), header);
+
+    assert_eq!(baseline.blocks.len(), flat.blocks.len());
+    for (a, b) in baseline.blocks.iter().zip(&flat.blocks) {
+        assert_eq!(a.txs, b.txs, "packed size diverged at block {}", a.height);
+        assert_eq!(
+            a.merkle_root, b.merkle_root,
+            "flat driver diverged at block {}",
+            a.height
+        );
+    }
+    assert_eq!(baseline.final_root, flat.final_root);
+    let stats = flat.flat.as_ref().expect("flat stats populated");
+    assert!(stats.cache_hits > 0, "execution never hit the write cache");
+
+    // Snapshot, drop everything, reopen: the restored store carries the
+    // chain head and the root it was snapshotted at.
+    flush.quiesce();
+    db.snapshot(Some(flat.final_root)).expect("snapshot");
+    let head = db.head_height();
+    drop(flush);
+    drop(db);
+    let restored = AccountsDb::open(&dir).expect("restore accounts db");
+    assert_eq!(restored.snapshot_root(), Some(flat.final_root));
+    assert_eq!(restored.head_height(), head);
+    let _ = std::fs::remove_dir_all(&dir);
 }
