@@ -546,12 +546,18 @@ impl AccountsDb {
     }
 
     fn read_payload(&self, loc: Loc, buf: &mut [u8]) {
+        let started = mtpu_telemetry::enabled().then(std::time::Instant::now);
         let file = {
             let files = self.files.read().expect("file set poisoned");
             files[loc.file as usize].file.clone()
         };
         file.read_exact_at(buf, loc.offset)
             .expect("storage file read");
+        if let Some(t) = started {
+            obs::metrics()
+                .read_us
+                .record(t.elapsed().as_micros() as u64);
+        }
     }
 
     /// The flat-layer account metadata, bypassing the cache.

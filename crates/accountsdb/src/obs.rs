@@ -3,7 +3,7 @@
 //! [`mtpu_telemetry::enabled`]. Metric names are documented in
 //! DESIGN.md §7.
 
-use mtpu_telemetry::{Counter, Gauge};
+use mtpu_telemetry::{Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 /// Cached handles for the accounts-DB metrics.
@@ -22,6 +22,8 @@ pub struct AccountsDbMetrics {
     /// Blocks between the head and the last flushed height
     /// (`accountsdb.flush_lag`).
     pub flush_lag: Gauge,
+    /// Positional storage-file read latency in µs (`accountsdb.read_us`).
+    pub read_us: Histogram,
 }
 
 /// The process-wide cached handle set.
@@ -36,6 +38,7 @@ pub fn metrics() -> &'static AccountsDbMetrics {
             snapshot: reg.counter("accountsdb.snapshot"),
             cache_depth: reg.gauge("accountsdb.cache_depth"),
             flush_lag: reg.gauge("accountsdb.flush_lag"),
+            read_us: reg.histogram("accountsdb.read_us"),
         }
     })
 }

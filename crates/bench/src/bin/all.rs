@@ -32,6 +32,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("stateroot_par", stateroot::threads_sweep),
     ("block_pipeline", pipeline::block_pipeline),
     ("accountsdb", accountsdb::flat_store),
+    ("read_qps", readserve::read_qps),
     ("interp_hot", interp_hot::hot_paths),
     ("hotspot", stat::hotspot_loading),
     ("hotspot-drift", drift::hotspot_drift),

@@ -227,6 +227,21 @@ pub fn flat_store() -> String {
     flush.quiesce();
     let stats = db.stats();
 
+    // Positional-read latency, when the run was telemetry-instrumented.
+    let read_lat = if mtpu_telemetry::enabled() {
+        let snap = mtpu_telemetry::global()
+            .histogram("accountsdb.read_us")
+            .snapshot();
+        format!(
+            "file read latency: p50 {}us / p99 {}us over {} positional reads\n",
+            snap.percentile(0.50),
+            snap.percentile(0.99),
+            snap.count,
+        )
+    } else {
+        String::new()
+    };
+
     // Snapshot, then a cold restore (manifest + index replay of every
     // storage file).
     let snap_started = Instant::now();
@@ -282,6 +297,7 @@ pub fn flat_store() -> String {
     ) + &format!(
         "\nsustained: {tx_per_sec:.0} tx/s with execution reads through the flat store\n\
          cache hit ratio {:.1}% ({} hits / {} misses), {} flushes\n\
+         {read_lat}\
          flush lag: max {max_lag} blocks during the session, {end_lag} at the end \
          (cap {})\nparity: {det} ({PARITY_BLOCKS}-block State vs flat sessions agree \
          root-for-root; snapshot/restore round-trip)\n\

@@ -9,6 +9,7 @@ pub mod ilp;
 pub mod interp_hot;
 pub mod parexec;
 pub mod pipeline;
+pub mod readserve;
 pub mod sched;
 pub mod stat;
 pub mod stateroot;

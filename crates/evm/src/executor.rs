@@ -6,9 +6,10 @@
 
 use crate::gas;
 use crate::interpreter::{CallParams, Evm, FrameResult, Halt};
+use crate::overlay::{StateOverlay, StateRead};
 use crate::state::{State, StateOps};
 use crate::trace::{CallKind, NoopTracer, TraceRecorder, Tracer, TxTrace};
-use crate::tx::{Block, BlockHeader, Receipt, Transaction};
+use crate::tx::{Block, BlockHeader, Log, Receipt, Transaction};
 use mtpu_primitives::{Address, U256};
 
 /// Why a transaction was rejected before execution.
@@ -202,6 +203,93 @@ pub fn trace_transaction<S: StateOps>(
     Ok((receipt, recorder.into_trace()))
 }
 
+/// An `eth_call`-style read-only simulation request: a message call with
+/// no transaction envelope — no nonce check, no fee payment, no receipt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadCall {
+    /// Simulated caller (any address; no signature required).
+    pub from: Address,
+    /// Contract to call.
+    pub to: Address,
+    /// Value transferred by the simulated call.
+    pub value: U256,
+    /// ABI-encoded calldata.
+    pub data: Vec<u8>,
+    /// Gas budget of the simulation.
+    pub gas: u64,
+}
+
+impl ReadCall {
+    /// A zero-value call of `data` against `to` with a 10M-gas budget.
+    pub fn view(from: Address, to: Address, data: Vec<u8>) -> Self {
+        ReadCall {
+            from,
+            to,
+            value: U256::ZERO,
+            data,
+            gas: 10_000_000,
+        }
+    }
+}
+
+/// What a [`call_readonly`] simulation produced. Deterministic given the
+/// snapshot and header it ran against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadCallOutcome {
+    /// `true` when the call did not revert or run out of gas.
+    pub success: bool,
+    /// Gas consumed by the call body (no intrinsic gas is charged).
+    pub gas_used: u64,
+    /// Return (or revert) data of the top-level call.
+    pub output: Vec<u8>,
+    /// Logs the simulation would have emitted (discarded on failure).
+    pub logs: Vec<Log>,
+}
+
+/// Runs a read-only `eth_call` simulation against an immutable base view.
+///
+/// The call executes on a throwaway [`StateOverlay`] over `base` — full
+/// interpreter semantics, including nested calls and (simulated) writes —
+/// and the overlay's delta is dropped afterwards, so the base is never
+/// mutated and any number of simulations can run concurrently against the
+/// same snapshot.
+pub fn call_readonly<B: StateRead>(
+    base: &B,
+    header: &BlockHeader,
+    call: &ReadCall,
+) -> ReadCallOutcome {
+    let mut overlay = StateOverlay::new(base);
+    let mut tracer = NoopTracer;
+    let mut evm = Evm::new(&mut overlay, header, call.from, U256::ZERO, &mut tracer);
+    let result = evm.call(CallParams {
+        kind: CallKind::Call,
+        caller: call.from,
+        code_address: call.to,
+        storage_address: call.to,
+        value: call.value,
+        transfers_value: true,
+        input: call.data.clone(),
+        gas: call.gas,
+        is_static: false,
+        depth: 0,
+    });
+    let success = result.success();
+    let logs = if success {
+        std::mem::take(&mut evm.logs)
+    } else {
+        Vec::new()
+    };
+    ReadCallOutcome {
+        success,
+        gas_used: call.gas - result.gas_left,
+        output: match result.halt {
+            Halt::Return | Halt::Revert => result.output,
+            _ => Vec::new(),
+        },
+        logs,
+    }
+}
+
 /// Sequentially executes a whole block (the consistency baseline).
 ///
 /// Invalid transactions are skipped with a failed pseudo-receipt — a real
@@ -376,6 +464,37 @@ mod tests {
         assert_eq!(trace.frames.len(), 1);
         assert_eq!(trace.frames[0].selector, Some([0xaa, 0xbb, 0xcc, 0xdd]));
         assert_eq!(trace.gas_used, r.gas_used);
+    }
+
+    #[test]
+    fn readonly_call_reads_without_mutating_the_base() {
+        let caller = Address::from_low_u64(1);
+        let contract = Address::from_low_u64(0xc0de);
+        let mut st = funded_state(&[caller]);
+        // PUSH1 0, SLOAD, PUSH1 0, MSTORE, PUSH1 32, PUSH1 0, RETURN —
+        // returns storage slot 0 as a 32-byte word.
+        st.deploy_code(
+            contract,
+            vec![
+                0x60, 0x00, 0x54, 0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3,
+            ],
+        );
+        st.set_storage(contract, U256::ZERO, U256::from(42u64));
+        st.finalize_tx();
+        let before = st.state_root();
+
+        let call = ReadCall::view(caller, contract, Vec::new());
+        let out = call_readonly(&st, &BlockHeader::default(), &call);
+        assert!(out.success);
+        assert!(out.gas_used > 0);
+        assert_eq!(
+            U256::from_be_bytes(out.output.try_into().unwrap()),
+            U256::from(42u64)
+        );
+        // The simulation ran on a throwaway overlay: the base is intact,
+        // and the caller paid nothing.
+        assert_eq!(st.state_root(), before);
+        assert_eq!(st.nonce(caller), 0);
     }
 
     #[test]

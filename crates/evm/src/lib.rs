@@ -49,8 +49,8 @@ pub use commit::{
     AsyncCommitter, CommitError, CommitHandle,
 };
 pub use executor::{
-    admission_preflight, execute_block, execute_transaction, max_tx_cost, trace_transaction,
-    TxError,
+    admission_preflight, call_readonly, execute_block, execute_transaction, max_tx_cost,
+    trace_transaction, ReadCall, ReadCallOutcome, TxError,
 };
 pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};
 pub use opcode::{OpCategory, Opcode};

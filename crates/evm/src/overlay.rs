@@ -398,7 +398,10 @@ impl BlockDelta {
         self.accounts.iter().map(|(a, d)| (*a, d))
     }
 
-    fn account(&self, addr: Address) -> Option<&AccountDelta> {
+    /// The delta entry for `addr`, if the committed prefix touched it.
+    /// Exposed so snapshot layers can resolve reads through a *chain* of
+    /// frozen block deltas with exactly [`OverlayedView`]'s semantics.
+    pub fn account(&self, addr: Address) -> Option<&AccountDelta> {
         self.accounts.get(&addr)
     }
 

@@ -15,8 +15,8 @@ use crate::pool::{Mempool, PoolStats};
 use mtpu_accountsdb::{AccountsDb, DbStats, FlushService};
 use mtpu_evm::commit::{delta_updates, MemStore, StateCommitter};
 use mtpu_evm::state::State;
-use mtpu_evm::tx::{BlockHeader, Transaction};
-use mtpu_evm::{commit_full, AsyncCommitter, CommitHandle};
+use mtpu_evm::tx::{Block, BlockHeader, Receipt, Transaction};
+use mtpu_evm::{commit_full, AsyncCommitter, BlockDelta, CommitHandle};
 use mtpu_parexec::{ChainStats, ParExecutor};
 use mtpu_primitives::B256;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -34,6 +34,38 @@ impl<F: FnMut() -> Option<Transaction> + Send> TxSource for F {
     fn next_tx(&mut self) -> Option<Transaction> {
         self()
     }
+}
+
+/// One committed block, as published to a [`BlockSink`] at absorb time —
+/// everything the serving half of the node needs to assemble an immutable
+/// snapshot at this height.
+#[derive(Debug, Clone)]
+pub struct CommittedBlock {
+    /// Block height (1-based; genesis is height 0).
+    pub height: u64,
+    /// The executed block (header + ordered transactions).
+    pub block: Arc<Block>,
+    /// Receipts in block order, bit-identical to sequential execution.
+    pub receipts: Arc<Vec<Receipt>>,
+    /// The materialized post-block state. Present on [`NodeDriver::run`]
+    /// sessions (which clone state per block anyway); absent on
+    /// [`NodeDriver::run_flat`], where only the delta exists.
+    pub state: Option<Arc<State>>,
+    /// The block's frozen write set over the pre-block state.
+    pub delta: Arc<BlockDelta>,
+}
+
+/// Commit-path publication hook: a [`NodeDriver`] with a sink attached
+/// calls [`BlockSink::on_block`] the moment each block's state is
+/// absorbed (before its merkle root is known — roots resolve one block
+/// behind on the pipelined committer) and [`BlockSink::on_root`] when the
+/// root arrives. Both are called from the driver's execution thread, so
+/// implementations must be fast and non-blocking.
+pub trait BlockSink: Send + Sync {
+    /// A block was executed and its state absorbed.
+    fn on_block(&self, block: CommittedBlock);
+    /// The pipelined commitment resolved `height`'s merkle root.
+    fn on_root(&self, height: u64, root: B256);
 }
 
 /// Knobs of one driver session.
@@ -138,12 +170,23 @@ impl DriverReport {
 }
 
 /// The front half of the node: pool + packer + executor + committer.
-#[derive(Debug)]
 pub struct NodeDriver {
     pool: Mempool,
     packer: BlockPacker,
     executor: ParExecutor,
     cfg: DriverConfig,
+    sink: Option<Arc<dyn BlockSink>>,
+}
+
+impl std::fmt::Debug for NodeDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeDriver")
+            .field("pool", &self.pool)
+            .field("packer", &self.packer)
+            .field("cfg", &self.cfg)
+            .field("sink", &self.sink.as_ref().map(|_| "attached"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl NodeDriver {
@@ -155,7 +198,15 @@ impl NodeDriver {
             packer,
             executor,
             cfg,
+            sink: None,
         }
+    }
+
+    /// Attaches a commit-path publication sink (e.g. an MVCC read layer);
+    /// every committed block of subsequent sessions is published to it.
+    pub fn with_sink(mut self, sink: Arc<dyn BlockSink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Shared access to the pool (e.g. to pre-seed it).
@@ -265,10 +316,7 @@ impl NodeDriver {
                 // Pipeline the commitment; resolve the *previous* block's
                 // root now that its hashing had a whole block to overlap.
                 let handle = result.submit_commit(&committer, &base, false);
-                if let Some((idx, h)) = pending.take() {
-                    report.blocks[idx].merkle_root =
-                        h.wait().expect("in-memory commit cannot fail");
-                }
+                self.resolve_pending(&mut report, &mut pending);
                 pending = Some((report.blocks.len(), handle));
 
                 let new_state = Arc::new(result.state);
@@ -278,6 +326,19 @@ impl NodeDriver {
                 report.chain.absorb(&result.stats);
                 report.blocks.push(summary_of(height, &packed));
 
+                // Publish the committed block to the read layer the moment
+                // its state is live; the root follows via `on_root` once
+                // the pipelined commit resolves.
+                if let Some(sink) = &self.sink {
+                    sink.on_block(CommittedBlock {
+                        height,
+                        block: Arc::new(packed.block),
+                        receipts: Arc::new(result.receipts),
+                        state: Some(new_state),
+                        delta: Arc::new(result.delta),
+                    });
+                }
+
                 // Inline mode: refill between blocks (background mode
                 // refills concurrently the whole time).
                 if let Some(src) = inline_source.as_deref_mut() {
@@ -286,9 +347,7 @@ impl NodeDriver {
                     }
                 }
             }
-            if let Some((idx, h)) = pending.take() {
-                report.blocks[idx].merkle_root = h.wait().expect("in-memory commit cannot fail");
-            }
+            self.resolve_pending(&mut report, &mut pending);
             stop.store(true, Ordering::Relaxed);
         });
 
@@ -415,10 +474,7 @@ impl NodeDriver {
                 );
                 let updates = delta_updates(db.as_ref(), &result.delta);
                 let handle = committer.submit_updates(updates, false);
-                if let Some((idx, h)) = pending.take() {
-                    report.blocks[idx].merkle_root =
-                        h.wait().expect("in-memory commit cannot fail");
-                }
+                self.resolve_pending(&mut report, &mut pending);
                 pending = Some((report.blocks.len(), handle));
 
                 db.absorb(&result.delta, height);
@@ -428,15 +484,26 @@ impl NodeDriver {
                 report.chain.absorb(&result.stats);
                 report.blocks.push(summary_of(height, &packed));
 
+                // Publish delta-only: the flat store mutates in place, so
+                // the read layer anchors snapshots at its own frozen base
+                // and extends the delta chain per block.
+                if let Some(sink) = &self.sink {
+                    sink.on_block(CommittedBlock {
+                        height,
+                        block: Arc::new(packed.block),
+                        receipts: Arc::new(result.receipts),
+                        state: None,
+                        delta: Arc::new(result.delta),
+                    });
+                }
+
                 if let Some(src) = inline_source.as_deref_mut() {
                     if !ingest_slice_flat(&self.pool, db, src, self.cfg.ingest_batch.max(1)) {
                         exhausted.store(true, Ordering::Relaxed);
                     }
                 }
             }
-            if let Some((idx, h)) = pending.take() {
-                report.blocks[idx].merkle_root = h.wait().expect("in-memory commit cannot fail");
-            }
+            self.resolve_pending(&mut report, &mut pending);
             stop.store(true, Ordering::Relaxed);
         });
 
@@ -448,6 +515,22 @@ impl NodeDriver {
         report.flat = Some(db.stats());
         report.wall = started.elapsed();
         report
+    }
+
+    /// Joins the previous block's pipelined commit, records its root and
+    /// notifies the sink (if any) that the root is final.
+    fn resolve_pending(
+        &self,
+        report: &mut DriverReport,
+        pending: &mut Option<(usize, CommitHandle)>,
+    ) {
+        if let Some((idx, h)) = pending.take() {
+            let root = h.wait().expect("in-memory commit cannot fail");
+            report.blocks[idx].merkle_root = root;
+            if let Some(sink) = &self.sink {
+                sink.on_root(report.blocks[idx].height, root);
+            }
+        }
     }
 
     /// Ingestion backpressure threshold: leave one batch of headroom

@@ -23,6 +23,8 @@ mod driver;
 mod packer;
 mod pool;
 
-pub use driver::{BlockSummary, DriverConfig, DriverReport, NodeDriver, TxSource};
+pub use driver::{
+    BlockSink, BlockSummary, CommittedBlock, DriverConfig, DriverReport, NodeDriver, TxSource,
+};
 pub use packer::{BlockPacker, PackedBlock, PackerConfig};
 pub use pool::{Admitted, Mempool, PoolConfig, PoolStats, PooledTx, ReadyChain, Rejected};

@@ -493,11 +493,13 @@ impl Mempool {
             let mut shard = shard.lock().expect("shard poisoned");
             shard.senders.retain(|&sender, queue| {
                 let committed = state.read_nonce(sender);
-                while let Some((&nonce, _)) = queue.txs.iter().next() {
-                    if nonce >= committed {
-                        break;
-                    }
-                    let dropped = queue.txs.remove(&nonce).expect("key just seen");
+                // Purge the whole stale range at once — every entry below
+                // the committed nonce is dead *now* (packed or invalidated),
+                // whether it was ready or parked; none of it waits out the
+                // parked TTL below.
+                let live = queue.txs.split_off(&committed);
+                let stale = std::mem::replace(&mut queue.txs, live);
+                for dropped in stale.into_values() {
                     purged += 1;
                     freed_bytes += dropped.bytes;
                 }

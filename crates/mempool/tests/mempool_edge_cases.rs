@@ -232,6 +232,43 @@ fn backfilled_chains_do_not_expire() {
 }
 
 #[test]
+fn stale_parked_transactions_purge_immediately_not_via_ttl() {
+    let state = genesis(4);
+    // A TTL far beyond the test horizon: if stale parked entries were
+    // left to age out, they would visibly survive here.
+    let pool = Mempool::new(PoolConfig {
+        parked_ttl: 1_000,
+        ..PoolConfig::default()
+    });
+    // Sender 1 parks nonces 3 and 5 behind a gap (account nonce is 0).
+    assert_eq!(pool.admit(tx(1, 3, 10), &state), Ok(Admitted::Parked));
+    assert_eq!(pool.admit(tx(1, 5, 10), &state), Ok(Admitted::Parked));
+    assert!(pool.ready_chains().is_empty());
+
+    // Another node's block advances the sender's committed nonce past the
+    // parked entries: nonces 0..=4 are consumed externally.
+    let mut committed = state.clone();
+    execute_block(
+        &mut committed,
+        &Block {
+            header: BlockHeader::default(),
+            transactions: (0..5).map(|n| tx(1, n, 99)).collect(),
+        },
+    );
+    pool.observe_committed(&committed);
+
+    // The parked nonce 3 is below the committed nonce: purged *now*, as
+    // stale — not expired, and not squatting until the TTL fires.
+    assert_eq!(pool.stats().stale_purged, 1);
+    assert_eq!(pool.stats().expired, 0);
+    // Nonce 5 sits exactly at the committed nonce: it became ready.
+    assert_eq!(pool.len(), 1);
+    let chains = pool.ready_chains();
+    assert_eq!(chains.len(), 1);
+    assert_eq!(chains[0].txs[0].tx.nonce, 5);
+}
+
+#[test]
 fn external_block_purges_stale_pooled_transactions() {
     let state = genesis(2);
     let pool = Mempool::new(PoolConfig::default());

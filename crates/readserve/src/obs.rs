@@ -1,0 +1,51 @@
+//! Telemetry wiring for the read layer: cached handles into the global
+//! [`mtpu_telemetry`] registry, gated on [`mtpu_telemetry::enabled`].
+//! Metric names are documented in DESIGN.md §13.
+
+use mtpu_telemetry::{Counter, Gauge, Histogram};
+use std::sync::OnceLock;
+
+/// Cached handles for the read-layer metrics.
+pub struct ReadserveMetrics {
+    /// `get_balance`/`get_nonce` latency in µs (`readserve.balance_us`).
+    pub balance_us: Histogram,
+    /// `get_storage` latency in µs (`readserve.storage_us`).
+    pub storage_us: Histogram,
+    /// `get_code` latency in µs (`readserve.code_us`).
+    pub code_us: Histogram,
+    /// Read-only `call` simulation latency in µs (`readserve.call_us`).
+    pub call_us: Histogram,
+    /// Receipt-by-hash lookup latency in µs (`readserve.receipt_us`).
+    pub receipt_us: Histogram,
+    /// Snapshots currently retained in the window (`readserve.retained`).
+    pub retained: Gauge,
+    /// Worst subscriber lag in blocks (`readserve.feed_lag`).
+    pub feed_lag: Gauge,
+    /// Snapshots published over the chain's lifetime
+    /// (`readserve.published`).
+    pub published: Counter,
+    /// Snapshots pruned out of the window (`readserve.pruned`).
+    pub pruned: Counter,
+    /// Feed events shed to slow subscribers (`readserve.dropped`).
+    pub feed_dropped: Counter,
+}
+
+/// The process-wide cached handle set.
+pub fn metrics() -> &'static ReadserveMetrics {
+    static METRICS: OnceLock<ReadserveMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = mtpu_telemetry::global();
+        ReadserveMetrics {
+            balance_us: reg.histogram("readserve.balance_us"),
+            storage_us: reg.histogram("readserve.storage_us"),
+            code_us: reg.histogram("readserve.code_us"),
+            call_us: reg.histogram("readserve.call_us"),
+            receipt_us: reg.histogram("readserve.receipt_us"),
+            retained: reg.gauge("readserve.retained"),
+            feed_lag: reg.gauge("readserve.feed_lag"),
+            published: reg.counter("readserve.published"),
+            pruned: reg.counter("readserve.pruned"),
+            feed_dropped: reg.counter("readserve.dropped"),
+        }
+    })
+}

@@ -7,7 +7,7 @@ mod zipf;
 
 pub use gen::{BlockConfig, Generator};
 pub use prepare::{prepare_block, PreparedBlock};
-pub use zipf::{ZipfConfig, ZipfGen};
+pub use zipf::{ZipfConfig, ZipfGen, ZipfSampler};
 
 impl Generator {
     /// Generates a block, prepares it against the current fixture state,

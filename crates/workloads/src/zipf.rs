@@ -64,6 +64,55 @@ impl Default for ZipfConfig {
     }
 }
 
+/// A self-contained Zipf rank sampler: the inverse-CDF table plus its own
+/// deterministic RNG, with none of [`ZipfGen`]'s fixture world attached.
+/// Cheap enough to build one per reader thread — key-popularity skew for
+/// read workloads, sender popularity for write streams.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative Zipf mass per rank, normalized to 1.0 at the end.
+    cdf: Vec<f64>,
+    rng: SplitMix64,
+}
+
+impl ZipfSampler {
+    /// A sampler over `ranks` ranks with exponent `theta` (0 = uniform,
+    /// ≈1 = classic popularity skew), deterministic from `seed`.
+    pub fn new(seed: u64, ranks: u64, theta: f64) -> Self {
+        let ranks = ranks.max(1);
+        let mut cdf = Vec::with_capacity(ranks as usize);
+        let mut total = 0.0f64;
+        for r in 1..=ranks {
+            total += 1.0 / (r as f64).powf(theta);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler {
+            cdf,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of ranks the sampler draws from.
+    pub fn ranks(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    /// The rank a unit-interval draw lands on (pure inverse CDF; rank 0
+    /// is the most popular).
+    pub fn rank_of(&self, u: f64) -> u64 {
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+
+    /// Draws the next rank from the sampler's own RNG.
+    pub fn sample(&mut self) -> u64 {
+        let u = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.rank_of(u)
+    }
+}
+
 /// A deterministic Zipfian transaction stream over a deployed
 /// [`Fixture`] world.
 #[derive(Debug)]
@@ -72,8 +121,9 @@ pub struct ZipfGen {
     pub fx: Fixture,
     cfg: ZipfConfig,
     rng: SplitMix64,
-    /// Cumulative Zipf mass per rank, normalized to 1.0 at the end.
-    cdf: Vec<f64>,
+    /// Sender ranks (only the inverse-CDF side; draws come from `rng` so
+    /// the stream stays bit-compatible with the pre-sampler behavior).
+    sampler: ZipfSampler,
 }
 
 impl ZipfGen {
@@ -91,22 +141,14 @@ impl ZipfGen {
             cfg.recipients = cfg.senders;
         }
         cfg.recipients = cfg.recipients.clamp(1, cfg.universe - reserve);
-        let mut cdf = Vec::with_capacity(cfg.senders as usize);
-        let mut total = 0.0f64;
-        for r in 1..=cfg.senders {
-            total += 1.0 / (r as f64).powf(cfg.theta);
-            cdf.push(total);
-        }
-        for c in &mut cdf {
-            *c /= total;
-        }
+        let sampler = ZipfSampler::new(seed, cfg.senders, cfg.theta);
         let mut fx = Fixture::new();
         fx.ensure_users(cfg.universe);
         ZipfGen {
             fx,
             cfg,
             rng: SplitMix64::seed_from_u64(seed),
-            cdf,
+            sampler,
         }
     }
 
@@ -129,7 +171,7 @@ impl ZipfGen {
     /// Rank 0 is the most active sender.
     pub fn sample_sender(&mut self) -> u64 {
         let u = self.unit();
-        self.cdf.partition_point(|&c| c < u) as u64
+        self.sampler.rank_of(u)
     }
 
     /// Draws a recipient user id: hot with probability `hot_ratio`, else
@@ -265,6 +307,22 @@ mod tests {
         for _ in 0..200 {
             assert_eq!(a.next_tx(), b.next_tx());
         }
+    }
+
+    #[test]
+    fn standalone_sampler_matches_the_stream_sender_skew() {
+        // The fixture-free sampler and ZipfGen share one inverse-CDF
+        // construction: identical seeds give identical rank sequences.
+        let mut solo = ZipfSampler::new(7, 256, 1.0);
+        let mut g = ZipfGen::new(7, ZipfConfig::default());
+        for _ in 0..1_000 {
+            assert_eq!(solo.sample(), g.sample_sender());
+        }
+        // And it skews: rank 0 dominates a uniform share.
+        let mut fresh = ZipfSampler::new(13, 256, 1.0);
+        let draws = 20_000;
+        let top = (0..draws).filter(|_| fresh.sample() == 0).count() as u64;
+        assert!(top > 10 * draws / 256, "rank 0 drew only {top}");
     }
 
     #[test]

@@ -5,11 +5,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,block_pipeline,accountsdb --telemetry"
+echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,block_pipeline,accountsdb,read_qps --telemetry"
 # The accountsdb experiment defaults to a 1M-account universe; the smoke
 # run scales it down so the whole script stays interactive.
 MTPU_ACCOUNTSDB_ACCOUNTS="${MTPU_ACCOUNTSDB_ACCOUNTS:-20000}" \
-cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,block_pipeline,accountsdb --telemetry --json BENCH_RESULTS.json
+cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,block_pipeline,accountsdb,read_qps --telemetry --json BENCH_RESULTS.json
 
 echo "==> validating BENCH_RESULTS.json"
 python3 - <<'EOF'
@@ -49,6 +49,19 @@ assert "parity: OK" in adb, "flat backend parity broken:\n" + adb
 assert "tx/s" in adb, "accountsdb table lost its throughput line"
 assert "flush lag" in adb, "accountsdb report lost its flush-lag line"
 assert "restore" in adb, "accountsdb report lost its restore row"
+assert "read_qps" in d["experiments"], list(d["experiments"])
+# The read-QPS experiment asserts (in-process) that every sampled read —
+# point reads and eth_call outcomes — is bit-identical to a sequential
+# replay at the same height; "parity: OK" is that verdict. The reads/s
+# figure must be live (nonzero) or the readers never ran.
+rq = d["experiments"]["read_qps"]
+assert "parity: OK" in rq, "read layer parity broken:\n" + rq
+assert "reads/s" in rq, "read_qps report lost its throughput line"
+import re
+m = re.search(r"sustained: (\d+) reads/s", rq)
+assert m and int(m.group(1)) > 0, "read QPS is zero:\n" + rq
+assert "write degradation" in rq, "read_qps report lost its degradation line"
+assert d["wall_ns"]["read_qps"] > 0
 assert d["wall_ns"]["accountsdb"] > 0
 assert d["wall_ns"]["table1"] > 0
 assert d["wall_ns"]["stateroot"] > 0

@@ -19,6 +19,9 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> readserve crate tests (MVCC snapshot read layer)"
+cargo test -q -p mtpu-readserve
+
 echo "==> statedb fuzz smoke (randomized trie vs model, incremental vs scratch)"
 cargo run --release -p mtpu-statedb --example fuzz_smoke
 

@@ -17,6 +17,7 @@ pub use mtpu_evm as evm;
 pub use mtpu_mempool as mempool;
 pub use mtpu_parexec as parexec;
 pub use mtpu_primitives as primitives;
+pub use mtpu_readserve as readserve;
 pub use mtpu_statedb as statedb;
 pub use mtpu_telemetry as telemetry;
 pub use mtpu_workloads as workloads;
