@@ -7,6 +7,9 @@
 //!                          snapshot in the results file
 //!   --json PATH            results file path (default BENCH_RESULTS.json)
 //!   --no-json              skip writing the results file
+//!   --rebake               rewrite checked-in baseline fixtures (e.g.
+//!                          crates/bench/baselines/interp_hot.json) with
+//!                          the numbers measured by this run
 use mtpu_bench::experiments::*;
 use mtpu_bench::results::BenchResults;
 use std::time::Instant;
@@ -34,6 +37,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("accountsdb", accountsdb::flat_store),
     ("read_qps", readserve::read_qps),
     ("interp_hot", interp_hot::hot_paths),
+    ("interp_fusion", interp_hot::fusion_gate),
     ("hotspot", stat::hotspot_loading),
     ("hotspot-drift", drift::hotspot_drift),
     ("ablations", ablation::all),
@@ -61,10 +65,12 @@ fn main() {
                 }));
             }
             "--no-json" => json_path = None,
+            "--rebake" => std::env::set_var("MTPU_REBAKE_BASELINES", "1"),
             other => {
                 eprintln!("unknown flag {other}");
                 eprintln!(
-                    "usage: all [--only NAME[,NAME..]] [--telemetry] [--json PATH | --no-json]"
+                    "usage: all [--only NAME[,NAME..]] [--telemetry] \
+                     [--json PATH | --no-json] [--rebake]"
                 );
                 std::process::exit(2);
             }

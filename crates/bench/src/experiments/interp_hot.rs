@@ -16,7 +16,7 @@ use mtpu_contracts::{call_data, selector, Fixture};
 use mtpu_evm::opcode::Opcode;
 use mtpu_evm::trace::NoopTracer;
 use mtpu_evm::tx::{Block, BlockHeader, Receipt, Transaction};
-use mtpu_evm::{execute_block, execute_transaction, State};
+use mtpu_evm::{execute_block, execute_transaction, set_fusion_enabled, State};
 use mtpu_parexec::ParExecutor;
 use mtpu_primitives::{Address, SplitMix64, U256};
 use std::time::{Duration, Instant};
@@ -25,21 +25,96 @@ use std::time::{Duration, Instant};
 const TXS: usize = 192;
 /// Timed runs per measurement (best run reported).
 const RUNS: usize = 3;
+/// Timed runs for the fused-vs-unfused gate (tighter margins, so more
+/// samples per side).
+const FUSION_RUNS: usize = 5;
 /// Parexec worker threads.
 const THREADS: usize = 4;
 
-/// ns/tx measured at the pre-overhaul baseline (commit `0e269bd`, the
-/// HEAD this PR branched from) with this same experiment and settings:
-/// `(workload, sequential ns/tx, parexec ns/tx)`. Zero means "not
-/// recorded" and renders as `-`.
-const BASELINE_NS_PER_TX: &[(&str, u64, u64)] = &[
-    ("usdt-transfer", 19_745, 34_625),
-    ("proxy-dispatch", 13_494, 28_256),
-    ("weth9-storm", 9_913, 20_150),
-    ("router-swap", 23_209, 47_323),
-    ("create2-factory", 7_174, 16_504),
-    ("churn-loop", 59_122, 73_710),
-];
+/// Checked-in baseline fixture: ns/tx measured at the commit recorded in
+/// the file's `note` field. Regenerated in place by running the
+/// experiment with `--rebake` (see [`rebake_requested`]).
+const BASELINES_JSON: &str = include_str!("../../baselines/interp_hot.json");
+
+/// Absolute path of the baseline fixture, for `--rebake` rewrites.
+const BASELINES_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/baselines/interp_hot.json");
+
+/// Expected `schema` field of the baseline fixture.
+const BASELINES_SCHEMA: &str = "mtpu-interp-hot-baselines/v1";
+
+/// One baseline row: `(workload, sequential ns/tx, parexec ns/tx)`.
+/// Zero means "not recorded" and renders as `-`.
+type BaselineRow = (String, u64, u64);
+
+/// Extracts the string value of `"key": "..."` from a JSON fragment.
+fn json_str(chunk: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let rest = &chunk[chunk.find(&pat)? + pat.len()..];
+    let start = rest.find('"')? + 1;
+    let end = start + rest[start..].find('"')?;
+    Some(rest[start..end].to_string())
+}
+
+/// Extracts the integer value of `"key": N` from a JSON fragment.
+fn json_u64(chunk: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\"");
+    let rest = &chunk[chunk.find(&pat)? + pat.len()..];
+    let rest = rest.trim_start_matches(|c: char| c == ':' || c.is_whitespace());
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the baseline fixture. The format is the fixed shape this crate
+/// writes (one object per workload), so a purpose-built scanner keyed on
+/// field names is enough — no JSON dependency.
+fn load_baselines() -> Vec<BaselineRow> {
+    assert_eq!(
+        json_str(BASELINES_JSON, "schema").as_deref(),
+        Some(BASELINES_SCHEMA),
+        "baselines/interp_hot.json: unexpected schema"
+    );
+    let rows: Vec<BaselineRow> = BASELINES_JSON
+        .split('{')
+        .filter(|chunk| chunk.contains("\"workload\""))
+        .map(|chunk| {
+            let name = json_str(chunk, "workload").expect("workload name");
+            let seq = json_u64(chunk, "seq_ns_per_tx").unwrap_or(0);
+            let par = json_u64(chunk, "par_ns_per_tx").unwrap_or(0);
+            (name, seq, par)
+        })
+        .collect();
+    assert!(!rows.is_empty(), "baselines/interp_hot.json: no rows");
+    rows
+}
+
+/// `true` when the run should overwrite the baseline fixture with the
+/// numbers it just measured (`--rebake` on the `all` binary, or
+/// `MTPU_REBAKE_BASELINES=1`).
+fn rebake_requested() -> bool {
+    std::env::var("MTPU_REBAKE_BASELINES").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Rewrites the baseline fixture from freshly measured rows.
+fn write_baselines(rows: &[BaselineRow]) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BASELINES_SCHEMA}\",\n"));
+    out.push_str(
+        "  \"note\": \"ns/tx measured on the machine this file was last rebaked on. \
+         Regenerate with: cargo run --release --bin all -- --only interp_hot --rebake\",\n",
+    );
+    out.push_str("  \"baselines\": [\n");
+    for (i, (name, seq, par)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"workload\": \"{name}\", \"seq_ns_per_tx\": {seq}, \"par_ns_per_tx\": {par} }}{comma}\n"
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(BASELINES_PATH, out)
+}
 
 fn best_wall(mut run: impl FnMut() -> Duration) -> Duration {
     (0..RUNS).map(|_| run()).min().expect("RUNS > 0")
@@ -297,8 +372,10 @@ pub fn hot_paths() -> String {
     let workloads = build_workloads(&fx, factory);
     let base = fx.state.clone();
     let executor = ParExecutor::new(THREADS);
+    let baselines = load_baselines();
 
     let mut rows = Vec::new();
+    let mut measured: Vec<BaselineRow> = Vec::new();
     for w in &workloads {
         let txs = w.block.transactions.len() as u64;
 
@@ -331,9 +408,10 @@ pub fn hot_paths() -> String {
 
         let seq_ns = seq_wall.as_nanos() as u64 / txs;
         let par_ns = par_wall.as_nanos() as u64 / txs;
-        let (bseq, bpar) = BASELINE_NS_PER_TX
+        measured.push((w.name.to_string(), seq_ns, par_ns));
+        let (bseq, bpar) = baselines
             .iter()
-            .find(|(n, _, _)| *n == w.name)
+            .find(|(n, _, _)| n == w.name)
             .map(|&(_, s, p)| (s, p))
             .unwrap_or((0, 0));
         rows.push(vec![
@@ -346,6 +424,19 @@ pub fn hot_paths() -> String {
             format!("{par_ns}"),
             fmt_speedup(bpar, par_ns),
         ]);
+    }
+
+    let mut footer = String::from(
+        "\n\"before\" columns are ns/tx from baselines/interp_hot.json (see its\n\
+         `note` field for provenance); \"now\" is this build. Receipts are\n\
+         asserted bit-identical between the sequential and parexec paths on\n\
+         every workload. Rebake the fixture with `--rebake`.\n",
+    );
+    if rebake_requested() {
+        match write_baselines(&measured) {
+            Ok(()) => footer.push_str(&format!("rebaked baselines -> {BASELINES_PATH}\n")),
+            Err(e) => footer.push_str(&format!("rebake FAILED ({BASELINES_PATH}): {e}\n")),
+        }
     }
 
     render_table(
@@ -361,8 +452,143 @@ pub fn hot_paths() -> String {
             "speedup",
         ],
         &rows,
-    ) + "\n\"before\" columns are ns/tx at the pre-overhaul baseline commit;\n\
-         \"now\" is this build (shared analysis cache, unrolled Keccak,\n\
-         fixed-capacity stack). Receipts are asserted bit-identical between\n\
-         the sequential and parexec paths on every workload.\n"
+    ) + &footer
+}
+
+/// Fused-vs-unfused regression gate: every workload runs sequentially
+/// with superinstruction fusion enabled and disabled, receipts are
+/// asserted bit-identical, and fused must be faster on at least 4 of the
+/// 6 workloads. The `fusion wins: N/M` line is machine-checked by
+/// `scripts/bench_smoke.sh`.
+pub fn fusion_gate() -> String {
+    let mut fx = Fixture::new();
+    let factory = deploy_factory(&mut fx);
+    let workloads = build_workloads(&fx, factory);
+    let base = fx.state.clone();
+
+    let time_block = |block: &Block| -> (Duration, Vec<Receipt>) {
+        let mut receipts: Vec<Receipt> = Vec::new();
+        let wall = (0..FUSION_RUNS)
+            .map(|_| {
+                let mut state: State = base.clone();
+                let t0 = Instant::now();
+                receipts = execute_block(&mut state, block);
+                t0.elapsed()
+            })
+            .min()
+            .expect("FUSION_RUNS > 0");
+        (wall, receipts)
+    };
+
+    let mut rows = Vec::new();
+    let mut wins = 0usize;
+    for w in &workloads {
+        let txs = w.block.transactions.len() as u64;
+
+        // Warm the analysis cache so neither side pays first-touch
+        // analysis cost, then time each mode best-of-FUSION_RUNS.
+        set_fusion_enabled(true);
+        let (fused_wall, fused_receipts) = time_block(&w.block);
+        set_fusion_enabled(false);
+        let (plain_wall, plain_receipts) = time_block(&w.block);
+        set_fusion_enabled(true);
+
+        assert_eq!(
+            fused_receipts, plain_receipts,
+            "{}: fused receipts must be bit-identical to unfused",
+            w.name
+        );
+        assert!(
+            fused_receipts.iter().all(|r| r.success),
+            "{}: every transaction must succeed",
+            w.name
+        );
+
+        let fused_ns = fused_wall.as_nanos() as u64 / txs;
+        let plain_ns = plain_wall.as_nanos() as u64 / txs;
+        let win = fused_ns < plain_ns;
+        wins += win as usize;
+        rows.push(vec![
+            w.name.to_string(),
+            format!("{txs}"),
+            format!("{plain_ns}"),
+            format!("{fused_ns}"),
+            fmt_speedup(plain_ns, fused_ns),
+            (if win { "yes" } else { "no" }).to_string(),
+        ]);
+    }
+
+    let total = workloads.len();
+    assert!(
+        wins * 3 >= total * 2,
+        "fusion must beat unfused on at least 4 of {total} workloads, won only {wins}"
+    );
+
+    render_table(
+        &format!("Superinstruction fusion gate ({TXS} txs, sequential, best of {FUSION_RUNS})"),
+        &[
+            "workload",
+            "txs",
+            "unfused ns/tx",
+            "fused ns/tx",
+            "speedup",
+            "win",
+        ],
+        &rows,
+    ) + &format!(
+        "\nschema: interp-fusion/v1\nparity: OK\nfusion wins: {wins}/{total}\n\
+         Receipts are asserted bit-identical fused vs unfused on every\n\
+         workload before any timing is reported; the gate fails unless\n\
+         fused wins at least 4 of {total}.\n"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_fixture_parses_and_covers_all_workloads() {
+        let rows = load_baselines();
+        for name in [
+            "usdt-transfer",
+            "proxy-dispatch",
+            "weth9-storm",
+            "router-swap",
+            "create2-factory",
+            "churn-loop",
+        ] {
+            let row = rows.iter().find(|(n, _, _)| n == name);
+            let (_, seq, par) = row.unwrap_or_else(|| panic!("fixture missing {name}"));
+            assert!(*seq > 0 && *par > 0, "{name} has unrecorded columns");
+        }
+    }
+
+    #[test]
+    fn baseline_writer_round_trips_through_parser() {
+        let rows = vec![("alpha".to_string(), 123, 456), ("beta".to_string(), 7, 0)];
+        // Re-use the writer's formatting without touching the filesystem.
+        let mut text = String::from("{\n  \"schema\": \"");
+        text.push_str(BASELINES_SCHEMA);
+        text.push_str("\",\n  \"baselines\": [\n");
+        for (i, (name, seq, par)) in rows.iter().enumerate() {
+            let comma = if i + 1 < rows.len() { "," } else { "" };
+            text.push_str(&format!(
+                "    {{ \"workload\": \"{name}\", \"seq_ns_per_tx\": {seq}, \"par_ns_per_tx\": {par} }}{comma}\n"
+            ));
+        }
+        text.push_str("  ]\n}\n");
+        let parsed: Vec<BaselineRow> = text
+            .split('{')
+            .filter(|chunk| chunk.contains("\"workload\""))
+            .map(|chunk| {
+                (
+                    json_str(chunk, "workload").unwrap(),
+                    json_u64(chunk, "seq_ns_per_tx").unwrap_or(0),
+                    json_u64(chunk, "par_ns_per_tx").unwrap_or(0),
+                )
+            })
+            .collect();
+        assert_eq!(parsed, rows);
+    }
 }

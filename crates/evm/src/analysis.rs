@@ -6,20 +6,24 @@
 //!   [`Opcode`] declarations and the gas schedule, that folds the per-step
 //!   validity / static-gas / stack-bounds checks of the dispatch loop into
 //!   one cache line's worth of lookups.
-//! * [`CodeAnalysis`] + [`AnalysisCache`] — a packed jumpdest bitmap per
+//! * [`CodeAnalysis`] + [`AnalysisCache`] — a packed jumpdest bitmap plus
+//!   the superinstruction fusion side-table ([`crate::fusion`]) per
 //!   bytecode, computed once per distinct code hash and shared across
 //!   transactions *and* across parallel worker threads, instead of the old
 //!   per-frame `Vec<bool>` allocation.
 //!
 //! The cache is bounded (FIFO per shard) so adversarial streams of unique
 //! contracts cannot grow it without limit; hits, misses and evictions are
-//! reported through `evm.analysis.{hit,miss,evict}` telemetry counters.
+//! reported through `evm.analysis.{hit,miss,evict}` telemetry counters,
+//! and [`AnalysisCache::per_shard_stats`] breaks the same counters out per
+//! shard so capacity churn (one hot shard evicting) is distinguishable
+//! from uniform cold misses.
 
+use crate::fusion::FusedTable;
 use crate::gas;
 use crate::opcode::Opcode;
 use mtpu_primitives::B256;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Per-opcode metadata consulted once per interpreter step.
@@ -67,18 +71,24 @@ pub const OP_TABLE: [OpInfo; 256] = {
     table
 };
 
-/// Analysis of one bytecode: a packed-u64 jumpdest bitmap.
+/// Analysis of one bytecode: a packed-u64 jumpdest bitmap plus the
+/// superinstruction fusion side-table.
 ///
 /// Replaces the per-frame `Vec<bool>` of [`crate::interpreter::jumpdest_map`]
-/// with a 64x denser, shareable representation.
+/// with a 64x denser, shareable representation. The fusion table is always
+/// built (so toggling `MTPU_NO_FUSION` at runtime needs no cache
+/// invalidation); whether the dispatch loop consults it is decided per
+/// frame by [`crate::config::fusion_enabled`].
 #[derive(Debug)]
 pub struct CodeAnalysis {
     bitmap: Box<[u64]>,
     code_len: usize,
+    fusion: FusedTable,
 }
 
 impl CodeAnalysis {
-    /// Scans `code`, skipping PUSH immediates, and records every `JUMPDEST`.
+    /// Scans `code`, skipping PUSH immediates, records every `JUMPDEST`,
+    /// and runs the fusion pass against the finished bitmap.
     pub fn analyze(code: &[u8]) -> CodeAnalysis {
         let mut bitmap = vec![0u64; code.len().div_ceil(64)];
         let mut pc = 0usize;
@@ -89,9 +99,19 @@ impl CodeAnalysis {
             }
             pc += 1 + OP_TABLE[byte as usize].imm as usize;
         }
+        let fusion = crate::fusion::build(code, |pc| match bitmap.get(pc >> 6) {
+            Some(word) => (word >> (pc & 63)) & 1 != 0,
+            None => false,
+        });
+        let metrics = crate::obs::metrics();
+        metrics.fusion_sites.add(fusion.sites() as u64);
+        metrics
+            .fusion_folded_consts
+            .add(fusion.folded_consts() as u64);
         CodeAnalysis {
             bitmap: bitmap.into_boxed_slice(),
             code_len: code.len(),
+            fusion,
         }
     }
 
@@ -110,10 +130,16 @@ impl CodeAnalysis {
     pub fn code_len(&self) -> usize {
         self.code_len
     }
+
+    /// The superinstruction side-table of this bytecode.
+    #[inline]
+    pub fn fusion(&self) -> &FusedTable {
+        &self.fusion
+    }
 }
 
 /// Cache-counter snapshot, for tests and diagnostics.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
@@ -132,19 +158,45 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 struct Shard {
     map: HashMap<B256, Arc<CodeAnalysis>>,
     order: VecDeque<B256>,
+    // Plain counters guarded by the shard lock: every probe already holds
+    // it, so no cross-shard atomics are needed, and per-shard breakdowns
+    // come for free.
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Shard {
+    /// Drops the oldest entry. One `VecDeque` pop plus one map removal —
+    /// the fast path run at most once per insert.
+    fn evict_oldest(&mut self) {
+        if let Some(oldest) = self.order.pop_front() {
+            self.map.remove(&oldest);
+            self.evictions += 1;
+            crate::obs::metrics().analysis_evictions.inc();
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+        }
+    }
 }
 
 /// A bounded, sharded, thread-safe map from code hash to [`CodeAnalysis`].
 ///
 /// Sharded by the first byte of the (uniformly distributed) code hash so
 /// parallel worker threads executing different contracts rarely contend on
-/// the same lock. Eviction is FIFO per shard.
+/// the same lock. Eviction is FIFO per shard. On a miss the analysis runs
+/// *outside* the shard lock, so a large bytecode being analyzed never
+/// blocks other threads probing the same shard; a racing thread that
+/// finished first wins the insert and the loser adopts its entry.
 pub struct AnalysisCache {
     shards: [Mutex<Shard>; SHARD_COUNT],
     per_shard_cap: usize,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
 }
 
 impl AnalysisCache {
@@ -153,32 +205,43 @@ impl AnalysisCache {
         AnalysisCache {
             shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
             per_shard_cap: capacity.div_ceil(SHARD_COUNT).max(1),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Selects the shard for `hash` — computed once per lookup from the
+    /// hash's first byte (`SHARD_COUNT` is a power of two, so this is a
+    /// mask, not a division).
+    #[inline]
+    fn shard_of(&self, hash: &B256) -> &Mutex<Shard> {
+        const { assert!(SHARD_COUNT.is_power_of_two()) };
+        &self.shards[hash.as_ref()[0] as usize & (SHARD_COUNT - 1)]
     }
 
     /// Returns the analysis for `hash`, computing it from `code` on a miss.
     pub fn get_or_analyze(&self, hash: B256, code: &[u8]) -> Arc<CodeAnalysis> {
-        let shard = &self.shards[hash.as_ref()[0] as usize % SHARD_COUNT];
+        let shard = self.shard_of(&hash);
+        {
+            let mut guard = shard.lock().unwrap();
+            if let Some(found) = guard.map.get(&hash) {
+                let found = Arc::clone(found);
+                guard.hits += 1;
+                crate::obs::metrics().analysis_hits.inc();
+                return found;
+            }
+            guard.misses += 1;
+        }
+        crate::obs::metrics().analysis_misses.inc();
+        // Analyze without holding the lock; re-probe before inserting in
+        // case another thread finished the same bytecode meanwhile.
+        let analysis = Arc::new(CodeAnalysis::analyze(code));
         let mut guard = shard.lock().unwrap();
         if let Some(found) = guard.map.get(&hash) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            crate::obs::metrics().analysis_hits.inc();
             return Arc::clone(found);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        crate::obs::metrics().analysis_misses.inc();
-        let analysis = Arc::new(CodeAnalysis::analyze(code));
         guard.map.insert(hash, Arc::clone(&analysis));
         guard.order.push_back(hash);
         if guard.order.len() > self.per_shard_cap {
-            if let Some(oldest) = guard.order.pop_front() {
-                guard.map.remove(&oldest);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
-                crate::obs::metrics().analysis_evictions.inc();
-            }
+            guard.evict_oldest();
         }
         analysis
     }
@@ -196,13 +259,22 @@ impl AnalysisCache {
         self.len() == 0
     }
 
-    /// Current counter values.
+    /// Aggregate counter values across all shards.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+        self.per_shard_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                evictions: acc.evictions + s.evictions,
+            })
+    }
+
+    /// Counter values broken out per shard, so `evm.analysis.evict` churn
+    /// can be attributed: one hot shard evicting at capacity looks very
+    /// different from uniform cold misses across all sixteen.
+    pub fn per_shard_stats(&self) -> [CacheStats; SHARD_COUNT] {
+        std::array::from_fn(|i| self.shards[i].lock().unwrap().stats())
     }
 }
 
@@ -344,5 +416,43 @@ mod tests {
         assert_eq!(stats.misses, inserted);
         assert!(stats.evictions > 0, "capacity 1/shard must evict");
         assert!(cache.len() <= SHARD_COUNT);
+    }
+
+    #[test]
+    fn per_shard_stats_sum_to_aggregate() {
+        let cache = AnalysisCache::new(4); // 1 entry per shard
+        for i in 0..64u16 {
+            let code = [0x60, i as u8, (i >> 8) as u8, 0x00];
+            let hash = B256::keccak(&code);
+            cache.get_or_analyze(hash, &code);
+            // Immediate re-probe: nothing else inserted into the shard in
+            // between, so this must be a hit.
+            cache.get_or_analyze(hash, &code);
+        }
+        let per_shard = cache.per_shard_stats();
+        let total = cache.stats();
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), total.hits);
+        assert_eq!(
+            per_shard.iter().map(|s| s.misses).sum::<u64>(),
+            total.misses
+        );
+        assert_eq!(
+            per_shard.iter().map(|s| s.evictions).sum::<u64>(),
+            total.evictions
+        );
+        assert_eq!(total.hits, 64);
+        assert_eq!(total.misses, 64);
+        // 64 distinct codes over 16 shards at capacity one: capacity churn
+        // must show up in at least one shard's eviction counter.
+        assert!(per_shard.iter().any(|s| s.evictions > 0));
+    }
+
+    #[test]
+    fn analysis_carries_fusion_table() {
+        // PUSH1 4, JUMP, INVALID, JUMPDEST, STOP — one PUSH+JUMP site.
+        let code = [0x60, 0x04, 0x56, 0xfe, 0x5b, 0x00];
+        let analysis = CodeAnalysis::analyze(&code);
+        assert_eq!(analysis.fusion().sites(), 1);
+        assert!(analysis.fusion().spec_at(0).is_some());
     }
 }

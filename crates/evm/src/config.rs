@@ -1,0 +1,87 @@
+//! Interpreter configuration knobs.
+//!
+//! Fusion is semantics-preserving by construction (receipts, logs and
+//! roots are bit-identical either way — see DESIGN.md §14), so the toggle
+//! exists purely as a bisection and benchmarking escape hatch: if a
+//! miscompare is ever suspected, `MTPU_NO_FUSION=1` pins the interpreter
+//! to plain per-opcode dispatch without rebuilding, and the differential
+//! tests flip the same switch programmatically to compare both modes.
+//!
+//! The flag is process-global rather than per-`Evm` because the analysis
+//! cache (which carries the fusion tables) is shared across sequential and
+//! parallel executors; tables are always built, and the dispatch loop
+//! decides per frame whether to consult them, so flipping the flag needs
+//! no cache invalidation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Interpreter configuration, sourced from the environment by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvmConfig {
+    /// Whether the dispatch loop consults the per-bytecode fusion table.
+    pub fusion: bool,
+}
+
+impl Default for EvmConfig {
+    fn default() -> Self {
+        EvmConfig { fusion: true }
+    }
+}
+
+impl EvmConfig {
+    /// Reads the configuration from the environment: `MTPU_NO_FUSION` set
+    /// to anything but `0`/empty disables superinstruction fusion.
+    pub fn from_env() -> EvmConfig {
+        let disabled = std::env::var("MTPU_NO_FUSION")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0"
+            })
+            .unwrap_or(false);
+        EvmConfig { fusion: !disabled }
+    }
+
+    /// Applies this configuration to the process-global switches.
+    pub fn apply(self) {
+        set_fusion_enabled(self.fusion);
+    }
+}
+
+fn fusion_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| AtomicBool::new(EvmConfig::from_env().fusion))
+}
+
+/// Whether fused dispatch is currently enabled (one relaxed load; read
+/// once per frame by the interpreter).
+#[inline]
+pub fn fusion_enabled() -> bool {
+    fusion_flag().load(Ordering::Relaxed)
+}
+
+/// Forces fused dispatch on or off, overriding the environment. Used by
+/// the differential tests and benchmarks to run both modes in-process.
+pub fn set_fusion_enabled(on: bool) {
+    fusion_flag().store(on, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_enables_fusion() {
+        assert!(EvmConfig::default().fusion);
+    }
+
+    #[test]
+    fn apply_round_trips_through_global_flag() {
+        let prior = fusion_enabled();
+        EvmConfig { fusion: false }.apply();
+        assert!(!fusion_enabled());
+        EvmConfig { fusion: true }.apply();
+        assert!(fusion_enabled());
+        set_fusion_enabled(prior);
+    }
+}

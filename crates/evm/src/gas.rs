@@ -96,6 +96,40 @@ pub const fn static_cost(op: Opcode) -> u64 {
     }
 }
 
+/// `true` when the interpreter charges `op` anything beyond
+/// [`static_cost`] — per-byte/per-word size costs, memory expansion, or
+/// state-dependent SSTORE pricing. The fusion pass
+/// ([`crate::fusion`]) must never include such an opcode in a fused
+/// sequence, because its cost cannot be summed at analysis time.
+pub const fn has_dynamic_gas(op: Opcode) -> bool {
+    use Opcode::*;
+    matches!(
+        op,
+        Exp | Sha3
+            | Calldatacopy
+            | Codecopy
+            | Returndatacopy
+            | Extcodecopy
+            | Mload
+            | Mstore
+            | Mstore8
+            | Sstore
+            | Log0
+            | Log1
+            | Log2
+            | Log3
+            | Log4
+            | Create
+            | Create2
+            | Call
+            | Callcode
+            | Delegatecall
+            | Staticcall
+            | Return
+            | Revert
+    )
+}
+
 /// Total memory cost (linear + quadratic) of holding `words` 32-byte words.
 pub fn memory_cost(words: u64) -> u64 {
     MEMORY_WORD * words + words * words / MEMORY_QUAD_DIV
@@ -174,6 +208,41 @@ mod tests {
     fn call_gas_cap() {
         assert_eq!(max_call_gas(6400), 6300);
         assert_eq!(max_call_gas(0), 0);
+    }
+
+    #[test]
+    fn dynamic_gas_classification() {
+        // Everything the fusion rules may include must be fully static.
+        for op in [
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Iszero,
+            Opcode::Eq,
+            Opcode::Shr,
+            Opcode::Push4,
+            Opcode::Dup1,
+            Opcode::Swap1,
+            Opcode::Pop,
+            Opcode::Calldataload,
+            Opcode::Sload,
+            Opcode::Jump,
+            Opcode::Jumpi,
+        ] {
+            assert!(!has_dynamic_gas(op), "{op} should be gas-static");
+        }
+        for op in [
+            Opcode::Exp,
+            Opcode::Sha3,
+            Opcode::Mload,
+            Opcode::Mstore,
+            Opcode::Sstore,
+            Opcode::Log0,
+            Opcode::Call,
+            Opcode::Create2,
+            Opcode::Return,
+        ] {
+            assert!(has_dynamic_gas(op), "{op} has dynamic components");
+        }
     }
 
     #[test]

@@ -180,6 +180,27 @@ pub fn jumpdest_map(code: &[u8]) -> Vec<bool> {
     map
 }
 
+/// Replays the constituent instructions of a fused region into the tracer
+/// (and the per-category telemetry counters), so trace-driven consumers —
+/// the MTPU cycle model replays `TxTrace` step streams — observe the
+/// identical dynamic instruction stream with or without fusion.
+fn replay_constituents<T: Tracer>(tracer: &mut T, code: &[u8], start: usize, len: usize) {
+    let end = (start + len).min(code.len());
+    let telemetry = mtpu_telemetry::enabled();
+    let mut q = start;
+    while q < end {
+        let Some(op) = Opcode::from_u8(code[q]) else {
+            debug_assert!(false, "fused regions contain only defined opcodes");
+            return;
+        };
+        tracer.step(q, op);
+        if telemetry {
+            crate::obs::metrics().ops_by_category[op.category().index()].inc();
+        }
+        q += 1 + op.immediate_len();
+    }
+}
+
 /// Reusable per-frame execution buffers: the fixed-capacity operand stack
 /// (32 KiB once zeroed) and the byte memory.
 struct FrameBufs {
@@ -409,6 +430,9 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
             };
         }
         let analysis = analysis::global_cache().get_or_analyze(code_hash, code);
+        // Read once per frame: flipping MTPU_NO_FUSION mid-block affects
+        // only frames that start afterwards.
+        let fusion_on = crate::config::fusion_enabled();
         let mut bufs = PooledBufs::acquire();
         let FrameBufs { stack, memory } = bufs.0.as_mut().expect("buffers held until drop");
         let mut returndata: Vec<u8> = Vec::new();
@@ -454,6 +478,140 @@ impl<'a, S: StateOps, T: Tracer> Evm<'a, S, T> {
                     gas_left,
                     output: Vec::new(),
                 };
+            }
+            // Fused superinstruction dispatch: if a fused site starts here,
+            // execute the whole constituent run in one step. Gas is the sum
+            // of the constituents' static costs and the stack precheck is
+            // the folded equivalent of the per-op prechecks (see
+            // `crate::fusion`), so receipts are bit-identical either way;
+            // per-constituent tracer steps are replayed only for tracers
+            // that consume them.
+            if fusion_on {
+                if let Some(spec) = analysis.fusion().spec_at(pc) {
+                    use crate::fusion::FusedKind;
+                    let telemetry = mtpu_telemetry::enabled();
+                    if telemetry {
+                        crate::obs::metrics().fusion_hits.inc();
+                    }
+                    let emit_steps = telemetry || self.tracer.wants_steps();
+                    if let FusedKind::SelectorDispatch { arms } = &spec.kind {
+                        // The selector chain checks stack bounds first (its
+                        // gas depends on which arm matches), then charges
+                        // exactly what the unfused loop would have by the
+                        // time the matching arm's JUMPI takes.
+                        let sp = stack.len();
+                        if sp < spec.need as usize {
+                            return FrameResult::exception(VmError::StackUnderflow);
+                        }
+                        if spec.grow > 0 && sp + spec.grow as usize > STACK_LIMIT {
+                            return FrameResult::exception(VmError::StackOverflow);
+                        }
+                        let word = stack.peek(0).expect("depth prechecked");
+                        let sel: Option<u32> = if word.bits() <= 32 {
+                            Some(word.low_u64() as u32)
+                        } else {
+                            None
+                        };
+                        let mut q = pc;
+                        let mut matched: Option<&crate::fusion::SelectorArm> = None;
+                        for arm in arms.iter() {
+                            if emit_steps {
+                                replay_constituents(self.tracer, code, q, arm.len as usize);
+                            }
+                            if Some(arm.selector) == sel {
+                                matched = Some(arm);
+                                break;
+                            }
+                            q += arm.len as usize;
+                        }
+                        match matched {
+                            Some(arm) => {
+                                charge!(arm.gas_to_here as u64);
+                                if !arm.valid {
+                                    return FrameResult::exception(VmError::InvalidJump);
+                                }
+                                pc = arm.target as usize;
+                            }
+                            None => {
+                                charge!(spec.gas as u64);
+                                pc += spec.len as usize;
+                            }
+                        }
+                        continue;
+                    }
+                    if emit_steps {
+                        replay_constituents(self.tracer, code, pc, spec.len as usize);
+                    }
+                    charge!(spec.gas as u64);
+                    let sp = stack.len();
+                    if sp < spec.need as usize {
+                        return FrameResult::exception(VmError::StackUnderflow);
+                    }
+                    if spec.grow > 0 && sp + spec.grow as usize > STACK_LIMIT {
+                        return FrameResult::exception(VmError::StackOverflow);
+                    }
+                    match &spec.kind {
+                        FusedKind::PushJump { target, valid } => {
+                            if !*valid {
+                                return FrameResult::exception(VmError::InvalidJump);
+                            }
+                            pc = *target as usize;
+                            continue;
+                        }
+                        FusedKind::PushJumpi { target, valid } => {
+                            let cond = stack.pop_unchecked();
+                            if !cond.is_zero() {
+                                if !*valid {
+                                    return FrameResult::exception(VmError::InvalidJump);
+                                }
+                                pc = *target as usize;
+                                continue;
+                            }
+                        }
+                        FusedKind::IszeroPushJumpi { target, valid } => {
+                            let a = stack.pop_unchecked();
+                            if a.is_zero() {
+                                if !*valid {
+                                    return FrameResult::exception(VmError::InvalidJump);
+                                }
+                                pc = *target as usize;
+                                continue;
+                            }
+                        }
+                        FusedKind::LoadSelector => {
+                            let mut word = [0u8; 32];
+                            for (i, b) in word.iter_mut().enumerate() {
+                                *b = params.input.get(i).copied().unwrap_or(0);
+                            }
+                            stack.push_unchecked(
+                                U256::from_be_bytes(word).evm_shr(U256::from(0xe0u64)),
+                            );
+                        }
+                        FusedKind::PushConst { idx } => {
+                            stack.push_unchecked(analysis.fusion().const_at(*idx));
+                        }
+                        FusedKind::PushSload { idx } => {
+                            let key = analysis.fusion().const_at(*idx);
+                            self.tracer
+                                .storage_access(params.storage_address, key, false);
+                            stack.push_unchecked(self.state.storage(params.storage_address, key));
+                        }
+                        FusedKind::DupSload { depth } => {
+                            let key = stack.peek(*depth as usize - 1).expect("depth prechecked");
+                            self.tracer
+                                .storage_access(params.storage_address, key, false);
+                            stack.push_unchecked(self.state.storage(params.storage_address, key));
+                        }
+                        FusedKind::SwapPop => {
+                            let top = stack.pop_unchecked();
+                            stack.pop_unchecked();
+                            stack.push_unchecked(top);
+                        }
+                        FusedKind::SelectorDispatch { .. } => unreachable!("handled above"),
+                    }
+                    pc += spec.len as usize;
+                    continue;
+                }
             }
             let Some(op) = Opcode::from_u8(code[pc]) else {
                 return FrameResult::exception(VmError::InvalidOpcode);
@@ -1166,6 +1324,79 @@ mod tests {
         let code = vec![0x5b, 0x60, 0x01, 0x60, 0x00, 0x56];
         let (res, _) = run_code(code, 10_000_000);
         assert_eq!(res.halt, Halt::Exception(VmError::StackOverflow));
+    }
+
+    #[test]
+    fn fused_dispatch_matches_unfused_results_and_trace() {
+        use crate::trace::TraceRecorder;
+        // Serializes flips of the process-global fusion flag.
+        static FLIP: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+        fn run_traced(code: &[u8], input: Vec<u8>) -> (FrameResult, crate::trace::TxTrace, U256) {
+            let mut state = State::new();
+            let contract = Address::from_low_u64(0xc0de);
+            state.deploy_code(contract, code.to_vec());
+            let header = BlockHeader::default();
+            let mut tracer = TraceRecorder::new();
+            let caller = Address::from_low_u64(1);
+            let res = {
+                let mut evm = Evm::new(&mut state, &header, caller, U256::ONE, &mut tracer);
+                evm.call(CallParams {
+                    kind: CallKind::Call,
+                    caller,
+                    code_address: contract,
+                    storage_address: contract,
+                    value: U256::ZERO,
+                    transfers_value: false,
+                    input,
+                    gas: 200_000,
+                    is_static: false,
+                    depth: 0,
+                })
+            };
+            let slot1 = state.storage(contract, U256::ONE);
+            (res, tracer.into_trace(), slot1)
+        }
+
+        // Selector prologue + one-arm dispatcher + fallback, handler does
+        // SSTORE then a (fusible) PUSH1+SLOAD and returns the value.
+        #[rustfmt::skip]
+        let code = [
+            0x60, 0x00, 0x35, 0x60, 0xe0, 0x1c,                         // 0: selector load
+            0x80, 0x63, 0xaa, 0xbb, 0xcc, 0xdd, 0x14, 0x61, 0x00, 21, 0x57, // 6: arm -> 21
+            0x61, 0x00, 38, 0x56,                                       // 17: fallback -> 38
+            0x5b,                                                       // 21: handler
+            0x60, 0x07, 0x60, 0x01, 0x55,                               // SSTORE slot1 = 7
+            0x60, 0x01, 0x54,                                           // PUSH1 1; SLOAD (fused)
+            0x60, 0x00, 0x52, 0x60, 0x20, 0x60, 0x00, 0xf3,             // return the word
+            0x5b, 0x00,                                                 // 38: fallback STOP
+        ];
+
+        let _guard = FLIP.lock().unwrap();
+        for input in [
+            vec![0xaa, 0xbb, 0xcc, 0xdd],
+            vec![0x11, 0x22, 0x33, 0x44],
+            vec![],
+        ] {
+            crate::config::set_fusion_enabled(true);
+            let (fused_res, fused_trace, fused_slot) = run_traced(&code, input.clone());
+            crate::config::set_fusion_enabled(false);
+            let (plain_res, plain_trace, plain_slot) = run_traced(&code, input.clone());
+            crate::config::set_fusion_enabled(true);
+
+            assert_eq!(fused_res.halt, plain_res.halt, "input {input:?}");
+            assert_eq!(fused_res.gas_left, plain_res.gas_left, "input {input:?}");
+            assert_eq!(fused_res.output, plain_res.output, "input {input:?}");
+            assert_eq!(fused_slot, plain_slot, "input {input:?}");
+            // The replayed step stream must be byte-for-byte the unfused one.
+            assert_eq!(fused_trace.steps, plain_trace.steps, "input {input:?}");
+            assert_eq!(fused_trace.storage, plain_trace.storage, "input {input:?}");
+        }
+        // Matching selector actually took the fused dispatcher path.
+        let (res, _, slot) = run_traced(&code, vec![0xaa, 0xbb, 0xcc, 0xdd]);
+        assert!(res.success());
+        assert_eq!(U256::from_be_slice(&res.output), U256::from(7u64));
+        assert_eq!(slot, U256::from(7u64));
     }
 
     #[test]

@@ -31,7 +31,9 @@
 
 pub mod analysis;
 pub mod commit;
+pub mod config;
 pub mod executor;
+pub mod fusion;
 pub mod gas;
 pub mod interpreter;
 pub mod memory;
@@ -48,10 +50,12 @@ pub use commit::{
     apply_updates, commit_block_delta, commit_full, delta_merkle_root, delta_updates,
     AsyncCommitter, CommitError, CommitHandle,
 };
+pub use config::{fusion_enabled, set_fusion_enabled, EvmConfig};
 pub use executor::{
     admission_preflight, call_readonly, execute_block, execute_transaction, max_tx_cost,
     trace_transaction, ReadCall, ReadCallOutcome, TxError,
 };
+pub use fusion::{FusedKind, FusedSpec, FusedTable, SelectorArm};
 pub use interpreter::{CallParams, Evm, FrameResult, Halt, VmError};
 pub use opcode::{OpCategory, Opcode};
 pub use overlay::{

@@ -40,6 +40,14 @@ pub struct EvmMetrics {
     /// Code-analysis cache entries dropped at capacity
     /// (`evm.analysis.evict`).
     pub analysis_evictions: Counter,
+    /// Fused superinstruction sites discovered at analysis time
+    /// (`evm.fusion.sites`).
+    pub fusion_sites: Counter,
+    /// Fused sites dispatched by the interpreter (`evm.fusion.hits`).
+    pub fusion_hits: Counter,
+    /// Constant-folded regions discovered at analysis time
+    /// (`evm.fusion.folded_consts`).
+    pub fusion_folded_consts: Counter,
 }
 
 fn category_key(cat: OpCategory) -> &'static str {
@@ -75,6 +83,9 @@ pub fn metrics() -> &'static EvmMetrics {
             analysis_hits: reg.counter("evm.analysis.hit"),
             analysis_misses: reg.counter("evm.analysis.miss"),
             analysis_evictions: reg.counter("evm.analysis.evict"),
+            fusion_sites: reg.counter("evm.fusion.sites"),
+            fusion_hits: reg.counter("evm.fusion.hits"),
+            fusion_folded_consts: reg.counter("evm.fusion.folded_consts"),
         }
     })
 }

@@ -133,6 +133,13 @@ pub trait Tracer {
     fn step(&mut self, pc: usize, op: Opcode) {
         let _ = (pc, op);
     }
+    /// Whether this tracer consumes [`Tracer::step`] events. Fused
+    /// superinstruction dispatch replays per-constituent steps only when
+    /// this is `true` (or telemetry is on), so no-op tracers skip the
+    /// replay walk entirely. Trace-consuming tracers keep the default.
+    fn wants_steps(&self) -> bool {
+        true
+    }
     /// A storage slot is read or written.
     fn storage_access(&mut self, address: Address, key: U256, write: bool) {
         let _ = (address, key, write);
@@ -143,7 +150,11 @@ pub trait Tracer {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoopTracer;
 
-impl Tracer for NoopTracer {}
+impl Tracer for NoopTracer {
+    fn wants_steps(&self) -> bool {
+        false
+    }
+}
 
 /// A tracer that records a full [`TxTrace`].
 #[derive(Debug, Clone, Default)]

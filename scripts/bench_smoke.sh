@@ -5,11 +5,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,block_pipeline,accountsdb,read_qps --telemetry"
+echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,interp_fusion,block_pipeline,accountsdb,read_qps --telemetry"
 # The accountsdb experiment defaults to a 1M-account universe; the smoke
 # run scales it down so the whole script stays interactive.
 MTPU_ACCOUNTSDB_ACCOUNTS="${MTPU_ACCOUNTSDB_ACCOUNTS:-20000}" \
-cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,block_pipeline,accountsdb,read_qps --telemetry --json BENCH_RESULTS.json
+cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,interp_fusion,block_pipeline,accountsdb,read_qps --telemetry --json BENCH_RESULTS.json
 
 echo "==> validating BENCH_RESULTS.json"
 python3 - <<'EOF'
@@ -25,6 +25,20 @@ assert "table1" in d["experiments"], list(d["experiments"])
 assert "stateroot" in d["experiments"], list(d["experiments"])
 assert "interp_hot" in d["experiments"], list(d["experiments"])
 assert "speedup" in d["experiments"]["interp_hot"], "interp_hot table lost its speedup columns"
+assert "interp_fusion" in d["experiments"], list(d["experiments"])
+# The fusion gate runs every hot-path workload fused and unfused,
+# asserts (in-process) that receipts are bit-identical, and counts how
+# many workloads the fused interpreter wins outright. A fusion perf
+# regression fails here, not silently.
+fu = d["experiments"]["interp_fusion"]
+assert "schema: interp-fusion/v1" in fu, "fusion gate lost its schema marker:\n" + fu
+assert "parity: OK" in fu, "fused/unfused receipt parity broken:\n" + fu
+import re
+m = re.search(r"fusion wins: (\d+)/(\d+)", fu)
+assert m, "fusion gate lost its wins line:\n" + fu
+wins, total = int(m.group(1)), int(m.group(2))
+assert total == 6 and wins >= 4, \
+    f"fusion must win >=4/6 hot-path workloads, won {wins}/{total}:\n" + fu
 assert "stateroot_par" in d["experiments"], list(d["experiments"])
 # The sweep commits the same blocks at 1/2/4/8 threads and pipelined,
 # and asserts (in-process) that every configuration lands on the same
@@ -67,6 +81,7 @@ assert d["wall_ns"]["table1"] > 0
 assert d["wall_ns"]["stateroot"] > 0
 assert d["wall_ns"]["stateroot_par"] > 0
 assert d["wall_ns"]["interp_hot"] > 0
+assert d["wall_ns"]["interp_fusion"] > 0
 assert d["wall_ns"]["block_pipeline"] > 0
 assert d["telemetry"] is not None, "telemetry snapshot missing despite --telemetry"
 assert "counters" in d["telemetry"]

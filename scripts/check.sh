@@ -19,6 +19,9 @@ cargo test -q
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "==> fusion differential fuzz (fused vs unfused observational equality)"
+cargo test -q --test fusion_differential
+
 echo "==> readserve crate tests (MVCC snapshot read layer)"
 cargo test -q -p mtpu-readserve
 

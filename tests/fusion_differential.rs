@@ -1,0 +1,372 @@
+//! Differential fuzzing of superinstruction fusion: every program —
+//! random byte soup, block-structured jump graphs, dispatcher-shaped
+//! contracts, and the TOP8 fixtures — must produce bit-identical
+//! receipts, logs, gas and state roots whether the interpreter
+//! dispatches fused superinstructions or single opcodes.
+//!
+//! Driven by the in-repo deterministic [`SplitMix64`] generator so the
+//! suite runs offline with no external crates. The fusion flag is
+//! process-global, so the tests in this binary serialize around
+//! [`FUSION_LOCK`] and always restore the enabled state.
+
+use mtpu_repro::contracts::Fixture;
+use mtpu_repro::evm::state::State;
+use mtpu_repro::evm::trace::{NoopTracer, TraceRecorder, Tracer, TxTrace};
+use mtpu_repro::evm::tx::{Block, BlockHeader, Receipt, Transaction};
+use mtpu_repro::evm::{execute_block, execute_transaction, set_fusion_enabled};
+use mtpu_repro::primitives::{Address, SplitMix64, B256, U256};
+use std::sync::Mutex;
+
+/// Serializes flips of the process-global fusion flag across the tests
+/// in this binary.
+static FUSION_LOCK: Mutex<()> = Mutex::new(());
+
+fn fusion_guard() -> std::sync::MutexGuard<'static, ()> {
+    FUSION_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const CONTRACT: u64 = 0xc0de;
+const CALLER: u64 = 0xca11;
+
+/// Executes `code` as a deployed contract called once with `input` and
+/// `gas_limit`, returning the receipt and the post-state root.
+fn run_one(code: &[u8], input: &[u8], gas_limit: u64, tracer: &mut impl Tracer) -> (Receipt, B256) {
+    let contract = Address::from_low_u64(CONTRACT);
+    let caller = Address::from_low_u64(CALLER);
+    let mut state = State::new();
+    state.deploy_code(contract, code.to_vec());
+    state.credit(caller, U256::from(u64::MAX));
+    state.finalize_tx();
+
+    let tx = Transaction {
+        nonce: 0,
+        gas_price: U256::ONE,
+        gas_limit,
+        from: caller,
+        to: Some(contract),
+        value: U256::ZERO,
+        data: input.to_vec(),
+    };
+    let receipt = execute_transaction(&mut state, &BlockHeader::default(), &tx, tracer)
+        .expect("admission passes: funded caller, gas above intrinsic");
+    (receipt, state.state_root())
+}
+
+/// Runs one program in both modes and asserts observational equality.
+/// Returns the (shared) receipt so callers can follow up on successes.
+fn assert_equivalent(label: &str, code: &[u8], input: &[u8], gas_limit: u64) -> Receipt {
+    set_fusion_enabled(true);
+    let (fused, fused_root) = run_one(code, input, gas_limit, &mut NoopTracer);
+    set_fusion_enabled(false);
+    let (plain, plain_root) = run_one(code, input, gas_limit, &mut NoopTracer);
+    set_fusion_enabled(true);
+    assert_eq!(
+        fused, plain,
+        "{label}: receipt diverged (code {code:02x?}, input {input:02x?}, gas {gas_limit})"
+    );
+    assert_eq!(
+        fused_root, plain_root,
+        "{label}: state root diverged (code {code:02x?}, input {input:02x?}, gas {gas_limit})"
+    );
+    fused
+}
+
+/// For successful programs the replayed trace must also be identical:
+/// the fused dispatcher re-emits per-constituent steps. (Exceptional
+/// paths may legally differ in step streams — lump-sum charging can stop
+/// earlier or later within a fused site — while receipts stay equal.)
+fn assert_trace_equivalent(label: &str, code: &[u8], input: &[u8], gas_limit: u64) {
+    let traced = |on: bool| -> TxTrace {
+        set_fusion_enabled(on);
+        let mut rec = TraceRecorder::new();
+        run_one(code, input, gas_limit, &mut rec);
+        rec.into_trace()
+    };
+    let fused = traced(true);
+    let plain = traced(false);
+    set_fusion_enabled(true);
+    assert_eq!(fused.steps, plain.steps, "{label}: step stream diverged");
+    assert_eq!(
+        fused.storage, plain.storage,
+        "{label}: storage accesses diverged"
+    );
+}
+
+fn random_input(rng: &mut SplitMix64) -> Vec<u8> {
+    let len = rng.random_index(64);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+fn random_gas(rng: &mut SplitMix64) -> u64 {
+    rng.random_range(30_000..300_000)
+}
+
+/// Pure byte soup: any byte string is a program; fused and unfused must
+/// agree even on invalid opcodes, truncated pushes and stack chaos.
+#[test]
+fn random_byte_soup_is_observationally_identical() {
+    let _guard = fusion_guard();
+    let mut rng = SplitMix64::seed_from_u64(0x5009_f00d);
+    for case in 0..300 {
+        let len = 1 + rng.random_index(160);
+        let code: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let input = random_input(&mut rng);
+        assert_equivalent(&format!("soup#{case}"), &code, &input, random_gas(&mut rng));
+    }
+}
+
+/// Emits one random straight-line body instruction. Push-heavy so a
+/// useful fraction of programs run deep before halting, with fusible
+/// idioms (PUSH+SLOAD, DUP+SLOAD, SWAP+POP, PUSH+PUSH+arith) injected
+/// deliberately.
+fn push_body_op(rng: &mut SplitMix64, out: &mut Vec<u8>) {
+    match rng.random_index(16) {
+        0..=4 => {
+            // PUSH1/PUSH2 of a small constant.
+            if rng.random_bool(0.5) {
+                out.push(0x60);
+                out.push(rng.next_u64() as u8);
+            } else {
+                out.push(0x61);
+                out.push((rng.next_u64() & 1) as u8);
+                out.push(rng.next_u64() as u8);
+            }
+        }
+        5 => {
+            // PUSH+PUSH+arith: the constant-folding shape.
+            out.push(0x60);
+            out.push(rng.next_u64() as u8);
+            out.push(0x60);
+            out.push(rng.next_u64() as u8);
+            out.push([0x01, 0x02, 0x03, 0x16, 0x17, 0x18, 0x1b, 0x1c][rng.random_index(8)]);
+        }
+        6 => {
+            // PUSH+SLOAD on a small slot.
+            out.push(0x60);
+            out.push(rng.random_index(8) as u8);
+            out.push(0x54);
+        }
+        7 => out.extend_from_slice(&[0x80 + rng.random_index(4) as u8, 0x54]), // DUPn+SLOAD
+        8 => out.extend_from_slice(&[0x90, 0x50]),                             // SWAP1+POP
+        9 => {
+            // PUSH small value, PUSH small slot, SSTORE.
+            out.push(0x60);
+            out.push(rng.next_u64() as u8);
+            out.push(0x60);
+            out.push(rng.random_index(8) as u8);
+            out.push(0x55);
+        }
+        10 => out.push(0x80 + rng.random_index(4) as u8), // DUP1..4
+        11 => out.push(0x90 + rng.random_index(2) as u8), // SWAP1..2
+        12 => out.push([0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x10, 0x11, 0x14][rng.random_index(9)]),
+        13 => out.push([0x15, 0x19, 0x16, 0x17, 0x18, 0x1a][rng.random_index(6)]),
+        14 => out.push([0x30, 0x33, 0x36, 0x3a, 0x43, 0x5a][rng.random_index(6)]),
+        _ => {
+            // PUSH1 offset, CALLDATALOAD.
+            out.push(0x60);
+            out.push(rng.random_index(40) as u8);
+            out.push(0x35);
+        }
+    }
+}
+
+/// Block-structured programs: every block starts at a JUMPDEST, bodies
+/// are random straight-line code, terminators are PUSH2-resolved JUMP /
+/// JUMPI / ISZERO+PUSH2+JUMPI edges to random blocks (the fused branch
+/// shapes), or a halt. Two-pass assembly patches the targets.
+#[test]
+fn random_jump_graphs_are_observationally_identical() {
+    let _guard = fusion_guard();
+    let mut rng = SplitMix64::seed_from_u64(0x5009_beef);
+    for case in 0..150 {
+        let nblocks = 3 + rng.random_index(5);
+        // Pass 1: bodies (without terminators).
+        let bodies: Vec<Vec<u8>> = (0..nblocks)
+            .map(|_| {
+                let mut b = vec![0x5b]; // JUMPDEST
+                for _ in 0..rng.random_index(10) {
+                    push_body_op(&mut rng, &mut b);
+                }
+                b
+            })
+            .collect();
+        // Terminator kinds per block; each occupies a fixed 9 bytes so
+        // offsets are computable before targets are known.
+        let kinds: Vec<usize> = (0..nblocks).map(|_| rng.random_index(5)).collect();
+        let mut offsets = Vec::with_capacity(nblocks);
+        let mut off = 0usize;
+        for body in &bodies {
+            offsets.push(off);
+            off += body.len() + 9;
+        }
+        let mut code = Vec::with_capacity(off);
+        for (i, body) in bodies.iter().enumerate() {
+            code.extend_from_slice(body);
+            let target = offsets[rng.random_index(nblocks)] as u16;
+            let cond = rng.next_u64() as u8;
+            let mut term = match kinds[i] {
+                // PUSH2 target; JUMP; padding
+                0 => vec![0x61, (target >> 8) as u8, target as u8, 0x56, 0, 0, 0, 0, 0],
+                // PUSH1 cond; PUSH2 target; JUMPI; padding
+                1 => vec![
+                    0x60,
+                    cond,
+                    0x61,
+                    (target >> 8) as u8,
+                    target as u8,
+                    0x57,
+                    0,
+                    0,
+                    0,
+                ],
+                // PUSH1 cond; ISZERO; PUSH2 target; JUMPI: the fused
+                // require() shape.
+                2 => vec![
+                    0x60,
+                    cond,
+                    0x15,
+                    0x61,
+                    (target >> 8) as u8,
+                    target as u8,
+                    0x57,
+                    0,
+                    0,
+                ],
+                // PUSH1 32; PUSH1 0; RETURN; padding
+                3 => vec![0x60, 0x20, 0x60, 0x00, 0xf3, 0, 0, 0, 0],
+                // STOP; padding
+                _ => vec![0x00; 9],
+            };
+            debug_assert_eq!(term.len(), 9);
+            code.append(&mut term);
+        }
+        let input = random_input(&mut rng);
+        let gas = random_gas(&mut rng);
+        let label = format!("graph#{case}");
+        let receipt = assert_equivalent(&label, &code, &input, gas);
+        if receipt.success {
+            assert_trace_equivalent(&label, &code, &input, gas);
+        }
+    }
+}
+
+/// Dispatcher-shaped contracts: the Solidity selector prologue, a random
+/// number of PUSH4-selector arms, a fallback, and per-selector handlers
+/// doing storage work — the SelectorDispatch superinstruction's home
+/// turf. Calldata alternates between matching selectors, near-misses and
+/// garbage.
+#[test]
+fn random_dispatchers_are_observationally_identical() {
+    let _guard = fusion_guard();
+    let mut rng = SplitMix64::seed_from_u64(0x5009_d15b);
+    for case in 0..100 {
+        let narms = 1 + rng.random_index(6);
+        let selectors: Vec<u32> = (0..narms).map(|_| rng.next_u64() as u32).collect();
+
+        // Layout: prologue (6 bytes), arms (11 bytes each: DUP1 PUSH4
+        // sel EQ PUSH2 dest JUMPI), fallback (PUSH2 fb JUMP = 4 bytes),
+        // then handlers and the fallback block.
+        let arms_end = 6 + 11 * narms;
+        let handlers_start = arms_end + 4;
+        // Each handler: JUMPDEST; PUSH1 v; PUSH1 slot; SSTORE; PUSH1
+        // slot; SLOAD; PUSH1 0; MSTORE; PUSH1 32; PUSH1 0; RETURN = 16B.
+        let handler_len = 16;
+        let fb = handlers_start + handler_len * narms;
+
+        let mut code = vec![0x60, 0x00, 0x35, 0x60, 0xe0, 0x1c];
+        for (i, sel) in selectors.iter().enumerate() {
+            let dest = (handlers_start + handler_len * i) as u16;
+            code.push(0x80);
+            code.push(0x63);
+            code.extend_from_slice(&sel.to_be_bytes());
+            code.push(0x14);
+            code.push(0x61);
+            code.push((dest >> 8) as u8);
+            code.push(dest as u8);
+            code.push(0x57);
+        }
+        code.extend_from_slice(&[0x61, (fb >> 8) as u8, fb as u8, 0x56]);
+        for i in 0..narms {
+            let slot = (i % 4) as u8;
+            code.extend_from_slice(&[
+                0x5b,
+                0x60,
+                (0x11 * (i as u8 + 1)),
+                0x60,
+                slot,
+                0x55,
+                0x60,
+                slot,
+                0x54,
+                0x60,
+                0x00,
+                0x52,
+                0x60,
+                0x20,
+                0x60,
+                0x00,
+                0xf3,
+            ]);
+        }
+        code.extend_from_slice(&[0x5b, 0x60, 0x00, 0x60, 0x00, 0xfd]); // fallback: REVERT(0,0)
+
+        // Probe with matching selectors, a bit-flipped near miss, short
+        // calldata and garbage.
+        let mut probes: Vec<Vec<u8>> = selectors.iter().map(|s| s.to_be_bytes().to_vec()).collect();
+        probes.push((selectors[0] ^ 1).to_be_bytes().to_vec());
+        probes.push(vec![0xff; 2]);
+        probes.push(random_input(&mut rng));
+        for (p, input) in probes.iter().enumerate() {
+            let gas = random_gas(&mut rng);
+            let label = format!("dispatcher#{case}/{p}");
+            let receipt = assert_equivalent(&label, &code, input, gas);
+            if receipt.success {
+                assert_trace_equivalent(&label, &code, input, gas);
+            }
+        }
+    }
+}
+
+/// The TOP8 fixtures end-to-end: a mixed block of real contract calls
+/// (ERC20 transfers, proxy dispatch, WETH deposits) must produce
+/// identical receipts and an identical Merkle root fused vs unfused.
+#[test]
+fn top8_fixture_block_is_observationally_identical() {
+    let _guard = fusion_guard();
+    let mut rng = SplitMix64::seed_from_u64(0x5009_70b8);
+    let users = mtpu_repro::contracts::fixture::USER_COUNT;
+    let mut fx = Fixture::new();
+    let mut txs = Vec::new();
+    for i in 0..48u64 {
+        let user = 1 + i % (users - 1);
+        let to = Fixture::user_address((user + 3) % users).to_u256();
+        let amount = U256::from(rng.random_range(1..500));
+        match i % 3 {
+            0 => txs.push(fx.call_tx(user, "Tether USD", "transfer", &[to, amount])),
+            1 => txs.push(fx.call_tx(user, "FiatTokenProxy", "transfer", &[to, amount])),
+            _ => {
+                let mut tx = fx.call_tx(user, "WETH9", "deposit", &[]);
+                tx.value = amount;
+                txs.push(tx);
+            }
+        }
+    }
+    let block = Block {
+        header: BlockHeader::default(),
+        transactions: txs,
+    };
+
+    let run = |on: bool| -> (Vec<Receipt>, B256) {
+        set_fusion_enabled(on);
+        let mut state = fx.state.clone();
+        let receipts = execute_block(&mut state, &block);
+        (receipts, state.merkle_root())
+    };
+    let (fused_receipts, fused_root) = run(true);
+    let (plain_receipts, plain_root) = run(false);
+    set_fusion_enabled(true);
+
+    assert!(fused_receipts.iter().all(|r| r.success));
+    assert_eq!(fused_receipts, plain_receipts, "TOP8 receipts diverged");
+    assert_eq!(fused_root, plain_root, "TOP8 merkle root diverged");
+}

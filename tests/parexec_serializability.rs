@@ -213,6 +213,58 @@ fn async_commit_pipeline_matches_synchronous_roots() {
     }
 }
 
+/// Superinstruction fusion must be invisible to the serializability
+/// oracle: with fusion on and off, sequentially and in parallel at every
+/// thread count, the engine lands on receipts and Merkle roots identical
+/// to the sequential-unfused reference.
+#[test]
+fn fusion_is_invisible_to_the_serializability_oracle() {
+    use mtpu_repro::evm::set_fusion_enabled;
+
+    let mut generator = Generator::new(0xF05E);
+    let prepared = generator.prepared_block(&config(48, 0.4));
+    let base = &prepared.state_before;
+
+    // Sequential-unfused is the reference for the whole grid.
+    set_fusion_enabled(false);
+    let mut oracle_state = base.clone();
+    let oracle_receipts = sequential(&mut oracle_state, &prepared.block);
+    let oracle_root = oracle_state.merkle_root();
+
+    for fused in [false, true] {
+        set_fusion_enabled(fused);
+        let mut seq_state = base.clone();
+        assert_eq!(
+            sequential(&mut seq_state, &prepared.block),
+            oracle_receipts,
+            "sequential receipts diverged with fusion={fused}"
+        );
+        assert_eq!(
+            seq_state.merkle_root(),
+            oracle_root,
+            "sequential merkle root diverged with fusion={fused}"
+        );
+        for &threads in &[1usize, 4, 8] {
+            let result = ParExecutor::new(threads).execute_block(base, &prepared.block);
+            assert_eq!(
+                result.receipts, oracle_receipts,
+                "parallel receipts diverged with fusion={fused} threads {threads}"
+            );
+            assert_eq!(
+                result.merkle_root(),
+                oracle_root,
+                "parallel merkle root diverged with fusion={fused} threads {threads}"
+            );
+            assert_eq!(
+                result.delta_merkle_root(base),
+                oracle_root,
+                "incremental merkle root diverged with fusion={fused} threads {threads}"
+            );
+        }
+    }
+    set_fusion_enabled(true);
+}
+
 /// Determinism across repeated parallel runs: same block, same threads,
 /// same results — scheduling noise must never leak into outputs.
 #[test]
