@@ -23,7 +23,7 @@ use std::fs::{File, OpenOptions};
 use std::io;
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Manifest schema line; bump when the on-disk layout changes.
@@ -44,6 +44,19 @@ fn corrupt(msg: impl Into<String>) -> io::Error {
 struct StoredFile {
     file: Arc<File>,
     len: u64,
+}
+
+/// Upper bound on prefetched slot values held in the warm cache. When an
+/// insert would overflow it, the whole cache is dropped — entries are
+/// hints, never the only copy of anything.
+const WARM_CAP: usize = 4096;
+
+/// One queued request for the background prefetch worker.
+enum PrefetchJob {
+    /// Resolve these slots of `addr` into the warm cache.
+    Storage(Address, Vec<U256>),
+    /// Touch the account record so its file page is OS-cache resident.
+    Account(Address),
 }
 
 /// Point-in-time counters and sizes, for benches and reports.
@@ -103,6 +116,22 @@ pub struct AccountsDb {
     /// Resolved code blobs (content-addressed; bounded by distinct
     /// contracts, which is small next to accounts).
     code_cache: RwLock<HashMap<B256, Arc<Vec<u8>>>>,
+    /// Slot values resolved ahead of demand by the prefetch worker,
+    /// consulted by the read path on write-cache misses. Bounded by
+    /// [`WARM_CAP`]; cleared on every flush (see `flush_locked`).
+    warm: RwLock<HashMap<(Address, U256), U256>>,
+    /// Bumped by every flush before the warm cache is cleared; the
+    /// prefetch worker re-checks it under the warm write lock before
+    /// publishing, so a value read against the pre-flush layout can never
+    /// land in the post-flush cache.
+    warm_gen: AtomicU64,
+    /// Send half of the prefetch queue, present once
+    /// [`AccountsDb::enable_prefetch`] has run.
+    prefetch_tx: Mutex<Option<std::sync::mpsc::Sender<PrefetchJob>>>,
+    /// `true` once the prefetch subsystem is on; [`AccountsDb::read_many`]
+    /// then publishes what it reads into the warm cache, so a plan issued
+    /// for one transaction serves the rest of the block from memory.
+    prefetch_on: AtomicBool,
     /// Serializes flush and snapshot.
     flush_lock: Mutex<()>,
     head_height: AtomicU64,
@@ -135,6 +164,10 @@ impl AccountsDb {
             index: RwLock::new(FlatIndex::new()),
             files: RwLock::new(Vec::new()),
             code_cache: RwLock::new(HashMap::new()),
+            warm: RwLock::new(HashMap::new()),
+            warm_gen: AtomicU64::new(0),
+            prefetch_tx: Mutex::new(None),
+            prefetch_on: AtomicBool::new(false),
             flush_lock: Mutex::new(()),
             head_height: AtomicU64::new(0),
             flushed_height: AtomicU64::new(0),
@@ -473,6 +506,13 @@ impl AccountsDb {
                 }
             }
         }
+        // Flushed entries are about to leave the write cache; anything the
+        // prefetch worker warmed against the old flat layout must go with
+        // them, or a stale warm value could mask the freshly indexed one.
+        // The generation bump (before the clear) fences out worker inserts
+        // whose file read predates this flush.
+        self.warm_gen.fetch_add(1, Ordering::Release);
+        self.warm.write().expect("warm cache poisoned").clear();
         self.cache.evict_flushed(up_to);
         self.flushed_height.fetch_max(up_to, Ordering::SeqCst);
         self.flushes.fetch_add(1, Ordering::Relaxed);
@@ -608,6 +648,232 @@ impl AccountsDb {
             .expect("code cache poisoned")
             .insert(hash, code.clone());
         (*code).clone()
+    }
+
+    /// Reads many slots of one account with a single index pass: per-key
+    /// write-cache resolution first (with the usual hit/miss accounting),
+    /// then one index read-lock collecting the locations of every
+    /// fall-through key, then positional reads grouped per file in offset
+    /// order. This is the synchronous half of the prefetch path — the
+    /// overlay's frame-entry prefetch and [`read_storage_many`] both land
+    /// here.
+    ///
+    /// [`read_storage_many`]: StateRead::read_storage_many
+    pub fn read_many(&self, addr: Address, keys: &[U256]) -> Vec<U256> {
+        let mut out = vec![U256::ZERO; keys.len()];
+        // One shard lock resolves every key the write cache covers.
+        let cached: Option<Vec<Option<U256>>> = self.cache.with_entry(addr, |c| {
+            keys.iter()
+                .map(|k| {
+                    if c.deleted {
+                        Some(U256::ZERO)
+                    } else if let Some(v) = c.storage.get(k) {
+                        Some(*v)
+                    } else if c.reset_storage {
+                        Some(U256::ZERO)
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        });
+        let mut miss_pos: Vec<usize> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            match cached.as_ref().and_then(|v| v[i]) {
+                Some(v) => {
+                    self.note_hit();
+                    out[i] = v;
+                }
+                None => {
+                    self.note_miss();
+                    match self.warm_storage(addr, key) {
+                        Some(v) => out[i] = v,
+                        None => miss_pos.push(i),
+                    }
+                }
+            }
+        }
+        if miss_pos.is_empty() {
+            return out;
+        }
+        // When the prefetch subsystem is on, file-resolved values are
+        // published into the warm cache afterwards (same generation fence
+        // as the worker), so a plan issued for one transaction serves the
+        // rest of the block from memory. The generation must be captured
+        // before the index is consulted.
+        let publish_gen = self
+            .prefetch_on
+            .load(Ordering::Acquire)
+            .then(|| self.warm_gen.load(Ordering::Acquire));
+        let mut locs: Vec<(usize, Loc)> = {
+            let ix = self.index.read().expect("index poisoned");
+            miss_pos
+                .iter()
+                .filter_map(|&i| ix.slot(addr, keys[i]).map(|l| (i, l)))
+                .collect()
+        };
+        // Index-absent keys stay zero. Present ones are read grouped by
+        // file in offset order — as close to sequential I/O as the flat
+        // layout allows.
+        locs.sort_unstable_by_key(|(_, l)| (l.file, l.offset));
+        let started = mtpu_telemetry::enabled().then(std::time::Instant::now);
+        let mut handle: Option<(u32, Arc<File>)> = None;
+        let mut read_pos: Vec<usize> = Vec::with_capacity(locs.len());
+        for (i, loc) in locs {
+            let file = match &handle {
+                Some((id, f)) if *id == loc.file => f.clone(),
+                _ => {
+                    let f = self.file_handle(loc.file);
+                    handle = Some((loc.file, f.clone()));
+                    f
+                }
+            };
+            let mut buf = [0u8; 32];
+            file.read_exact_at(&mut buf, loc.offset)
+                .expect("storage file read");
+            out[i] = U256::from_be_bytes(buf);
+            read_pos.push(i);
+        }
+        if let Some(t) = started {
+            obs::metrics()
+                .read_us
+                .record(t.elapsed().as_micros() as u64);
+        }
+        if let Some(gen) = publish_gen {
+            if !read_pos.is_empty() {
+                let mut warm = self.warm.write().expect("warm cache poisoned");
+                // A flush moved the flat layout under this read; the
+                // values may predate it. They were still correct to serve
+                // (the index was consistent at lookup time), but they must
+                // not outlive the layout they came from.
+                if self.warm_gen.load(Ordering::Acquire) == gen {
+                    if warm.len() + read_pos.len() > WARM_CAP {
+                        warm.clear();
+                    }
+                    for i in read_pos {
+                        warm.insert((addr, keys[i]), out[i]);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Spawns the background prefetch worker (idempotent). Hints arriving
+    /// via [`StateRead::hint_prefetch_storage`] and
+    /// [`StateRead::hint_prefetch_account`] are then served
+    /// asynchronously: the worker resolves them against the flat layer
+    /// and parks the values in the bounded warm cache that the
+    /// synchronous read path consults on write-cache misses. The worker
+    /// holds only a `Weak` reference and exits when the store is dropped
+    /// (the queue closes with it).
+    pub fn enable_prefetch(self: &Arc<Self>) {
+        let mut tx = self.prefetch_tx.lock().expect("prefetch queue poisoned");
+        if tx.is_some() {
+            return;
+        }
+        let (sender, receiver) = std::sync::mpsc::channel::<PrefetchJob>();
+        let weak = Arc::downgrade(self);
+        std::thread::Builder::new()
+            .name("accountsdb-prefetch".into())
+            .spawn(move || {
+                while let Ok(job) = receiver.recv() {
+                    let Some(db) = weak.upgrade() else { return };
+                    db.run_prefetch_job(job);
+                }
+            })
+            .expect("spawn accountsdb prefetch worker");
+        *tx = Some(sender);
+        self.prefetch_on.store(true, Ordering::Release);
+    }
+
+    /// Entries currently held in the warm prefetch cache (introspection
+    /// for tests and benches).
+    pub fn warm_entries(&self) -> usize {
+        self.warm.read().expect("warm cache poisoned").len()
+    }
+
+    fn warm_storage(&self, addr: Address, key: U256) -> Option<U256> {
+        self.warm
+            .read()
+            .expect("warm cache poisoned")
+            .get(&(addr, key))
+            .copied()
+    }
+
+    fn file_handle(&self, id: u32) -> Arc<File> {
+        self.files.read().expect("file set poisoned")[id as usize]
+            .file
+            .clone()
+    }
+
+    fn run_prefetch_job(&self, job: PrefetchJob) {
+        match job {
+            PrefetchJob::Account(addr) => {
+                // Touching the record pulls its file page into the OS
+                // cache; the metadata itself is cheap to re-decode.
+                let _ = self.flat_account(addr);
+            }
+            PrefetchJob::Storage(addr, keys) => {
+                let gen = self.warm_gen.load(Ordering::Acquire);
+                // Keys the write cache resolves are served without
+                // touching a file — nothing to warm for those.
+                let wanted: Vec<U256> = match self.cache.with_entry(addr, |c| {
+                    keys.iter()
+                        .copied()
+                        .filter(|k| !c.deleted && !c.reset_storage && !c.storage.contains_key(k))
+                        .collect::<Vec<_>>()
+                }) {
+                    Some(w) => w,
+                    None => keys,
+                };
+                if wanted.is_empty() {
+                    return;
+                }
+                let locs: Vec<(U256, Loc)> = {
+                    let ix = self.index.read().expect("index poisoned");
+                    wanted
+                        .iter()
+                        .filter_map(|&k| ix.slot(addr, k).map(|l| (k, l)))
+                        .collect()
+                };
+                if locs.is_empty() {
+                    return;
+                }
+                let mut resolved = Vec::with_capacity(locs.len());
+                for (k, loc) in locs {
+                    let mut buf = [0u8; 32];
+                    self.read_payload(loc, &mut buf);
+                    resolved.push((k, U256::from_be_bytes(buf)));
+                }
+                if mtpu_telemetry::enabled() {
+                    obs::metrics().prefetch_batch.inc();
+                }
+                let mut warm = self.warm.write().expect("warm cache poisoned");
+                if self.warm_gen.load(Ordering::Acquire) != gen {
+                    // A flush moved the flat layout under this read; the
+                    // values may predate it. Drop them — they were hints.
+                    return;
+                }
+                if warm.len() + resolved.len() > WARM_CAP {
+                    warm.clear();
+                }
+                for (k, v) in resolved {
+                    warm.insert((addr, k), v);
+                }
+            }
+        }
+    }
+
+    fn queue_prefetch(&self, job: PrefetchJob) {
+        if let Some(tx) = self
+            .prefetch_tx
+            .lock()
+            .expect("prefetch queue poisoned")
+            .as_ref()
+        {
+            let _ = tx.send(job);
+        }
     }
 
     // Untracked lookups (no hit/miss accounting) for absorb resolution.
@@ -774,15 +1040,29 @@ impl StateRead for AccountsDb {
                 self.note_hit();
                 v
             }
-            Some(None) => {
+            Some(None) | None => {
                 self.note_miss();
-                self.flat_storage(addr, key)
-            }
-            None => {
-                self.note_miss();
-                self.flat_storage(addr, key)
+                match self.warm_storage(addr, key) {
+                    Some(v) => v,
+                    None => self.flat_storage(addr, key),
+                }
             }
         }
+    }
+
+    fn read_storage_many(&self, addr: Address, keys: &[U256], out: &mut Vec<U256>) {
+        out.clear();
+        out.extend_from_slice(&self.read_many(addr, keys));
+    }
+
+    fn hint_prefetch_storage(&self, addr: Address, keys: &[U256]) {
+        if !keys.is_empty() {
+            self.queue_prefetch(PrefetchJob::Storage(addr, keys.to_vec()));
+        }
+    }
+
+    fn hint_prefetch_account(&self, addr: Address) {
+        self.queue_prefetch(PrefetchJob::Account(addr));
     }
 }
 
@@ -1109,6 +1389,81 @@ mod tests {
             assert_eq!(db.read_balance(addr(h)), U256::from(h * 10));
         }
         drop(service);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_many_matches_scalar_reads_across_layers() {
+        let dir = scratch_dir("readmany");
+        let db = AccountsDb::open(&dir).unwrap();
+        // Slots 1..=3 go to the flat layer; slot 2 is then re-dirtied in
+        // the cache; slot 9 never exists.
+        absorb_tx(
+            &db,
+            &creation(addr(1), 10, 0, None, &[(1, 11), (2, 22), (3, 33)]),
+            1,
+        );
+        db.flush_up_to(1).unwrap();
+        let mut d = AccountDelta::default();
+        d.storage.insert(U256::from(2u64), U256::from(222u64));
+        let mut tx = TxDelta::default();
+        tx.accounts.insert(addr(1), d);
+        absorb_tx(&db, &tx, 2);
+
+        let keys: Vec<U256> = [1u64, 2, 3, 9].iter().map(|&k| U256::from(k)).collect();
+        let batch = db.read_many(addr(1), &keys);
+        let scalar: Vec<U256> = keys.iter().map(|&k| db.read_storage(addr(1), k)).collect();
+        assert_eq!(batch, scalar);
+        assert_eq!(batch[1], U256::from(222u64));
+        assert_eq!(batch[3], U256::ZERO);
+
+        // An account the store has never seen reads as all zeros.
+        assert_eq!(db.read_many(addr(7), &keys), vec![U256::ZERO; keys.len()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prefetch_worker_warms_flat_reads_and_flush_invalidates() {
+        let dir = scratch_dir("prefetch");
+        let db = Arc::new(AccountsDb::open(&dir).unwrap());
+        absorb_tx(&db, &creation(addr(1), 10, 0, None, &[(1, 11), (2, 22)]), 1);
+        db.flush_up_to(1).unwrap();
+
+        db.enable_prefetch();
+        db.hint_prefetch_storage(addr(1), &[U256::from(1u64), U256::from(2u64)]);
+        db.hint_prefetch_account(addr(1));
+        let mut warmed = false;
+        for _ in 0..2000 {
+            if db.warm_entries() == 2 {
+                warmed = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(warmed, "worker never resolved the hinted slots");
+        assert_eq!(
+            db.read_storage(addr(1), U256::from(1u64)),
+            U256::from(11u64)
+        );
+
+        // A later block rewrites slot 1; the flush that lands it must
+        // drop the warm copy so the read path sees the new value.
+        let mut d = AccountDelta::default();
+        d.storage.insert(U256::from(1u64), U256::from(111u64));
+        let mut tx = TxDelta::default();
+        tx.accounts.insert(addr(1), d);
+        absorb_tx(&db, &tx, 2);
+        assert_eq!(
+            db.read_storage(addr(1), U256::from(1u64)),
+            U256::from(111u64),
+            "write cache shadows the warm copy before the flush"
+        );
+        db.flush_up_to(2).unwrap();
+        assert_eq!(db.warm_entries(), 0, "flush clears the warm cache");
+        assert_eq!(
+            db.read_storage(addr(1), U256::from(1u64)),
+            U256::from(111u64)
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -38,6 +38,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("read_qps", readserve::read_qps),
     ("interp_hot", interp_hot::hot_paths),
     ("interp_fusion", interp_hot::fusion_gate),
+    ("interp_prefetch", interp_prefetch::prefetch_gate),
     ("hotspot", stat::hotspot_loading),
     ("hotspot-drift", drift::hotspot_drift),
     ("ablations", ablation::all),

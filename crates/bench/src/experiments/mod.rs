@@ -7,6 +7,7 @@ pub mod compare;
 pub mod drift;
 pub mod ilp;
 pub mod interp_hot;
+pub mod interp_prefetch;
 pub mod parexec;
 pub mod pipeline;
 pub mod readserve;

@@ -112,6 +112,8 @@ enum Sample {
     Balance(u64, u64, U256),
     Nonce(u64, u64, u64),
     CodeLen(u64, usize),
+    /// `(height, keys, values)` of a batched `get_many` storage read.
+    StorageBatch(u64, Vec<U256>, Vec<U256>),
     /// `(height, user, success, gas_used, output)` of a `balanceOf` call.
     Call(u64, u64, bool, u64, Vec<u8>),
 }
@@ -122,6 +124,7 @@ impl Sample {
             Sample::Balance(h, ..)
             | Sample::Nonce(h, ..)
             | Sample::CodeLen(h, _)
+            | Sample::StorageBatch(h, ..)
             | Sample::Call(h, ..) => h,
         }
     }
@@ -237,6 +240,19 @@ fn reader_loop(
                     samples.push(Sample::CodeLen(h, code.len()));
                 }
             }
+            7 => {
+                // Mixed batch: low layout slots plus a rank-derived key,
+                // resolved in one `get_many` walk of the delta chain.
+                let keys = vec![U256::ZERO, U256::ONE, U256::from(2u64), U256::from(user)];
+                let started = Instant::now();
+                let (h, vals) = server
+                    .get_many(at, addresses::tether(), &keys)
+                    .expect("height retained");
+                point_us.push(started.elapsed().as_micros() as u64);
+                if keep {
+                    samples.push(Sample::StorageBatch(h, keys, vals));
+                }
+            }
             _ => {
                 let call = balance_of(user);
                 let started = Instant::now();
@@ -290,6 +306,15 @@ fn verify_against_replay(
                     *len,
                     "code diverged at height {h}"
                 ),
+                Sample::StorageBatch(h, keys, vals) => {
+                    for (key, val) in keys.iter().zip(vals) {
+                        assert_eq!(
+                            state.storage(addresses::tether(), *key),
+                            *val,
+                            "batched storage read diverged at height {h}"
+                        );
+                    }
+                }
                 Sample::Call(h, user, success, gas_used, output) => {
                     let want = call_readonly(state, header, &balance_of(*user));
                     assert_eq!(want.success, *success, "call success diverged at {h}");

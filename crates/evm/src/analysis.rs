@@ -22,6 +22,7 @@
 use crate::fusion::FusedTable;
 use crate::gas;
 use crate::opcode::Opcode;
+use crate::prefetch::PrefetchPlan;
 use mtpu_primitives::B256;
 use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -84,6 +85,7 @@ pub struct CodeAnalysis {
     bitmap: Box<[u64]>,
     code_len: usize,
     fusion: FusedTable,
+    prefetch: PrefetchPlan,
 }
 
 impl CodeAnalysis {
@@ -103,6 +105,7 @@ impl CodeAnalysis {
             Some(word) => (word >> (pc & 63)) & 1 != 0,
             None => false,
         });
+        let prefetch = crate::prefetch::build_plan(code, &fusion);
         let metrics = crate::obs::metrics();
         metrics.fusion_sites.add(fusion.sites() as u64);
         metrics
@@ -112,6 +115,7 @@ impl CodeAnalysis {
             bitmap: bitmap.into_boxed_slice(),
             code_len: code.len(),
             fusion,
+            prefetch,
         }
     }
 
@@ -135,6 +139,14 @@ impl CodeAnalysis {
     #[inline]
     pub fn fusion(&self) -> &FusedTable {
         &self.fusion
+    }
+
+    /// The storage prefetch plan of this bytecode (always built; whether
+    /// frame entry issues it is decided by
+    /// [`crate::config::prefetch_enabled`]).
+    #[inline]
+    pub fn prefetch(&self) -> &PrefetchPlan {
+        &self.prefetch
     }
 }
 

@@ -21,30 +21,43 @@ use std::sync::OnceLock;
 pub struct EvmConfig {
     /// Whether the dispatch loop consults the per-bytecode fusion table.
     pub fusion: bool,
+    /// Whether call-frame entry issues the per-bytecode prefetch plan.
+    pub prefetch: bool,
 }
 
 impl Default for EvmConfig {
     fn default() -> Self {
-        EvmConfig { fusion: true }
+        EvmConfig {
+            fusion: true,
+            prefetch: true,
+        }
     }
+}
+
+fn env_disabled(var: &str) -> bool {
+    std::env::var(var)
+        .map(|v| {
+            let v = v.trim();
+            !v.is_empty() && v != "0"
+        })
+        .unwrap_or(false)
 }
 
 impl EvmConfig {
     /// Reads the configuration from the environment: `MTPU_NO_FUSION` set
-    /// to anything but `0`/empty disables superinstruction fusion.
+    /// to anything but `0`/empty disables superinstruction fusion, and
+    /// `MTPU_NO_PREFETCH` likewise disables storage prefetch.
     pub fn from_env() -> EvmConfig {
-        let disabled = std::env::var("MTPU_NO_FUSION")
-            .map(|v| {
-                let v = v.trim();
-                !v.is_empty() && v != "0"
-            })
-            .unwrap_or(false);
-        EvmConfig { fusion: !disabled }
+        EvmConfig {
+            fusion: !env_disabled("MTPU_NO_FUSION"),
+            prefetch: !env_disabled("MTPU_NO_PREFETCH"),
+        }
     }
 
     /// Applies this configuration to the process-global switches.
     pub fn apply(self) {
         set_fusion_enabled(self.fusion);
+        set_prefetch_enabled(self.prefetch);
     }
 }
 
@@ -66,22 +79,53 @@ pub fn set_fusion_enabled(on: bool) {
     fusion_flag().store(on, Ordering::Relaxed);
 }
 
+fn prefetch_flag() -> &'static AtomicBool {
+    static FLAG: OnceLock<AtomicBool> = OnceLock::new();
+    FLAG.get_or_init(|| AtomicBool::new(EvmConfig::from_env().prefetch))
+}
+
+/// Whether frame-entry storage prefetch is currently enabled (one relaxed
+/// load; read once per frame by the interpreter).
+#[inline]
+pub fn prefetch_enabled() -> bool {
+    prefetch_flag().load(Ordering::Relaxed)
+}
+
+/// Forces frame-entry prefetch on or off, overriding the environment. Used
+/// by the differential tests and benchmarks to run both modes in-process.
+pub fn set_prefetch_enabled(on: bool) {
+    prefetch_flag().store(on, Ordering::Relaxed);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn default_enables_fusion() {
+    fn default_enables_fusion_and_prefetch() {
         assert!(EvmConfig::default().fusion);
+        assert!(EvmConfig::default().prefetch);
     }
 
     #[test]
-    fn apply_round_trips_through_global_flag() {
-        let prior = fusion_enabled();
-        EvmConfig { fusion: false }.apply();
+    fn apply_round_trips_through_global_flags() {
+        let prior_fusion = fusion_enabled();
+        let prior_prefetch = prefetch_enabled();
+        EvmConfig {
+            fusion: false,
+            prefetch: false,
+        }
+        .apply();
         assert!(!fusion_enabled());
-        EvmConfig { fusion: true }.apply();
+        assert!(!prefetch_enabled());
+        EvmConfig {
+            fusion: true,
+            prefetch: true,
+        }
+        .apply();
         assert!(fusion_enabled());
-        set_fusion_enabled(prior);
+        assert!(prefetch_enabled());
+        set_fusion_enabled(prior_fusion);
+        set_prefetch_enabled(prior_prefetch);
     }
 }

@@ -25,16 +25,25 @@
 //!    shape), `PUSHn; JUMP` and `PUSHn; JUMPI`, with the jump target
 //!    validated against the jumpdest bitmap at analysis time.
 //! 5. **Storage pairs** — `PUSHn; SLOAD` (constant slot) and `DUPn; SLOAD`.
-//! 6. **`SWAP1; POP`** — the compiler's "drop the second value" idiom.
+//! 6. **Memory pairs** — `PUSHn off; MLOAD` and `PUSHn off; MSTORE` with a
+//!    constant offset: the memory-expansion bound is known at analysis
+//!    time, so the dispatch loop charges the exact same expansion gas the
+//!    unfused pair would, in one step.
+//! 7. **`SWAP1; POP`** — the compiler's "drop the second value" idiom.
 //!
 //! # Gas exactness and suppression conditions
 //!
 //! Every fused step charges exactly the sum of its constituents' static
 //! costs (computed from [`OP_TABLE`], the same table the unfused loop
 //! charges from). Instructions with *dynamic* gas — memory expansion, EXP,
-//! SHA3, copies, SSTORE, calls — are never fused constituents; this is
-//! structural (no rule includes one) and asserted via
-//! [`gas::has_dynamic_gas`] in [`requirements`]. Likewise no rule accepts
+//! SHA3, copies, SSTORE, calls — are never fused constituents, with one
+//! deliberate exception: `MLOAD`/`MSTORE` behind a constant-offset `PUSH`
+//! (rule 6), whose only dynamic component is memory expansion over a
+//! statically-known `[offset, offset+32)` range; the dispatch loop charges
+//! that expansion with the same `mem_charge` sequence as the unfused pair,
+//! so the total is bit-identical. The structural rule is enforced via
+//! [`gas::has_dynamic_gas`] in [`requirements`] (the memory rule computes
+//! its requirements manually). Likewise no rule accepts
 //! `JUMPDEST` as an interior constituent, so a fused region can never be
 //! jumped into halfway: every interior pc holds a non-`JUMPDEST` byte and
 //! therefore can't appear in the jumpdest bitmap. Together with the
@@ -121,6 +130,21 @@ pub enum FusedKind {
         /// 1-based depth of the key on the stack.
         depth: u8,
     },
+    /// `PUSHn off; MLOAD` — load the memory word at a constant offset.
+    /// Spec gas covers only the static costs; the dispatch loop charges
+    /// memory expansion over `[offset, offset + 32)` exactly like the
+    /// unfused `MLOAD`.
+    PushMload {
+        /// The constant byte offset (bounded at fuse time so
+        /// `offset + 32` cannot overflow).
+        offset: u32,
+    },
+    /// `PUSHn off; MSTORE` — store the popped word at a constant offset,
+    /// with dispatch-time memory expansion as in [`FusedKind::PushMload`].
+    PushMstore {
+        /// The constant byte offset (bounded at fuse time).
+        offset: u32,
+    },
     /// `SWAP1; POP` — drop the second-from-top value.
     SwapPop,
 }
@@ -192,7 +216,7 @@ impl FusedTable {
 
 /// Decodes the immediate of the PUSH at `pc` exactly like the dispatch
 /// loop: short reads at end-of-code are zero-padded on the right.
-fn push_immediate(code: &[u8], pc: usize, n: usize) -> U256 {
+pub(crate) fn push_immediate(code: &[u8], pc: usize, n: usize) -> U256 {
     let end = (pc + 1 + n).min(code.len());
     let v = U256::from_be_slice(&code[pc + 1..end]);
     if end - (pc + 1) < n {
@@ -311,6 +335,9 @@ fn try_fuse_at(
     if let Some(s) = try_push_sload(code, pc, consts) {
         return Some(s);
     }
+    if let Some(s) = try_push_mem(code, pc) {
+        return Some(s);
+    }
     if let Some(s) = try_dup_sload(code, pc) {
         return Some(s);
     }
@@ -415,7 +442,7 @@ fn try_load_selector(code: &[u8], pc: usize) -> Option<FusedSpec> {
 /// Evaluates one pure, gas-static opcode on the abstract stack, mirroring
 /// the interpreter's operand order exactly. Returns `false` when `op` is
 /// outside the foldable set.
-fn eval_pure(op: Opcode, st: &mut Vec<U256>) -> bool {
+pub(crate) fn eval_pure(op: Opcode, st: &mut Vec<U256>) -> bool {
     use Opcode::*;
     fn pop2(st: &mut Vec<U256>) -> (U256, U256) {
         let a = st.pop().expect("min_stack prechecked");
@@ -683,6 +710,46 @@ fn try_push_sload(code: &[u8], pc: usize, consts: &mut Vec<U256>) -> Option<Fuse
     })
 }
 
+/// `PUSHn off; MLOAD` / `PUSHn off; MSTORE` with a constant offset.
+///
+/// [`requirements`] rejects dynamic-gas constituents, so the `(need, grow,
+/// gas)` triple is computed by hand here: `gas` is the *static* sum only —
+/// the dispatch loop adds the memory-expansion charge for
+/// `[offset, offset + 32)` at execution time, where the live memory size
+/// is known, using the same `mem_charge` sequence as the unfused ops.
+fn try_push_mem(code: &[u8], pc: usize) -> Option<FusedSpec> {
+    let pb = code[pc];
+    if !is_push_byte(pb) {
+        return None;
+    }
+    let n = (pb - 0x5f) as usize;
+    let mem_op = *code.get(pc + 1 + n)?;
+    let is_load = mem_op == Opcode::Mload as u8;
+    if !is_load && mem_op != Opcode::Mstore as u8 {
+        return None;
+    }
+    // Offsets whose word range does not fit in 32 bits stay unfused: the
+    // unfused pair out-of-gasses on them, and keeping them off the fast
+    // path means the fused arm never needs the overflow checks.
+    let offset = match push_immediate(code, pc, n).try_to_u64() {
+        Some(o) if o + 32 <= u32::MAX as u64 => o as u32,
+        _ => return None,
+    };
+    let gas = OP_TABLE[pb as usize].static_gas + OP_TABLE[mem_op as usize].static_gas;
+    let (need, grow, kind) = if is_load {
+        (0, 1, FusedKind::PushMload { offset })
+    } else {
+        (1, 1, FusedKind::PushMstore { offset })
+    };
+    Some(FusedSpec {
+        gas,
+        need,
+        grow,
+        len: (2 + n) as u16,
+        kind,
+    })
+}
+
 fn try_dup_sload(code: &[u8], pc: usize) -> Option<FusedSpec> {
     let db = code[pc];
     if !(0x80..=0x8f).contains(&db) {
@@ -889,6 +956,32 @@ mod tests {
         assert_eq!(spec.kind, FusedKind::DupSload { depth: 2 });
         assert_eq!(spec.gas, 3 + 800);
         assert_eq!(spec.need, 2);
+    }
+
+    #[test]
+    fn memory_pairs_fuse_with_static_gas_only() {
+        // PUSH1 0x40, MLOAD ... PUSH1 0x40, MSTORE
+        let code = [0x60, 0x40, 0x51, 0x60, 0x40, 0x52, 0x00];
+        let t = table_of(&code);
+        let load = t.spec_at(0).expect("PUSH+MLOAD fuses");
+        assert_eq!(load.kind, FusedKind::PushMload { offset: 0x40 });
+        assert_eq!(load.gas, 3 + 3, "expansion is charged at dispatch");
+        assert_eq!(load.need, 0);
+        assert_eq!(load.grow, 1);
+        assert_eq!(load.len, 3);
+        let store = t.spec_at(3).expect("PUSH+MSTORE fuses");
+        assert_eq!(store.kind, FusedKind::PushMstore { offset: 0x40 });
+        assert_eq!(store.gas, 3 + 3);
+        assert_eq!(store.need, 1);
+        assert_eq!(store.grow, 1);
+    }
+
+    #[test]
+    fn oversized_memory_offset_stays_unfused() {
+        // PUSH5 0x01_00000000 (over the u32 bound), MLOAD.
+        let code = [0x64, 0x01, 0x00, 0x00, 0x00, 0x00, 0x51, 0x00];
+        let t = table_of(&code);
+        assert!(t.spec_at(0).is_none(), "huge offsets take the slow path");
     }
 
     #[test]

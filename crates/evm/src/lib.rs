@@ -40,6 +40,7 @@ pub mod memory;
 pub mod obs;
 pub mod opcode;
 pub mod overlay;
+pub mod prefetch;
 pub mod stack;
 pub mod state;
 pub mod trace;
@@ -50,7 +51,9 @@ pub use commit::{
     apply_updates, commit_block_delta, commit_full, delta_merkle_root, delta_updates,
     AsyncCommitter, CommitError, CommitHandle,
 };
-pub use config::{fusion_enabled, set_fusion_enabled, EvmConfig};
+pub use config::{
+    fusion_enabled, prefetch_enabled, set_fusion_enabled, set_prefetch_enabled, EvmConfig,
+};
 pub use executor::{
     admission_preflight, call_readonly, execute_block, execute_transaction, max_tx_cost,
     trace_transaction, ReadCall, ReadCallOutcome, TxError,
@@ -61,6 +64,7 @@ pub use opcode::{OpCategory, Opcode};
 pub use overlay::{
     AccountDelta, BlockDelta, OverlayedView, ReadSet, StaleRead, StateOverlay, StateRead, TxDelta,
 };
+pub use prefetch::{resolvable_sload_pcs, PrefetchArm, PrefetchPlan};
 pub use state::{Account, State, StateOps};
 pub use trace::{CallKind, FrameInfo, NoopTracer, TraceRecorder, Tracer, TxTrace};
 pub use tx::{Block, BlockHeader, Log, Receipt, Transaction};

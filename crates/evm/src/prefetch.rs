@@ -1,0 +1,530 @@
+//! Analysis-time storage prefetch plans: the real-execution counterpart
+//! of the simulated prefetchable-access detection in
+//! `mtpu::hotspot::analysis` (paper §3.4.4).
+//!
+//! Two pieces live here:
+//!
+//! * [`PrefetchPlan`] + [`build_plan`] — a per-bytecode summary of the
+//!   storage keys the interpreter can resolve *before* dispatch reaches
+//!   them: constant `PUSHn; SLOAD` slots, constant-folded slots from the
+//!   stack-backtracking pass, and each selector-dispatch arm's first
+//!   resolvable accesses. The plan is built once per code hash inside
+//!   [`crate::analysis::CodeAnalysis::analyze`] and issued at call-frame
+//!   entry (see `run_frame_code`) against the frame's storage address.
+//!   Prefetched values land in a bounded per-transaction memo owned by
+//!   [`crate::overlay::StateOverlay`]; they are only ever served on the
+//!   base fall-through path and every consumed value is recorded in the
+//!   transaction's read set, so a stale prefetch is caught by the normal
+//!   commit-time validation — never silently consumed (DESIGN.md §15).
+//!
+//! * [`resolvable_sload_pcs`] — the trace-replay detector the MTPU timing
+//!   model uses to find SLOADs with pre-execution-resolvable keys. It
+//!   lives here (rather than in `mtpu::hotspot`) so the sim and real paths
+//!   share one notion of "resolvable"; the hotspot analysis re-exports it.
+
+use crate::fusion::{push_immediate, FusedKind, FusedTable};
+use crate::opcode::Opcode;
+use crate::trace::TxTrace;
+use mtpu_primitives::U256;
+use std::collections::HashSet;
+
+/// Most keys a plan may carry on its unconditional (any-path) list.
+pub const MAX_PLAN_KEYS: usize = 32;
+/// Most keys recorded per selector-dispatch arm.
+pub const MAX_ARM_KEYS: usize = 8;
+/// Bound on the straight-line abstract walk from an arm's target.
+const ARM_WALK_OPS: usize = 64;
+
+/// The first statically resolvable storage keys behind one dispatcher arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefetchArm {
+    /// The 4-byte function selector that reaches these accesses.
+    pub selector: u32,
+    /// Resolvable slot keys on the arm's straight-line entry path.
+    pub keys: Box<[U256]>,
+}
+
+/// Per-bytecode prefetch plan: storage keys resolvable at analysis time,
+/// split into keys reachable on any path and keys behind a specific
+/// function selector.
+#[derive(Debug, Default)]
+pub struct PrefetchPlan {
+    keys: Box<[U256]>,
+    arms: Box<[PrefetchArm]>,
+}
+
+impl PrefetchPlan {
+    /// `true` when the plan names no keys at all.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty() && self.arms.is_empty()
+    }
+
+    /// Keys resolvable on any path through the bytecode.
+    pub fn keys(&self) -> &[U256] {
+        &self.keys
+    }
+
+    /// Per-selector arm key lists.
+    pub fn arms(&self) -> &[PrefetchArm] {
+        &self.arms
+    }
+
+    /// Collects the deduplicated key set to issue for a frame entered with
+    /// `selector` (the global list plus the matching arm's, if any).
+    pub fn keys_for(&self, selector: Option<u32>, out: &mut Vec<U256>) {
+        out.clear();
+        out.extend_from_slice(&self.keys);
+        if let Some(sel) = selector {
+            if let Some(arm) = self.arms.iter().find(|a| a.selector == sel) {
+                for k in arm.keys.iter() {
+                    if !out.contains(k) {
+                        out.push(*k);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn add_key(keys: &mut Vec<U256>, k: U256, cap: usize) {
+    if keys.len() < cap && !keys.contains(&k) {
+        keys.push(k);
+    }
+}
+
+/// Builds the prefetch plan of `code` from its finished fusion side-table.
+///
+/// Sources, mirroring the hotspot pipeline's resolvable-access classes:
+/// `PushSload` sites (constant slot), `PushConst` regions feeding an
+/// `SLOAD` (constant-folded slot), and for every pre-validated selector
+/// arm a bounded straight-line abstract walk from its target that collects
+/// `SLOAD`s whose key is a compile-time constant (this subsumes
+/// `DUPn; SLOAD` with a constant at depth `n`).
+pub fn build_plan(code: &[u8], fusion: &FusedTable) -> PrefetchPlan {
+    let mut keys: Vec<U256> = Vec::new();
+    let mut arms: Vec<PrefetchArm> = Vec::new();
+    for (pc, spec) in fusion.iter_sites() {
+        match &spec.kind {
+            FusedKind::PushSload { idx } => {
+                add_key(&mut keys, fusion.const_at(*idx), MAX_PLAN_KEYS);
+            }
+            // A folded constant immediately consumed by SLOAD is a
+            // resolvable slot even though the pair didn't fuse.
+            FusedKind::PushConst { idx }
+                if code.get(pc + spec.len as usize) == Some(&(Opcode::Sload as u8)) =>
+            {
+                add_key(&mut keys, fusion.const_at(*idx), MAX_PLAN_KEYS);
+            }
+            FusedKind::SelectorDispatch { arms: dispatch } => {
+                for arm in dispatch.iter() {
+                    if !arm.valid || arms.iter().any(|a| a.selector == arm.selector) {
+                        continue;
+                    }
+                    let mut arm_keys: Vec<U256> = Vec::new();
+                    walk_arm(code, arm.target as usize, &keys, &mut arm_keys);
+                    if !arm_keys.is_empty() {
+                        arms.push(PrefetchArm {
+                            selector: arm.selector,
+                            keys: arm_keys.into_boxed_slice(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if keys.is_empty() && arms.is_empty() {
+        return PrefetchPlan::default();
+    }
+    PrefetchPlan {
+        keys: keys.into_boxed_slice(),
+        arms: arms.into_boxed_slice(),
+    }
+}
+
+/// Straight-line abstract walk from a dispatcher arm's entry point,
+/// collecting `SLOAD` keys that are compile-time constants. Values are
+/// `Some(const)` or `None` (unknown); the walk stops at the first branch,
+/// halt, or undefined byte. This is purely advisory — a wrong or partial
+/// set only changes which reads are warmed, never the executed semantics.
+fn walk_arm(code: &[u8], start: usize, global: &[U256], out: &mut Vec<U256>) {
+    let mut st: Vec<Option<U256>> = Vec::new();
+    let mut pc = start;
+    for _ in 0..ARM_WALK_OPS {
+        if pc >= code.len() || out.len() >= MAX_ARM_KEYS {
+            return;
+        }
+        let Some(op) = Opcode::from_u8(code[pc]) else {
+            return;
+        };
+        use Opcode::*;
+        match op {
+            Jumpdest => {}
+            Jump | Jumpi | Stop | Return | Revert | Invalid | Selfdestruct => return,
+            Sload => {
+                if let Some(k) = st.pop().flatten() {
+                    if !global.contains(&k) && !out.contains(&k) {
+                        out.push(k);
+                    }
+                }
+                st.push(None);
+            }
+            Pop => {
+                st.pop();
+            }
+            _ if op.is_push() => {
+                st.push(Some(push_immediate(code, pc, op.immediate_len())));
+            }
+            _ if op.is_dup() => {
+                let n = (op as u8 - 0x7f) as usize;
+                let v = if n <= st.len() {
+                    st[st.len() - n]
+                } else {
+                    None
+                };
+                st.push(v);
+            }
+            _ if op.is_swap() => {
+                let n = (op as u8 - 0x8f) as usize;
+                let len = st.len();
+                if n < len {
+                    st.swap(len - 1, len - 1 - n);
+                } else if let Some(t) = st.last_mut() {
+                    // Swapping with a value below the tracked region: the
+                    // top becomes unknown.
+                    *t = None;
+                }
+            }
+            _ => {
+                let pops = op.stack_pops();
+                let mut args: Vec<Option<U256>> = Vec::with_capacity(pops);
+                for _ in 0..pops {
+                    args.push(st.pop().unwrap_or(None));
+                }
+                if args.iter().all(Option::is_some) && op.stack_pushes() == 1 {
+                    // All-constant operands: try the shared pure evaluator
+                    // (pops from the end, top last — reverse the arg order).
+                    let mut tmp: Vec<U256> =
+                        args.iter().rev().map(|a| a.expect("all some")).collect();
+                    if crate::fusion::eval_pure(op, &mut tmp) {
+                        st.push(tmp.pop());
+                    } else {
+                        st.push(None);
+                    }
+                } else {
+                    for _ in 0..op.stack_pushes() {
+                        st.push(None);
+                    }
+                }
+            }
+        }
+        pc += 1 + op.immediate_len();
+    }
+}
+
+/// Abstract value of the trace-replay detector. Mirrors
+/// `mtpu::hotspot::analysis::AVal` minus the producer bookkeeping (which
+/// never affects fixedness).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AVal {
+    /// A compile-time constant.
+    Const(U256),
+    /// Derived only from fixed transaction/block attributes.
+    TxAttr,
+    /// May change between pre-execution and execution.
+    Unknown,
+}
+
+impl AVal {
+    fn is_fixed(&self) -> bool {
+        !matches!(self, AVal::Unknown)
+    }
+}
+
+/// Evaluates a binary op over two constants (hotspot's `eval2`).
+fn eval2(op: Opcode, a: U256, b: U256) -> Option<U256> {
+    use Opcode::*;
+    Some(match op {
+        Add => a.wrapping_add(b),
+        Sub => a.wrapping_sub(b),
+        Mul => a.wrapping_mul(b),
+        Div => a.evm_div(b),
+        Mod => a.evm_rem(b),
+        And => a & b,
+        Or => a | b,
+        Xor => a ^ b,
+        Shl => b.evm_shl(a),
+        Shr => b.evm_shr(a),
+        Eq => U256::from(a == b),
+        Lt => U256::from(a < b),
+        Gt => U256::from(a > b),
+        Byte => b.byte_be(a),
+        Exp => a.wrapping_pow(b),
+        Signextend => b.signextend(a),
+        _ => return None,
+    })
+}
+
+/// PCs of top-frame `SLOAD`s whose key is resolvable before execution:
+/// the abstract replay of the recorded path with values classified as
+/// constant, transaction-attribute-derived, or unknown.
+///
+/// This is the single source of truth for "resolvable" shared by the MTPU
+/// timing model (`mtpu::hotspot::analysis::PathAnalysis::prefetch_pcs`
+/// delegates here) and, in spirit, by [`build_plan`]'s static plan.
+pub fn resolvable_sload_pcs(trace: &TxTrace, code: &[u8]) -> HashSet<u32> {
+    use std::collections::HashMap;
+    let mut out: HashSet<u32> = HashSet::new();
+    let mut stack: Vec<AVal> = Vec::with_capacity(64);
+    let mut memory: HashMap<u64, AVal> = HashMap::new();
+    for s in &trace.steps {
+        if s.frame != 0 {
+            continue;
+        }
+        let op = s.opcode();
+        let pops = op.stack_pops();
+        use Opcode::*;
+
+        if op.is_dup() {
+            let n = (op as u8 - 0x7f) as usize;
+            let v = if n <= stack.len() {
+                stack[stack.len() - n]
+            } else {
+                AVal::Unknown
+            };
+            stack.push(v);
+            continue;
+        }
+        if op.is_swap() {
+            let n = (op as u8 - 0x8f) as usize;
+            let len = stack.len();
+            if n < len {
+                stack.swap(len - 1, len - 1 - n);
+            } else if let Some(t) = stack.last_mut() {
+                // Below the tracked region: poison the top.
+                *t = AVal::Unknown;
+            }
+            continue;
+        }
+        if op.is_push() {
+            let n = op.immediate_len();
+            let pc = s.pc as usize;
+            let end = (pc + 1 + n).min(code.len());
+            let imm = U256::from_be_slice(code.get(pc + 1..end).unwrap_or(&[]));
+            stack.push(AVal::Const(imm));
+            continue;
+        }
+
+        let mut args: Vec<AVal> = Vec::with_capacity(pops);
+        for _ in 0..pops {
+            args.push(stack.pop().unwrap_or(AVal::Unknown));
+        }
+
+        if op == Sload && args.first().map(AVal::is_fixed).unwrap_or(false) {
+            out.insert(s.pc);
+        }
+
+        let result: AVal = match op {
+            Caller | Origin | Callvalue | Calldatasize | Address | Codesize | Gasprice
+            | Coinbase | Timestamp | Number | Difficulty | Gaslimit => AVal::TxAttr,
+            Calldataload => {
+                if args[0].is_fixed() {
+                    AVal::TxAttr
+                } else {
+                    AVal::Unknown
+                }
+            }
+            Mload => match args[0] {
+                AVal::Const(off) => memory.get(&off.low_u64()).copied().unwrap_or(AVal::Unknown),
+                _ => AVal::Unknown,
+            },
+            Sha3 => match (args.first(), args.get(1)) {
+                // Hash of a memory region whose words are all fixed is
+                // itself fixed (the Fig. 11 mapping-slot case).
+                (Some(AVal::Const(off)), Some(AVal::Const(len))) => {
+                    let (off, len) = (off.low_u64(), len.low_u64());
+                    let mut fixed = len % 32 == 0;
+                    let mut w = off;
+                    while fixed && w < off + len {
+                        fixed &= memory.get(&w).map(AVal::is_fixed).unwrap_or(false);
+                        w += 32;
+                    }
+                    if fixed && len > 0 {
+                        AVal::TxAttr
+                    } else {
+                        AVal::Unknown
+                    }
+                }
+                _ => AVal::Unknown,
+            },
+            Mstore => {
+                if let AVal::Const(off) = args[0] {
+                    memory.insert(off.low_u64(), args[1]);
+                }
+                AVal::Unknown // no result
+            }
+            Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr | Eq | Lt | Gt | Byte
+            | Exp | Signextend => match (args[0], args[1]) {
+                (AVal::Const(a), AVal::Const(b)) => {
+                    eval2(op, a, b).map(AVal::Const).unwrap_or(AVal::Unknown)
+                }
+                (x, y) if x.is_fixed() && y.is_fixed() => AVal::TxAttr,
+                _ => AVal::Unknown,
+            },
+            Iszero | Not => match args[0] {
+                AVal::Const(a) => {
+                    let v = if op == Iszero {
+                        U256::from(a.is_zero())
+                    } else {
+                        !a
+                    };
+                    AVal::Const(v)
+                }
+                AVal::TxAttr => AVal::TxAttr,
+                AVal::Unknown => AVal::Unknown,
+            },
+            Slt | Sgt | Addmod | Mulmod | Sdiv | Smod => {
+                if args.iter().all(AVal::is_fixed) {
+                    AVal::TxAttr
+                } else {
+                    AVal::Unknown
+                }
+            }
+            _ => AVal::Unknown,
+        };
+        for _ in 0..op.stack_pushes() {
+            stack.push(result);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::CodeAnalysis;
+
+    fn plan_of(code: &[u8]) -> PrefetchPlan {
+        let analysis = CodeAnalysis::analyze(code);
+        build_plan(code, analysis.fusion())
+    }
+
+    #[test]
+    fn push_sload_key_enters_global_plan() {
+        // PUSH1 7, SLOAD, STOP
+        let code = [0x60, 0x07, 0x54, 0x00];
+        let plan = plan_of(&code);
+        assert_eq!(plan.keys(), &[U256::from(7u64)]);
+        assert!(plan.arms().is_empty());
+    }
+
+    #[test]
+    fn folded_const_feeding_sload_enters_plan() {
+        // PUSH1 32, PUSH1 4, ADD (folds to 36), SLOAD
+        let code = [0x60, 0x20, 0x60, 0x04, 0x01, 0x54, 0x00];
+        let plan = plan_of(&code);
+        assert_eq!(plan.keys(), &[U256::from(36u64)]);
+    }
+
+    #[test]
+    fn dispatcher_arm_walk_finds_first_sloads() {
+        // Selector prologue + one arm -> handler doing PUSH1 5; SLOAD and a
+        // DUP1; SLOAD on the (constant) loaded value's key? Keep it simple:
+        // two constant SLOADs behind the arm.
+        #[rustfmt::skip]
+        let code = [
+            0x60, 0x00, 0x35, 0x60, 0xe0, 0x1c,                         // 0: prologue
+            0x80, 0x63, 0xaa, 0xbb, 0xcc, 0xdd, 0x14, 0x61, 0x00, 21, 0x57, // 6: arm -> 21
+            0x61, 0x00, 29, 0x56,                                       // 17: fallback -> 29
+            0x5b,                                                       // 21: handler
+            0x60, 0x05, 0x54,                                           // PUSH1 5; SLOAD
+            0x60, 0x06, 0x54,                                           // PUSH1 6; SLOAD
+            0x00,                                                       // 28: STOP
+            0x5b, 0x00,                                                 // 29: fallback
+        ];
+        let plan = plan_of(&code);
+        // The PUSH+SLOAD pairs fuse, so keys 5 and 6 are already global;
+        // the arm list stays empty (deduped against the global list).
+        assert!(plan.keys().contains(&U256::from(5u64)));
+        assert!(plan.keys().contains(&U256::from(6u64)));
+        let mut keys = Vec::new();
+        plan.keys_for(Some(0xaabbccdd), &mut keys);
+        assert!(keys.contains(&U256::from(5u64)));
+        assert!(keys.contains(&U256::from(6u64)));
+    }
+
+    #[test]
+    fn arm_walk_resolves_dup_sload_constants() {
+        // Handler computes a key on the stack then DUP-SLOADs it:
+        // PUSH1 9; DUP1; SLOAD — the DUP+SLOAD fuses as DupSload (dynamic
+        // at dispatch) but the arm walk sees the constant behind it.
+        #[rustfmt::skip]
+        let code = [
+            0x80, 0x63, 0xaa, 0xbb, 0xcc, 0xdd, 0x14, 0x61, 0x00, 15, 0x57, // 0: arm -> 15
+            0x61, 0x00, 20, 0x56,                                       // 11: fallback -> 20
+            0x5b,                                                       // 15: handler
+            0x60, 0x09, 0x80, 0x54,                                     // PUSH1 9; DUP1; SLOAD
+            0x5b, 0x00,                                                 // 20: fallback
+        ];
+        let plan = plan_of(&code);
+        assert!(plan.keys().is_empty(), "no statically fused SLOAD key");
+        assert_eq!(plan.arms().len(), 1);
+        assert_eq!(plan.arms()[0].selector, 0xaabbccdd);
+        assert_eq!(&*plan.arms()[0].keys, &[U256::from(9u64)]);
+        // Non-matching selector gets only the (empty) global list.
+        let mut keys = Vec::new();
+        plan.keys_for(Some(0x11111111), &mut keys);
+        assert!(keys.is_empty());
+        plan.keys_for(None, &mut keys);
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn plan_caps_hold() {
+        // More distinct PUSH+SLOAD keys than MAX_PLAN_KEYS.
+        let mut code = Vec::new();
+        for i in 0..(MAX_PLAN_KEYS + 10) {
+            code.extend_from_slice(&[0x61, (i >> 8) as u8, i as u8, 0x54, 0x50]);
+        }
+        code.push(0x00);
+        let plan = plan_of(&code);
+        assert_eq!(plan.keys().len(), MAX_PLAN_KEYS);
+    }
+
+    #[test]
+    fn resolvable_pcs_found_on_traced_run() {
+        use crate::interpreter::{CallParams, Evm};
+        use crate::state::State;
+        use crate::trace::{CallKind, TraceRecorder};
+        use mtpu_primitives::Address;
+
+        // PUSH1 7, SLOAD, POP, PUSH1 0 CALLDATALOAD, SLOAD, STOP — the
+        // first SLOAD key is constant, the second is calldata-derived
+        // (TxAttr, still fixed).
+        let code = vec![0x60, 0x07, 0x54, 0x50, 0x60, 0x00, 0x35, 0x54, 0x00];
+        let mut state = State::new();
+        let contract = Address::from_low_u64(0xc0de);
+        state.deploy_code(contract, code.clone());
+        let header = crate::tx::BlockHeader::default();
+        let mut tracer = TraceRecorder::new();
+        let caller = Address::from_low_u64(1);
+        let mut evm = Evm::new(&mut state, &header, caller, U256::ONE, &mut tracer);
+        let res = evm.call(CallParams {
+            kind: CallKind::Call,
+            caller,
+            code_address: contract,
+            storage_address: contract,
+            value: U256::ZERO,
+            transfers_value: false,
+            input: vec![0u8; 32],
+            gas: 100_000,
+            is_static: false,
+            depth: 0,
+        });
+        assert!(res.success());
+        let trace = tracer.into_trace();
+        let pcs = resolvable_sload_pcs(&trace, &code);
+        assert!(pcs.contains(&2), "constant-key SLOAD at pc 2");
+        assert!(pcs.contains(&7), "calldata-derived key SLOAD at pc 7");
+    }
+}

@@ -12,12 +12,13 @@
 
 use crate::packer::{BlockPacker, PackedBlock};
 use crate::pool::{Mempool, PoolStats};
+use mtpu::sched::SlotKey;
 use mtpu_accountsdb::{AccountsDb, DbStats, FlushService};
 use mtpu_evm::commit::{delta_updates, MemStore, StateCommitter};
 use mtpu_evm::state::State;
 use mtpu_evm::tx::{Block, BlockHeader, Receipt, Transaction};
 use mtpu_evm::{commit_full, AsyncCommitter, BlockDelta, CommitHandle};
-use mtpu_parexec::{ChainStats, ParExecutor};
+use mtpu_parexec::{ChainStats, ParExecutor, TxHints};
 use mtpu_primitives::B256;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
@@ -381,6 +382,10 @@ impl NodeDriver {
         header_of: impl Fn(u64) -> BlockHeader,
     ) -> DriverReport {
         let started = Instant::now();
+        let prefetch = mtpu_evm::prefetch_enabled();
+        if prefetch {
+            db.enable_prefetch();
+        }
         let mut committer =
             StateCommitter::new(MemStore::new()).with_threads(self.cfg.commit_threads);
         commit_full(&mut committer, genesis);
@@ -466,11 +471,20 @@ impl NodeDriver {
 
                 // Execute against the flat store; the db stays at the
                 // pre-block state until absorb, so the delta's base reads
-                // and the trie updates both see exactly block h-1.
-                let result = self.executor.execute_block_delta_with_dag(
+                // and the trie updates both see exactly block h-1. The
+                // admission-time read sets ride along as prefetch hints:
+                // the store starts pulling a transaction's slots off disk
+                // the moment its DAG parents commit.
+                let hints = if prefetch {
+                    hints_of(&packed)
+                } else {
+                    Vec::new()
+                };
+                let result = self.executor.execute_block_delta_with_dag_hints(
                     db.as_ref(),
                     &packed.block,
                     &packed.graph,
+                    &hints,
                 );
                 let updates = delta_updates(db.as_ref(), &result.delta);
                 let handle = committer.submit_updates(updates, false);
@@ -543,6 +557,28 @@ impl NodeDriver {
             .saturating_sub(self.cfg.ingest_batch)
             .max(1)
     }
+}
+
+/// Converts a packed block's admission-time read sets into per-transaction
+/// prefetch hints for the execution stage. Only reads matter — a write's
+/// prior value is loaded on demand by the SSTORE refund logic through the
+/// same path, and most written slots are read first anyway (and thus in
+/// the read set).
+fn hints_of(packed: &PackedBlock) -> Vec<TxHints> {
+    packed
+        .rw_sets
+        .iter()
+        .map(|rw| {
+            let mut h = TxHints::default();
+            for key in &rw.reads {
+                match *key {
+                    SlotKey::Storage(addr, slot) => h.storage.push((addr, slot)),
+                    SlotKey::Balance(addr) => h.accounts.push(addr),
+                }
+            }
+            h
+        })
+        .collect()
 }
 
 fn summary_of(height: u64, packed: &PackedBlock) -> BlockSummary {

@@ -6,11 +6,18 @@
 //! frame with an *abstract* stack: each value is `Const` (known at
 //! pre-execution time), `TxAttr` (derived only from transaction/block
 //! attributes, which are invariant during execution), or `Unknown`.
+//!
+//! Prefetchable-access detection is shared with the real execution path:
+//! [`PathAnalysis::prefetch_pcs`] comes from
+//! [`mtpu_evm::prefetch::resolvable_sload_pcs`], the same notion of
+//! "resolvable" the interpreter's frame-entry prefetcher is built on.
 
 use mtpu_evm::opcode::Opcode;
 use mtpu_evm::trace::TxTrace;
 use mtpu_primitives::U256;
 use std::collections::{HashMap, HashSet};
+
+pub use mtpu_evm::prefetch::resolvable_sload_pcs;
 
 /// Abstract value with an optional producing-PUSH step for elimination.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -285,10 +292,6 @@ pub fn analyze_path(trace: &TxTrace, code: &[u8]) -> PathAnalysis {
                 }
             }
         }
-        if op == Sload && args.first().map(AVal::is_fixed).unwrap_or(false) {
-            out.prefetch_pcs.insert(s.pc);
-        }
-
         // Abstract result.
         let result: AVal = match op {
             Caller | Origin | Callvalue | Calldatasize | Address | Codesize | Gasprice
@@ -369,6 +372,9 @@ pub fn analyze_path(trace: &TxTrace, code: &[u8]) -> PathAnalysis {
             stack.push(result);
         }
     }
+    // Prefetchable SLOADs: delegated to the shared detector so the sim
+    // and the real interpreter agree on what "resolvable" means.
+    out.prefetch_pcs = resolvable_sload_pcs(trace, code);
     // The Constants Table is a finite structure: bound the number of
     // separated operands (and the PUSHes they replace) per entry.
     cap_pcs(&mut out.const_operand_pcs, CONSTANTS_TABLE_SLOTS);

@@ -206,6 +206,20 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_pcs_delegate_to_shared_detector() {
+        // Regression for the detector unification: `analyze_path` must
+        // produce exactly the set the shared `mtpu_evm` implementation
+        // reports (the pcs the fixtures below pin individually).
+        let (code, trace) = fig11_like();
+        let a = analyze_path(&trace, &code);
+        assert_eq!(
+            a.prefetch_pcs,
+            crate::hotspot::analysis::resolvable_sload_pcs(&trace, &code)
+        );
+        assert_eq!(a.prefetch_pcs.len(), 1);
+    }
+
+    #[test]
     fn constant_backtracking_finds_fig11_chain() {
         let (code, trace) = fig11_like();
         let a = analyze_path(&trace, &code);

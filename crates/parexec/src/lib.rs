@@ -56,6 +56,46 @@ use std::time::{Duration, Instant};
 /// canonical-order (blocking) re-execution.
 pub const DEFAULT_RETRY_CAP: usize = 3;
 
+/// Admission-time prefetch hints for one transaction: the state locations
+/// its declared (or trace-derived) read set names. When the transaction
+/// becomes ready — its DAG parents have all committed — the hints are
+/// forwarded to the base backend via [`StateRead::hint_prefetch_storage`]
+/// and [`StateRead::hint_prefetch_account`], so a backend with real read
+/// latency (the flat accounts-DB) can overlap its file reads with the
+/// queue wait and the dispatch of other transactions. Hints are purely
+/// advisory: a wrong or stale hint costs a wasted read, never a wrong
+/// result.
+#[derive(Debug, Clone, Default)]
+pub struct TxHints {
+    /// Storage slots the transaction is expected to read.
+    pub storage: Vec<(Address, U256)>,
+    /// Accounts whose metadata (balance, nonce, code) it will touch.
+    pub accounts: Vec<Address>,
+}
+
+impl TxHints {
+    /// `true` when there is nothing to forward.
+    pub fn is_empty(&self) -> bool {
+        self.storage.is_empty() && self.accounts.is_empty()
+    }
+}
+
+/// Forwards one transaction's hints to the backend, with storage keys
+/// grouped per address so the backend sees one batch per account.
+fn fire_hints<B: StateRead>(base: &B, hints: &TxHints) {
+    for &addr in &hints.accounts {
+        base.hint_prefetch_account(addr);
+    }
+    let mut by_addr: std::collections::HashMap<Address, Vec<U256>> =
+        std::collections::HashMap::new();
+    for &(addr, key) in &hints.storage {
+        by_addr.entry(addr).or_default().push(key);
+    }
+    for (addr, keys) in by_addr {
+        base.hint_prefetch_storage(addr, &keys);
+    }
+}
+
 /// Per-worker execution counters.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerStats {
@@ -336,10 +376,34 @@ impl ParExecutor {
         block: &Block,
         dag: &DepGraph,
     ) -> DeltaResult {
+        self.execute_block_delta_with_dag_hints(base, block, dag, &[])
+    }
+
+    /// [`ParExecutor::execute_block_delta_with_dag`] plus per-transaction
+    /// prefetch hints: when transaction `i` becomes ready, `hints[i]` is
+    /// forwarded to the backend (see [`TxHints`]) before any worker claims
+    /// it, overlapping backend reads with scheduling. Pass an empty slice
+    /// for no hints.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `dag.len() != block.transactions.len()`, or when
+    /// `hints` is non-empty and shorter than the block.
+    pub fn execute_block_delta_with_dag_hints<B: StateRead + Sync>(
+        &self,
+        base: &B,
+        block: &Block,
+        dag: &DepGraph,
+        hints: &[TxHints],
+    ) -> DeltaResult {
         assert_eq!(
             dag.len(),
             block.transactions.len(),
             "DAG must cover every transaction of the block"
+        );
+        assert!(
+            hints.is_empty() || hints.len() >= block.transactions.len(),
+            "hints must be empty or cover every transaction"
         );
         let n = block.transactions.len();
         let started = Instant::now();
@@ -366,6 +430,7 @@ impl ParExecutor {
             &block.header,
             &block.transactions,
             dag,
+            hints,
             self.retry_cap,
         );
         let workers: Vec<WorkerSlot> = (0..self.threads).map(|_| WorkerSlot::default()).collect();
@@ -448,6 +513,9 @@ struct Shared<'a, B: StateRead + Sync> {
     header: &'a BlockHeader,
     txs: &'a [Transaction],
     dag: &'a DepGraph,
+    /// Per-transaction prefetch hints, forwarded to the base when the
+    /// transaction becomes ready (empty slice = no hints).
+    hints: &'a [TxHints],
     /// Deltas of the committed transaction prefix. Read-locked per access
     /// during speculation; write-locked only by the gate holder to merge.
     committed: RwLock<BlockDelta>,
@@ -476,6 +544,7 @@ impl<'a, B: StateRead + Sync> Shared<'a, B> {
         header: &'a BlockHeader,
         txs: &'a [Transaction],
         dag: &'a DepGraph,
+        hints: &'a [TxHints],
         retry_cap: usize,
     ) -> Self {
         let n = txs.len();
@@ -483,11 +552,19 @@ impl<'a, B: StateRead + Sync> Shared<'a, B> {
             .map(|i| AtomicUsize::new(dag.parents(i).len()))
             .collect();
         let ready: VecDeque<usize> = (0..n).filter(|&i| dag.parents(i).is_empty()).collect();
+        if !hints.is_empty() {
+            // The initial ready set is known before any worker starts;
+            // hint it now so the backend's reads overlap thread spawn.
+            for &i in &ready {
+                fire_hints(base, &hints[i]);
+            }
+        }
         Shared {
             base,
             header,
             txs,
             dag,
+            hints,
             committed: RwLock::new(BlockDelta::new()),
             gate: Mutex::new(CommitCursor {
                 next: 0,
@@ -579,6 +656,18 @@ impl<B: StateRead> StateRead for LockingView<'_, B> {
     }
     fn read_storage(&self, addr: Address, key: U256) -> U256 {
         self.with_view(|v| v.read_storage(addr, key))
+    }
+    fn read_storage_many(&self, addr: Address, keys: &[U256], out: &mut Vec<U256>) {
+        // One read-lock for the whole batch — the point of the batched
+        // path; per-key locking would also let the prefix advance between
+        // keys of one prefetch batch.
+        self.with_view(|v| v.read_storage_many(addr, keys, out));
+    }
+    fn hint_prefetch_storage(&self, addr: Address, keys: &[U256]) {
+        self.base.hint_prefetch_storage(addr, keys);
+    }
+    fn hint_prefetch_account(&self, addr: Address) {
+        self.base.hint_prefetch_account(addr);
     }
 }
 
@@ -752,6 +841,13 @@ fn drain_commits<B: StateRead + Sync>(shared: &Shared<'_, B>, slot: &WorkerSlot)
             }
         }
         if !newly_ready.is_empty() {
+            if !shared.hints.is_empty() {
+                // Hint before enqueueing: the backend starts its reads
+                // while the waking worker is still claiming the index.
+                for &r in &newly_ready {
+                    fire_hints(shared.base, &shared.hints[r]);
+                }
+            }
             shared.enqueue(&newly_ready);
         }
     }
@@ -874,6 +970,51 @@ mod tests {
                 assert_eq!(with_dag.receipts, seq_receipts);
                 assert_eq!(with_dag.state.state_root(), seq_state.state_root());
             }
+        }
+    }
+
+    #[test]
+    fn hinted_execution_matches_unhinted() {
+        let mut generator = Generator::new(21);
+        let prepared = generator.prepared_block(&BlockConfig {
+            tx_count: 24,
+            dependent_ratio: 0.4,
+            erc20_ratio: None,
+            sct_ratio: 0.9,
+            chain_bias: 0.5,
+            focus: None,
+        });
+        let base = prepared.state_before.clone();
+        let mut seq_state = base.clone();
+        let seq_receipts = sequential(&mut seq_state, &prepared.block);
+
+        // Hints derived from senders/recipients plus some deliberately
+        // bogus slots: advisory data must never change the outcome.
+        let hints: Vec<TxHints> = prepared
+            .block
+            .transactions
+            .iter()
+            .map(|tx| TxHints {
+                storage: vec![
+                    (tx.to.unwrap_or(tx.from), U256::ZERO),
+                    (tx.from, U256::from(123456u64)),
+                ],
+                accounts: vec![tx.from, tx.to.unwrap_or(tx.from)],
+            })
+            .collect();
+
+        for threads in [1, 4] {
+            let exec = ParExecutor::new(threads);
+            let r = exec.execute_block_delta_with_dag_hints(
+                &base,
+                &prepared.block,
+                &prepared.graph,
+                &hints,
+            );
+            assert_eq!(r.receipts, seq_receipts);
+            let mut st = base.clone();
+            r.delta.apply_to(&mut st);
+            assert_eq!(st.state_root(), seq_state.state_root());
         }
     }
 

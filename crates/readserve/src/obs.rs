@@ -11,6 +11,8 @@ pub struct ReadserveMetrics {
     pub balance_us: Histogram,
     /// `get_storage` latency in µs (`readserve.storage_us`).
     pub storage_us: Histogram,
+    /// Batched `get_many` latency in µs (`readserve.get_many_us`).
+    pub get_many_us: Histogram,
     /// `get_code` latency in µs (`readserve.code_us`).
     pub code_us: Histogram,
     /// Read-only `call` simulation latency in µs (`readserve.call_us`).
@@ -38,6 +40,7 @@ pub fn metrics() -> &'static ReadserveMetrics {
         ReadserveMetrics {
             balance_us: reg.histogram("readserve.balance_us"),
             storage_us: reg.histogram("readserve.storage_us"),
+            get_many_us: reg.histogram("readserve.get_many_us"),
             code_us: reg.histogram("readserve.code_us"),
             call_us: reg.histogram("readserve.call_us"),
             receipt_us: reg.histogram("readserve.receipt_us"),

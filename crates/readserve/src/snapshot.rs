@@ -214,6 +214,37 @@ impl StateRead for BlockSnapshot {
         }
         self.base.read_storage(addr, key)
     }
+
+    fn read_storage_many(&self, addr: Address, keys: &[U256], out: &mut Vec<U256>) {
+        out.clear();
+        out.resize(keys.len(), U256::ZERO);
+        let mut miss_pos: Vec<usize> = Vec::new();
+        let mut miss_keys: Vec<U256> = Vec::new();
+        'keys: for (i, &key) in keys.iter().enumerate() {
+            for delta in self.chain.iter().rev() {
+                if let Some(d) = delta.account(addr) {
+                    if d.deleted || (d.shadows_base && !d.storage.contains_key(&key)) {
+                        continue 'keys; // decided: zero
+                    }
+                    if let Some(v) = d.storage.get(&key) {
+                        out[i] = *v;
+                        continue 'keys;
+                    }
+                }
+            }
+            miss_pos.push(i);
+            miss_keys.push(key);
+        }
+        if !miss_keys.is_empty() {
+            // Undecided keys hit the base as one batch, so a batching
+            // backend resolves them with a single index pass.
+            let mut vals = Vec::new();
+            self.base.read_storage_many(addr, &miss_keys, &mut vals);
+            for (slot, v) in miss_pos.into_iter().zip(vals) {
+                out[slot] = v;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +356,51 @@ mod tests {
         // Older snapshots are unaffected by newer blocks (MVCC).
         assert_eq!(snap0.read_storage(a(9), u(1)), u(42));
         assert_eq!(snap0.read_balance(a(3)), U256::ZERO);
+    }
+
+    #[test]
+    fn batched_storage_reads_match_scalar_resolution() {
+        let base = base_state();
+        let snap0 = BlockSnapshot::new(
+            0,
+            base.clone(),
+            0,
+            Vec::new(),
+            empty_block(0),
+            Arc::new(Vec::new()),
+        );
+        let d1 = delta_of(&snap0, |ov| {
+            ov.set_storage(a(9), u(1), u(7));
+            ov.set_storage(a(9), u(5), u(55));
+        });
+        let snap1 = BlockSnapshot::new(
+            1,
+            base.clone(),
+            0,
+            vec![d1.clone()],
+            empty_block(1),
+            Arc::new(Vec::new()),
+        );
+        let d2 = delta_of(&snap1, |ov| {
+            ov.set_storage(a(9), u(5), u(66));
+        });
+        let snap2 = BlockSnapshot::new(
+            2,
+            base,
+            0,
+            vec![d1, d2],
+            empty_block(2),
+            Arc::new(Vec::new()),
+        );
+
+        // Mix of newest-delta hit (5), older-delta hit (1), and a key no
+        // delta decides (8) that falls through to the base batch.
+        let keys = [u(1), u(5), u(8)];
+        let mut batch = Vec::new();
+        snap2.read_storage_many(a(9), &keys, &mut batch);
+        let scalar: Vec<U256> = keys.iter().map(|&k| snap2.read_storage(a(9), k)).collect();
+        assert_eq!(batch, scalar);
+        assert_eq!(batch, vec![u(7), u(66), U256::ZERO]);
     }
 
     #[test]

@@ -5,11 +5,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,interp_fusion,block_pipeline,accountsdb,read_qps --telemetry"
-# The accountsdb experiment defaults to a 1M-account universe; the smoke
-# run scales it down so the whole script stays interactive.
+echo "==> bench smoke: all --only table1,stateroot,stateroot_par,interp_hot,interp_fusion,interp_prefetch,block_pipeline,accountsdb,read_qps --telemetry"
+# The accountsdb and prefetch experiments default to a 1M-account
+# universe; the smoke run scales them down so the whole script stays
+# interactive.
 MTPU_ACCOUNTSDB_ACCOUNTS="${MTPU_ACCOUNTSDB_ACCOUNTS:-20000}" \
-cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,interp_fusion,block_pipeline,accountsdb,read_qps --telemetry --json BENCH_RESULTS.json
+cargo run --release -p mtpu-bench --bin all -- --only table1,stateroot,stateroot_par,interp_hot,interp_fusion,interp_prefetch,block_pipeline,accountsdb,read_qps --telemetry --json BENCH_RESULTS.json
 
 echo "==> validating BENCH_RESULTS.json"
 python3 - <<'EOF'
@@ -39,6 +40,24 @@ assert m, "fusion gate lost its wins line:\n" + fu
 wins, total = int(m.group(1)), int(m.group(2))
 assert total == 6 and wins >= 4, \
     f"fusion must win >=4/6 hot-path workloads, won {wins}/{total}:\n" + fu
+assert "interp_prefetch" in d["experiments"], list(d["experiments"])
+# The prefetch gate executes every storage-heavy workload against the
+# flat backend with the prefetch subsystem off and on, asserts
+# (in-process) receipts/root parity against a sequential oracle, and
+# counts outright wall-clock wins. A prefetch perf or correctness
+# regression fails here, not silently.
+pf = d["experiments"]["interp_prefetch"]
+assert "schema: interp-prefetch/v1" in pf, "prefetch gate lost its schema marker:\n" + pf
+assert "parity: OK" in pf, "prefetch on/off parity broken:\n" + pf
+m = re.search(r"prefetch wins: (\d+)/(\d+)", pf)
+assert m, "prefetch gate lost its wins line:\n" + pf
+wins, total = int(m.group(1)), int(m.group(2))
+assert total == 6 and wins >= 3, \
+    f"prefetch must win >=3/6 storage-heavy workloads, won {wins}/{total}:\n" + pf
+m = re.search(r"prefetch hits: (\d+)", pf)
+assert m and int(m.group(1)) > 0, "prefetch gate recorded zero hits:\n" + pf
+hits_counter = d["telemetry"]["counters"].get("evm.prefetch.hits", 0)
+assert hits_counter > 0, "evm.prefetch.hits counter is zero in the telemetry snapshot"
 assert "stateroot_par" in d["experiments"], list(d["experiments"])
 # The sweep commits the same blocks at 1/2/4/8 threads and pipelined,
 # and asserts (in-process) that every configuration lands on the same

@@ -5,20 +5,31 @@
 //! dispatches fused superinstructions or single opcodes.
 //!
 //! Driven by the in-repo deterministic [`SplitMix64`] generator so the
-//! suite runs offline with no external crates. The fusion flag is
-//! process-global, so the tests in this binary serialize around
-//! [`FUSION_LOCK`] and always restore the enabled state.
+//! suite runs offline with no external crates. The fusion and prefetch
+//! flags are process-global, so the tests in this binary serialize
+//! around [`FUSION_LOCK`] and always restore the enabled state.
+//!
+//! The same harness also differentially tests the storage *prefetch*
+//! path: plans built from the fusion sites issue speculative reads at
+//! frame entry, and those must be observationally invisible — identical
+//! receipts and roots prefetch-on vs prefetch-off, across thread counts
+//! and across the in-memory and flat-store backends.
 
+use mtpu_repro::accountsdb::AccountsDb;
 use mtpu_repro::contracts::Fixture;
 use mtpu_repro::evm::state::State;
 use mtpu_repro::evm::trace::{NoopTracer, TraceRecorder, Tracer, TxTrace};
 use mtpu_repro::evm::tx::{Block, BlockHeader, Receipt, Transaction};
-use mtpu_repro::evm::{execute_block, execute_transaction, set_fusion_enabled};
+use mtpu_repro::evm::{
+    delta_merkle_root, execute_block, execute_transaction, set_fusion_enabled,
+    set_prefetch_enabled, StateRead,
+};
+use mtpu_repro::parexec::{ParExecutor, TxHints};
 use mtpu_repro::primitives::{Address, SplitMix64, B256, U256};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// Serializes flips of the process-global fusion flag across the tests
-/// in this binary.
+/// Serializes flips of the process-global fusion/prefetch flags across
+/// the tests in this binary.
 static FUSION_LOCK: Mutex<()> = Mutex::new(());
 
 fn fusion_guard() -> std::sync::MutexGuard<'static, ()> {
@@ -369,4 +380,167 @@ fn top8_fixture_block_is_observationally_identical() {
     assert!(fused_receipts.iter().all(|r| r.success));
     assert_eq!(fused_receipts, plain_receipts, "TOP8 receipts diverged");
     assert_eq!(fused_root, plain_root, "TOP8 merkle root diverged");
+}
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mtpu-prefetch-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A flat store holding exactly `base`, with everything already moved
+/// into storage files so execution reads exercise the positional path.
+fn flat_of(base: &State, tag: &str) -> (Arc<AccountsDb>, std::path::PathBuf) {
+    let dir = scratch_dir(tag);
+    let db = Arc::new(AccountsDb::open(&dir).expect("open flat store"));
+    db.bootstrap_from_state(base, 0);
+    db.flush_up_to(0).expect("flush bootstrap");
+    (db, dir)
+}
+
+/// Prefetch on vs off over the TOP8 fixture block: receipts and merkle
+/// roots must be bit-identical across thread counts and across the
+/// in-memory and flat-store backends. Prefetched values are validated at
+/// consume time, so a plan can only ever accelerate execution — never
+/// change it.
+#[test]
+fn prefetch_grid_is_observationally_identical() {
+    let _guard = fusion_guard();
+    let mut rng = SplitMix64::seed_from_u64(0x93e7_0b8f);
+    let users = mtpu_repro::contracts::fixture::USER_COUNT;
+    let mut fx = Fixture::new();
+    let mut txs = Vec::new();
+    for i in 0..48u64 {
+        let user = 1 + i % (users - 1);
+        let to = Fixture::user_address((user + 3) % users).to_u256();
+        let amount = U256::from(rng.random_range(1..500));
+        match i % 3 {
+            0 => txs.push(fx.call_tx(user, "Tether USD", "transfer", &[to, amount])),
+            1 => txs.push(fx.call_tx(user, "FiatTokenProxy", "transfer", &[to, amount])),
+            _ => {
+                let mut tx = fx.call_tx(user, "WETH9", "deposit", &[]);
+                tx.value = amount;
+                txs.push(tx);
+            }
+        }
+    }
+    let block = Block {
+        header: BlockHeader::default(),
+        transactions: txs,
+    };
+    let base = fx.state.clone();
+
+    // Sequential oracle, prefetch off.
+    set_prefetch_enabled(false);
+    let mut seq_state = base.clone();
+    let seq_receipts = execute_block(&mut seq_state, &block);
+    let want_root = seq_state.merkle_root();
+
+    for prefetch in [true, false] {
+        set_prefetch_enabled(prefetch);
+        for threads in [1usize, 4, 8] {
+            let exec = ParExecutor::new(threads);
+            let tag = format!("prefetch={prefetch} threads={threads}");
+
+            // In-memory State backend.
+            let result = exec.execute_block(&base, &block);
+            assert_eq!(result.receipts, seq_receipts, "{tag} state: receipts");
+            assert_eq!(result.merkle_root(), want_root, "{tag} state: root");
+
+            // Flat accounts-DB backend, warmed through the async hint
+            // path as well when prefetch is on.
+            let (db, dir) = flat_of(&base, &format!("grid-{prefetch}-{threads}"));
+            if prefetch {
+                db.enable_prefetch();
+            }
+            let r = exec.execute_block_delta(db.as_ref(), &block);
+            assert_eq!(r.receipts, seq_receipts, "{tag} flat: receipts");
+            assert_eq!(
+                delta_merkle_root(&base, &r.delta),
+                want_root,
+                "{tag} flat: root"
+            );
+            drop(db);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+    set_prefetch_enabled(true);
+}
+
+/// The stale-prefetch scenario end-to-end: a counter contract whose
+/// SLOAD key is statically resolvable (PUSH1 0; SLOAD), called by many
+/// independent senders in one block. Speculative frames prefetch the
+/// pre-block value of slot 0 while earlier transactions are busy
+/// overwriting it — the commit-gate validation must catch every stale
+/// serve and re-execute, landing on the exact sequential count.
+#[test]
+fn stale_prefetch_is_repaired_by_validation() {
+    let _guard = fusion_guard();
+    // PUSH1 0; SLOAD; PUSH1 1; ADD; PUSH1 0; SSTORE; STOP — a fusible
+    // PushSload site, so the prefetch plan names slot 0.
+    let code = vec![0x60, 0x00, 0x54, 0x60, 0x01, 0x01, 0x60, 0x00, 0x55, 0x00];
+    let contract = Address::from_low_u64(CONTRACT);
+    let senders: Vec<Address> = (1..=16).map(Address::from_low_u64).collect();
+
+    let mut base = State::new();
+    base.deploy_code(contract, code);
+    for &s in &senders {
+        base.credit(s, U256::from(u64::MAX));
+    }
+    base.finalize_tx();
+
+    let block = Block {
+        header: BlockHeader::default(),
+        transactions: senders
+            .iter()
+            .map(|&s| Transaction {
+                nonce: 0,
+                gas_price: U256::ONE,
+                gas_limit: 100_000,
+                from: s,
+                to: Some(contract),
+                value: U256::ZERO,
+                data: Vec::new(),
+            })
+            .collect(),
+    };
+    let want = U256::from(senders.len() as u64);
+
+    set_prefetch_enabled(true);
+    for threads in [1usize, 4, 8] {
+        let exec = ParExecutor::new(threads);
+
+        let result = exec.execute_block(&base, &block);
+        assert!(result.receipts.iter().all(|r| r.success));
+        assert_eq!(
+            result.state.storage(contract, U256::ZERO),
+            want,
+            "threads={threads} state backend lost increments to stale prefetches"
+        );
+
+        // Flat backend with async hints: every transaction hints slot 0,
+        // so the warm cache definitely holds the (soon-stale) pre-block
+        // value while later transactions execute.
+        let (db, dir) = flat_of(&base, &format!("stale-{threads}"));
+        db.enable_prefetch();
+        let hints: Vec<TxHints> = block
+            .transactions
+            .iter()
+            .map(|_| TxHints {
+                storage: vec![(contract, U256::ZERO)],
+                accounts: vec![contract],
+            })
+            .collect();
+        let dag = mtpu_repro::mtpu::sched::DepGraph::sender_order(&block.transactions);
+        let r = exec.execute_block_delta_with_dag_hints(db.as_ref(), &block, &dag, &hints);
+        assert!(r.receipts.iter().all(|rc| rc.success));
+        db.absorb(&r.delta, 1);
+        assert_eq!(
+            db.read_storage(contract, U256::ZERO),
+            want,
+            "threads={threads} flat backend lost increments to stale prefetches"
+        );
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
